@@ -1,0 +1,337 @@
+// Package borgmoea is a from-scratch Go implementation of the Borg
+// multiobjective evolutionary algorithm and of the parallel
+// scalability study "Scalability Analysis of the Asynchronous,
+// Master-Slave Borg Multiobjective Evolutionary Algorithm" (Hadka,
+// Madduri & Reed, IEEE IPDPSW 2013).
+//
+// The package is a facade over the internal implementation:
+//
+//   - The serial Borg MOEA (ε-dominance archive, auto-adaptive
+//     operator ensemble, adaptive restarts): NewBorg / Algorithm.
+//   - The asynchronous master-slave parallel algorithm on a
+//     discrete-event virtual cluster (RunAsync), the synchronous
+//     generational baseline (RunSync), and a wall-clock goroutine
+//     executor (RunAsyncRealtime).
+//   - The paper's analytical scalability model (SerialTime,
+//     AsyncTime, ProcessorUpperBound, ProcessorLowerBound, SyncTime)
+//     and its discrete-event simulation model (Simulate).
+//   - Test problems (NewDTLZ2, NewUF11, NewDTLZ), quality metrics
+//     (Hypervolume, HypervolumeMC, GenerationalDistance, ...), and
+//     the experiment harness regenerating the paper's Table II and
+//     Figures 3–5 (RunTable2, RunSpeedup, RunSurface).
+//
+// Quickstart:
+//
+//	problem := borgmoea.NewDTLZ2(2)
+//	alg, _ := borgmoea.NewBorg(problem, borgmoea.Config{
+//		Epsilons: borgmoea.UniformEpsilons(2, 0.01),
+//	})
+//	alg.Run(10000, nil)
+//	front := alg.Archive().Objectives()
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// paper-to-module map, and EXPERIMENTS.md for reproduction results.
+package borgmoea
+
+import (
+	"borgmoea/internal/core"
+	"borgmoea/internal/experiment"
+	"borgmoea/internal/metrics"
+	"borgmoea/internal/model"
+	"borgmoea/internal/nsga2"
+	"borgmoea/internal/operators"
+	"borgmoea/internal/parallel"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/rng"
+	"borgmoea/internal/stats"
+)
+
+// Core algorithm types.
+type (
+	// Algorithm is the Borg MOEA state machine (Suggest/Accept/Run).
+	Algorithm = core.Borg
+	// Config parameterizes the Borg MOEA.
+	Config = core.Config
+	// Solution is one candidate solution.
+	Solution = core.Solution
+	// Archive is the ε-dominance archive.
+	Archive = core.Archive
+	// Population is Borg's adaptive working population.
+	Population = core.Population
+	// Diagnostics records Borg's runtime dynamics (archive growth,
+	// restarts, operator probabilities).
+	Diagnostics = core.Diagnostics
+	// DiagRecord is one Diagnostics snapshot.
+	DiagRecord = core.DiagRecord
+)
+
+// Baseline algorithm types.
+type (
+	// NSGA2 is the generational NSGA-II baseline.
+	NSGA2 = nsga2.NSGA2
+	// NSGA2Config parameterizes NSGA-II.
+	NSGA2Config = nsga2.Config
+)
+
+// Baseline constructors.
+var (
+	// NewNSGA2 constructs the NSGA-II baseline; MustNewNSGA2 panics
+	// on configuration errors.
+	NewNSGA2     = nsga2.New
+	MustNewNSGA2 = nsga2.MustNew
+)
+
+// Problem types.
+type (
+	// Problem is a real-valued multiobjective minimization problem.
+	Problem = problems.Problem
+	// ConstrainedProblem adds inequality constraints.
+	ConstrainedProblem = problems.Constrained
+	// DTLZ is a member of the DTLZ test suite.
+	DTLZ = problems.DTLZ
+	// UF is a member UF1–UF10 of the CEC 2009 competition suite.
+	UF = problems.UF
+	// ZDT is a member of the bi-objective Zitzler-Deb-Thiele suite.
+	ZDT = problems.ZDT
+	// UF11 is the CEC 2009 rotated, scaled 5-objective DTLZ2.
+	UF11 = problems.UF11
+)
+
+// Operator types.
+type (
+	// Operator is a variation operator over decision vectors.
+	Operator = operators.Operator
+)
+
+// Parallel driver types.
+type (
+	// ParallelConfig describes one parallel run.
+	ParallelConfig = parallel.Config
+	// ParallelResult summarizes a parallel run.
+	ParallelResult = parallel.Result
+	// IslandsConfig describes a hierarchical multi-island run (the
+	// paper's proposed future topology).
+	IslandsConfig = parallel.IslandsConfig
+	// IslandsResult summarizes a multi-island run.
+	IslandsResult = parallel.IslandsResult
+)
+
+// Model types.
+type (
+	// Times bundles mean T_F, T_A, T_C.
+	Times = model.Times
+	// SimConfig parameterizes the simulation model.
+	SimConfig = model.SimConfig
+	// SimResult is a simulation model prediction.
+	SimResult = model.SimResult
+)
+
+// Distribution types.
+type (
+	// Distribution is a sampleable probability distribution.
+	Distribution = stats.Distribution
+	// Rand is a deterministic random source for sampling
+	// distributions (see NewRand).
+	Rand = rng.Source
+)
+
+// NewRand returns a deterministic random source seeded from seed, for
+// use with Distribution.Sample.
+var NewRand = rng.New
+
+// Experiment harness types.
+type (
+	// Table2Config / Table2Cell reproduce the paper's Table II.
+	Table2Config = experiment.Table2Config
+	Table2Cell   = experiment.Table2Cell
+	// SpeedupConfig / SpeedupResult reproduce Figures 3–4.
+	SpeedupConfig = experiment.SpeedupConfig
+	SpeedupResult = experiment.SpeedupResult
+	// SurfaceConfig / SurfaceResult reproduce Figure 5.
+	SurfaceConfig = experiment.SurfaceConfig
+	SurfaceResult = experiment.SurfaceResult
+	// TimingReport is measured T_A data with fitted distributions.
+	TimingReport = experiment.TimingReport
+	// HierarchyPlan recommends an island decomposition.
+	HierarchyPlan = experiment.HierarchyPlan
+	// DynamicsConfig / DynamicsRow sweep the algorithm's adaptive
+	// dynamics across processor counts (paper §VI-A).
+	DynamicsConfig = experiment.DynamicsConfig
+	DynamicsRow    = experiment.DynamicsRow
+)
+
+// Algorithm constructors.
+var (
+	// NewBorg constructs a Borg MOEA instance.
+	NewBorg = core.New
+	// MustNewBorg is NewBorg that panics on configuration errors.
+	MustNewBorg = core.MustNew
+	// UniformEpsilons broadcasts one ε across m objectives.
+	UniformEpsilons = core.UniformEpsilons
+	// InitUniform / InitLatinHypercube select the initial sampling
+	// scheme in Config.Initialization.
+	InitUniform        = core.InitUniform
+	InitLatinHypercube = core.InitLatinHypercube
+	// EvaluateSolution computes a solution's objectives in place.
+	EvaluateSolution = core.EvaluateSolution
+)
+
+// Problem constructors.
+var (
+	// NewDTLZ2 returns the m-objective DTLZ2 problem.
+	NewDTLZ2 = problems.NewDTLZ2
+	// NewDTLZ returns DTLZ1–7 with m objectives.
+	NewDTLZ = problems.NewDTLZ
+	// NewUF returns UF1–UF10 with n variables.
+	NewUF = problems.NewUF
+	// NewUF11 returns the paper's 5-objective UF11 instance.
+	NewUF11 = problems.NewUF11
+	// NewUF11Custom builds a rotated-scaled DTLZ2 variant.
+	NewUF11Custom = problems.NewUF11Custom
+	// NewZDT returns ZDT1–4 or ZDT6.
+	NewZDT = problems.NewZDT
+	// ZDTFront samples a ZDT problem's Pareto front.
+	ZDTFront = problems.ZDTFront
+	// NewSchaffer, NewFonsecaFleming and NewKursawe are the classic
+	// small bi-objective problems.
+	NewSchaffer       = problems.NewSchaffer
+	NewFonsecaFleming = problems.NewFonsecaFleming
+	NewKursawe        = problems.NewKursawe
+	// NewRotated wraps any problem with a fixed random orthogonal
+	// rotation of its decision space (UF11's construction,
+	// generalized).
+	NewRotated = problems.NewRotated
+	// SphereFront samples the DTLZ2/UF11 Pareto front.
+	SphereFront = problems.SphereFront
+	// IdealSphereHypervolume is the closed-form front hypervolume.
+	IdealSphereHypervolume = problems.IdealSphereHypervolume
+)
+
+// Operator constructors (Borg defaults).
+var (
+	BorgEnsemble = operators.BorgEnsemble
+	NewSBX       = operators.NewSBX
+	NewDE        = operators.NewDE
+	NewPCX       = operators.NewPCX
+	NewSPX       = operators.NewSPX
+	NewUNDX      = operators.NewUNDX
+	NewUM        = operators.NewUM
+	NewPM        = operators.NewPM
+)
+
+// Parallel drivers.
+var (
+	// RunAsync executes the asynchronous master-slave Borg MOEA on
+	// the virtual cluster (virtual time).
+	RunAsync = parallel.RunAsync
+	// RunSync executes the synchronous generational baseline.
+	RunSync = parallel.RunSync
+	// RunAsyncRealtime executes with real goroutines and wall-clock
+	// delays.
+	RunAsyncRealtime = parallel.RunAsyncRealtime
+	// RunIslands executes several concurrent master-slave instances
+	// (the hierarchical topology of the paper's Section VI).
+	RunIslands = parallel.RunIslands
+)
+
+// Archive persistence.
+var (
+	// SaveArchive writes an archive as JSON; LoadArchive reads it
+	// back, re-applying ε-dominance.
+	SaveArchive = core.SaveArchive
+	LoadArchive = core.LoadArchive
+)
+
+// Scalability models (the paper's equations).
+var (
+	// SerialTime is Eq. 1: T_S = N(T_F + T_A).
+	SerialTime = model.SerialTime
+	// AsyncTime is Eq. 2: T_P = N/(P−1)·(T_F + 2T_C + T_A).
+	AsyncTime = model.AsyncTime
+	// AsyncSpeedup and AsyncEfficiency derive from Eqs. 1–2.
+	AsyncSpeedup    = model.AsyncSpeedup
+	AsyncEfficiency = model.AsyncEfficiency
+	// ProcessorUpperBound is Eq. 3: P_UB = T_F/(2T_C + T_A).
+	ProcessorUpperBound = model.ProcessorUpperBound
+	// ProcessorLowerBound is Eq. 4: P_LB > 2 + 2T_C/(T_F + T_A).
+	ProcessorLowerBound = model.ProcessorLowerBound
+	// SyncTime is Eq. 6 (Cantú-Paz).
+	SyncTime       = model.SyncTime
+	SyncSpeedup    = model.SyncSpeedup
+	SyncEfficiency = model.SyncEfficiency
+	// RelativeError is Eq. 5.
+	RelativeError = model.RelativeError
+	// Simulate runs the discrete-event simulation model once;
+	// SimulateMean averages replicates.
+	Simulate     = model.Simulate
+	SimulateMean = model.SimulateMean
+	// SimEfficiency converts simulated elapsed time to efficiency.
+	SimEfficiency = model.SimEfficiency
+)
+
+// Quality metrics.
+var (
+	// Hypervolume is the exact WFG hypervolume.
+	Hypervolume = metrics.Hypervolume
+	// HypervolumeMC is the Monte-Carlo estimator.
+	HypervolumeMC = metrics.HypervolumeMC
+	// GenerationalDistance, InvertedGenerationalDistance,
+	// AdditiveEpsilon and Spacing are the standard set indicators.
+	GenerationalDistance         = metrics.GenerationalDistance
+	InvertedGenerationalDistance = metrics.InvertedGenerationalDistance
+	AdditiveEpsilon              = metrics.AdditiveEpsilon
+	Spacing                      = metrics.Spacing
+	// Coverage is Zitzler's C-metric C(a, b).
+	Coverage = metrics.Coverage
+	// NondominatedFilter extracts the nondominated subset.
+	NondominatedFilter = metrics.NondominatedFilter
+	// Dominates is Pareto dominance on objective vectors.
+	Dominates = metrics.Dominates
+)
+
+// Timing distributions.
+var (
+	// ConstantDist, UniformDist, etc. construct distributions for
+	// T_F/T_A/T_C modeling.
+	ConstantDist    = stats.NewConstant
+	UniformDist     = stats.NewUniform
+	NormalDist      = stats.NewNormal
+	LogNormalDist   = stats.NewLogNormal
+	ExponentialDist = stats.NewExponential
+	GammaDist       = stats.NewGamma
+	WeibullDist     = stats.NewWeibull
+	// GammaFromMeanCV is the paper's controlled-delay distribution:
+	// a Gamma with given mean and coefficient of variation.
+	GammaFromMeanCV = stats.GammaFromMeanCV
+	// FitDistributions fits all candidate families to a sample,
+	// sorted by log-likelihood; SelectBestFit returns the winner.
+	FitDistributions = stats.FitAll
+	SelectBestFit    = stats.SelectBest
+)
+
+// Experiment harness.
+var (
+	// RunTable2 reproduces Table II.
+	RunTable2 = experiment.RunTable2
+	// RunSpeedup reproduces one Figure 3/4 panel.
+	RunSpeedup = experiment.RunSpeedup
+	// RunSurface reproduces Figure 5.
+	RunSurface = experiment.RunSurface
+	// CollectTimings measures T_A and fits distributions.
+	CollectTimings = experiment.CollectTimings
+	// PlanHierarchy sizes master-slave islands with the simulation
+	// model.
+	PlanHierarchy = experiment.PlanHierarchy
+	// RunDynamics sweeps the adaptive dynamics across processor
+	// counts; WriteDynamics renders the result.
+	RunDynamics   = experiment.RunDynamics
+	WriteDynamics = experiment.WriteDynamics
+	// Renderers for harness outputs.
+	WriteTable2       = experiment.WriteTable2
+	WriteTable2CSV    = experiment.WriteTable2CSV
+	WriteSpeedup      = experiment.WriteSpeedup
+	WriteSpeedupCSV   = experiment.WriteSpeedupCSV
+	WriteSurface      = experiment.WriteSurface
+	WriteSurfaceCSV   = experiment.WriteSurfaceCSV
+	WriteTimingReport = experiment.WriteTimingReport
+)

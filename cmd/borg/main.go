@@ -1,0 +1,153 @@
+// Command borg runs the Borg MOEA (serial or asynchronous
+// master-slave on the virtual cluster) on a named test problem and
+// prints the resulting Pareto approximation and quality metrics.
+//
+// Usage:
+//
+//	borg -problem DTLZ2 -objectives 5 -evals 100000
+//	borg -problem UF11 -parallel 64 -tf 0.01 -evals 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"borgmoea"
+	"borgmoea/internal/ascii"
+)
+
+func main() {
+	var (
+		problemName = flag.String("problem", "DTLZ2", "problem: DTLZ1-7, ZDT1-4/6 or UF1-11")
+		objectives  = flag.Int("objectives", 5, "objective count (DTLZ problems)")
+		evals       = flag.Uint64("evals", 100000, "function evaluation budget N")
+		epsilon     = flag.Float64("epsilon", 0.1, "archive epsilon (uniform)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		parallelP   = flag.Int("parallel", 0, "processor count P for the async master-slave run (0 = serial)")
+		tf          = flag.Float64("tf", 0.01, "mean evaluation delay in seconds (parallel mode)")
+		tfcv        = flag.Float64("tfcv", 0.1, "evaluation delay coefficient of variation")
+		printFront  = flag.Bool("front", false, "print the full Pareto approximation")
+		plot        = flag.Bool("plot", false, "render an ASCII scatter of the first two objectives")
+		outPath     = flag.String("out", "", "save the final archive as JSON to this path")
+	)
+	flag.Parse()
+
+	problem, err := lookupProblem(*problemName, *objectives)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := borgmoea.Config{
+		Epsilons: borgmoea.UniformEpsilons(problem.NumObjs(), *epsilon),
+		Seed:     *seed,
+	}
+
+	var alg *borgmoea.Algorithm
+	if *parallelP > 0 {
+		res, err := borgmoea.RunAsync(borgmoea.ParallelConfig{
+			Problem:     problem,
+			Algorithm:   cfg,
+			Processors:  *parallelP,
+			Evaluations: *evals,
+			TF:          borgmoea.GammaFromMeanCV(*tf, *tfcv),
+			Seed:        *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		alg = res.Final
+		fmt.Printf("async master-slave: P=%d  T_P=%.2fs  speedup=%.1f  efficiency=%.2f  master-util=%.2f\n",
+			*parallelP, res.ElapsedTime, res.Speedup(), res.Efficiency(), res.MasterUtilization)
+	} else {
+		alg = borgmoea.MustNewBorg(problem, cfg)
+		alg.Run(*evals, nil)
+		fmt.Printf("serial run: N=%d\n", *evals)
+	}
+
+	front := alg.Archive().Objectives()
+	fmt.Printf("problem=%s evaluations=%d archive=%d restarts=%d\n",
+		problem.Name(), alg.Evaluations(), alg.Archive().Size(), alg.Restarts())
+
+	m := problem.NumObjs()
+	ref := make([]float64, m)
+	for i := range ref {
+		ref[i] = 1.1
+	}
+	hv := borgmoea.HypervolumeMC(front, ref, 100000, 12345)
+	fmt.Printf("hypervolume=%.4f (MC, ref %.1f)", hv, 1.1)
+	if strings.HasPrefix(problem.Name(), "DTLZ2") || strings.HasPrefix(problem.Name(), "UF11") {
+		fmt.Printf("  normalized=%.3f", hv/borgmoea.IdealSphereHypervolume(m, 1.1))
+	}
+	fmt.Println()
+
+	names := alg.OperatorNames()
+	probs := alg.OperatorProbabilities()
+	fmt.Print("operators:")
+	for i := range names {
+		fmt.Printf("  %s=%.3f", names[i], probs[i])
+	}
+	fmt.Println()
+
+	if *plot {
+		pts := make([][]float64, len(front))
+		for i, f := range front {
+			pts[i] = f[:2]
+		}
+		fmt.Print(ascii.Scatter(pts, 70, 20))
+	}
+	if *printFront {
+		for _, f := range front {
+			for j, v := range f {
+				if j > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Printf("%.6f", v)
+			}
+			fmt.Println()
+		}
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := borgmoea.SaveArchive(f, alg.Archive()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "archive saved to %s\n", *outPath)
+	}
+}
+
+func lookupProblem(name string, m int) (borgmoea.Problem, error) {
+	u := strings.ToUpper(name)
+	switch {
+	case u == "UF11":
+		return borgmoea.NewUF11(), nil
+	case strings.HasPrefix(u, "UF"):
+		v, err := strconv.Atoi(u[2:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewUF(v, 30), nil
+	case strings.HasPrefix(u, "DTLZ"):
+		v, err := strconv.Atoi(u[4:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewDTLZ(v, m), nil
+	case strings.HasPrefix(u, "ZDT"):
+		v, err := strconv.Atoi(u[3:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewZDT(v), nil
+	}
+	return nil, fmt.Errorf("unknown problem %q (want DTLZ1-7, ZDT1-4/6 or UF1-11)", name)
+}

@@ -1,0 +1,138 @@
+// Command compare runs the Borg MOEA head-to-head against the
+// generational NSGA-II baseline on a named problem at an equal
+// evaluation budget and reports quality metrics — the kind of
+// comparison that motivated parallelizing Borg in the first place
+// (Section II of the paper).
+//
+// Usage:
+//
+//	compare -problem DTLZ2 -objectives 5 -evals 50000
+//	compare -problem ZDT4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"borgmoea"
+)
+
+func main() {
+	var (
+		problemName = flag.String("problem", "DTLZ2", "DTLZ1-7, ZDT1-4, ZDT6, UF1-11")
+		objectives  = flag.Int("objectives", 3, "objectives (DTLZ problems)")
+		evals       = flag.Uint64("evals", 30000, "evaluation budget per algorithm")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		epsilon     = flag.Float64("epsilon", 0.05, "Borg archive epsilon")
+	)
+	flag.Parse()
+
+	problem, err := lookupProblem(*problemName, *objectives)
+	if err != nil {
+		fatal(err)
+	}
+	m := problem.NumObjs()
+
+	borg := borgmoea.MustNewBorg(problem, borgmoea.Config{
+		Epsilons: borgmoea.UniformEpsilons(m, *epsilon),
+		Seed:     *seed,
+	})
+	borg.Run(*evals, nil)
+	borgFront := borg.Archive().Objectives()
+
+	nsga := borgmoea.MustNewNSGA2(problem, borgmoea.NSGA2Config{Seed: *seed})
+	nsga.Run(*evals)
+	nsgaFront := nsga.Front()
+
+	fmt.Printf("%s, %d objectives, %d evaluations each\n\n", problem.Name(), m, *evals)
+	fmt.Printf("%-22s %12s %12s\n", "", "Borg", "NSGA-II")
+	fmt.Printf("%-22s %12d %12d\n", "front size", len(borgFront), len(nsgaFront))
+
+	ref := make([]float64, m)
+	for i := range ref {
+		ref[i] = refObjective(problem.Name())
+	}
+	hvB := borgmoea.HypervolumeMC(borgFront, ref, 100000, 99)
+	hvN := borgmoea.HypervolumeMC(nsgaFront, ref, 100000, 99)
+	fmt.Printf("%-22s %12.4f %12.4f\n", fmt.Sprintf("hypervolume (ref %.1f)", ref[0]), hvB, hvN)
+
+	if refSet := referenceSet(problem, m); refSet != nil {
+		fmt.Printf("%-22s %12.5f %12.5f\n", "IGD",
+			borgmoea.InvertedGenerationalDistance(borgFront, refSet),
+			borgmoea.InvertedGenerationalDistance(nsgaFront, refSet))
+		fmt.Printf("%-22s %12.5f %12.5f\n", "additive epsilon",
+			borgmoea.AdditiveEpsilon(borgFront, refSet),
+			borgmoea.AdditiveEpsilon(nsgaFront, refSet))
+	}
+	fmt.Printf("%-22s %12.5f %12.5f\n", "spacing",
+		borgmoea.Spacing(borgFront), borgmoea.Spacing(nsgaFront))
+	fmt.Printf("%-22s %12.3f %12.3f\n", "coverage C(row, col)",
+		borgmoea.Coverage(borgFront, nsgaFront),
+		borgmoea.Coverage(nsgaFront, borgFront))
+	fmt.Printf("\nBorg restarts: %d; adapted operators:", borg.Restarts())
+	names := borg.OperatorNames()
+	for i, p := range borg.OperatorProbabilities() {
+		fmt.Printf(" %s=%.2f", names[i], p)
+	}
+	fmt.Println()
+}
+
+// refObjective picks a hypervolume reference coordinate generous
+// enough for the problem family.
+func refObjective(name string) float64 {
+	switch {
+	case strings.HasPrefix(name, "ZDT"):
+		return 2.0 // ZDT f2 can exceed 1 early on
+	default:
+		return 1.1
+	}
+}
+
+// referenceSet returns an analytic reference front when one is known.
+func referenceSet(p borgmoea.Problem, m int) [][]float64 {
+	name := p.Name()
+	switch {
+	case strings.HasPrefix(name, "DTLZ2"), strings.HasPrefix(name, "DTLZ3"),
+		strings.HasPrefix(name, "DTLZ4"), name == "UF11":
+		return borgmoea.SphereFront(m, 1000, 7)
+	case strings.HasPrefix(name, "ZDT"):
+		v, _ := strconv.Atoi(name[3:])
+		return borgmoea.ZDTFront(v, 1000)
+	}
+	return nil
+}
+
+func lookupProblem(name string, m int) (borgmoea.Problem, error) {
+	u := strings.ToUpper(name)
+	switch {
+	case u == "UF11":
+		return borgmoea.NewUF11(), nil
+	case strings.HasPrefix(u, "UF"):
+		v, err := strconv.Atoi(u[2:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewUF(v, 30), nil
+	case strings.HasPrefix(u, "DTLZ"):
+		v, err := strconv.Atoi(u[4:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewDTLZ(v, m), nil
+	case strings.HasPrefix(u, "ZDT"):
+		v, err := strconv.Atoi(u[3:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewZDT(v), nil
+	}
+	return nil, fmt.Errorf("unknown problem %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command fitdist fits candidate probability distributions to a
+// sample of timing measurements (one value per line on stdin or in a
+// file) and ranks them by log-likelihood — the replacement for the
+// paper's R fitting workflow (Section IV.B).
+//
+// With -collect it instead runs an instrumented Borg MOEA and fits
+// the measured per-evaluation algorithm times T_A directly.
+//
+// Usage:
+//
+//	fitdist < ta_samples.txt
+//	fitdist -file samples.txt
+//	fitdist -collect -problem UF11 -evals 20000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"borgmoea"
+)
+
+func main() {
+	var (
+		file    = flag.String("file", "", "read samples from this file (default stdin)")
+		collect = flag.Bool("collect", false, "measure T_A from an instrumented run instead of reading samples")
+		problem = flag.String("problem", "DTLZ2", "problem for -collect (DTLZ1-7 or UF1-11)")
+		objs    = flag.Int("objectives", 5, "objectives for DTLZ problems")
+		evals   = flag.Uint64("evals", 20000, "evaluations for -collect")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *collect {
+		p, err := lookupProblem(*problem, *objs)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := borgmoea.CollectTimings(p, *evals, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := borgmoea.WriteTimingReport(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := readSamples(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no samples"))
+	}
+	fits := borgmoea.FitDistributions(samples)
+	if len(fits) == 0 {
+		fatal(fmt.Errorf("no distribution family fits this sample"))
+	}
+	for i, f := range fits {
+		marker := " "
+		if i == 0 {
+			marker = "*"
+		}
+		fmt.Printf("%s %-32s loglik=%14.2f AIC=%14.2f\n",
+			marker, f.Dist.String(), f.LogLikelihood, f.AIC)
+	}
+}
+
+func readSamples(r io.Reader) ([]float64, error) {
+	var out []float64
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample %q: %w", line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+func lookupProblem(name string, m int) (borgmoea.Problem, error) {
+	u := strings.ToUpper(name)
+	switch {
+	case u == "UF11":
+		return borgmoea.NewUF11(), nil
+	case strings.HasPrefix(u, "UF"):
+		v, err := strconv.Atoi(u[2:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewUF(v, 30), nil
+	case strings.HasPrefix(u, "DTLZ"):
+		v, err := strconv.Atoi(u[4:])
+		if err != nil {
+			return nil, fmt.Errorf("unknown problem %q", name)
+		}
+		return borgmoea.NewDTLZ(v, m), nil
+	}
+	return nil, fmt.Errorf("unknown problem %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command scalesim runs the paper's discrete-event simulation model
+// of the asynchronous master-slave MOEA across a processor sweep and
+// prints predicted time, speedup, efficiency and master contention —
+// plus the analytical model for comparison.
+//
+// Usage:
+//
+//	scalesim -tf 0.01 -ta 0.000029 -tc 0.000006 -n 100000 -p 16,32,64,128,256,512,1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"borgmoea"
+)
+
+func main() {
+	var (
+		tf    = flag.Float64("tf", 0.01, "mean evaluation time TF (s)")
+		tfcv  = flag.Float64("tfcv", 0.1, "TF coefficient of variation")
+		ta    = flag.Float64("ta", 0.000029, "master algorithm time TA (s)")
+		tc    = flag.Float64("tc", 0.000006, "one-way communication time TC (s)")
+		n     = flag.Uint64("n", 100000, "evaluation budget N")
+		pList = flag.String("p", "16,32,64,128,256,512,1024", "comma-separated processor counts")
+		reps  = flag.Int("reps", 3, "simulation replicates per point")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	ps, err := parseInts(*pList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	times := borgmoea.Times{TF: *tf, TA: *ta, TC: *tc}
+	fmt.Printf("TF=%g (CV %g)  TA=%g  TC=%g  N=%d\n", *tf, *tfcv, *ta, *tc, *n)
+	fmt.Printf("P_LB (Eq. 4) = %.2f    P_UB (Eq. 3) = %.0f    T_S (Eq. 1) = %.1fs\n\n",
+		borgmoea.ProcessorLowerBound(times), borgmoea.ProcessorUpperBound(times),
+		borgmoea.SerialTime(*n, times))
+	fmt.Printf("%6s | %10s %8s %6s %7s | %10s %6s\n",
+		"P", "sim T_P", "speedup", "eff", "queue", "ana T_P", "eff")
+	fmt.Println(strings.Repeat("-", 70))
+
+	ts := borgmoea.SerialTime(*n, times)
+	for _, p := range ps {
+		cfg := borgmoea.SimConfig{
+			Processors:  p,
+			Evaluations: *n,
+			TF:          borgmoea.GammaFromMeanCV(*tf, *tfcv),
+			TA:          borgmoea.ConstantDist(*ta),
+			TC:          borgmoea.ConstantDist(*tc),
+			Seed:        *seed + uint64(p),
+		}
+		mean, err := borgmoea.SimulateMean(cfg, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		one, err := borgmoea.Simulate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ana := borgmoea.AsyncTime(*n, p, times)
+		fmt.Printf("%6d | %10.2f %8.1f %6.2f %7.2f | %10.2f %6.2f\n",
+			p, mean, ts/mean, ts/(float64(p)*mean), one.MeanQueueLength,
+			ana, borgmoea.AsyncEfficiency(p, times))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+// Command table2 regenerates the paper's Table II: the asynchronous
+// master-slave Borg MOEA is executed on the virtual cluster for every
+// (problem, T_F, P) combination, and the measured elapsed times are
+// compared against the analytical model (Eq. 2) and the simulation
+// model.
+//
+// The full paper configuration (N=100000, 50 replicates) takes a
+// while; the defaults here use fewer replicates. Use -paper for the
+// full setup, -quick for a fast smoke run.
+//
+// Usage:
+//
+//	table2 [-evals N] [-reps R] [-csv out.csv] [-quick|-paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"borgmoea"
+)
+
+func main() {
+	var (
+		evals    = flag.Uint64("evals", 100000, "evaluation budget N per run")
+		reps     = flag.Int("reps", 5, "replicates per cell (paper: 50)")
+		simReps  = flag.Int("simreps", 3, "simulation model replicates")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this path")
+		quick    = flag.Bool("quick", false, "small smoke configuration (N=10000, P up to 128)")
+		paper    = flag.Bool("paper", false, "full paper configuration (50 replicates)")
+		problems = flag.String("problems", "", "comma-separated problem subset: DTLZ2, UF11 (default both)")
+	)
+	flag.Parse()
+
+	cfg := borgmoea.Table2Config{
+		Evaluations:   *evals,
+		Replicates:    *reps,
+		SimReplicates: *simReps,
+		Seed:          *seed,
+		Progress: func(line string) {
+			fmt.Fprintln(os.Stderr, line)
+		},
+	}
+	if *quick {
+		cfg.Evaluations = 10000
+		cfg.Replicates = 2
+		cfg.Processors = []int{16, 32, 64, 128}
+	}
+	if *paper {
+		cfg.Evaluations = 100000
+		cfg.Replicates = 50
+	}
+	if *problems != "" {
+		for _, name := range strings.Split(*problems, ",") {
+			switch strings.ToUpper(strings.TrimSpace(name)) {
+			case "DTLZ2":
+				cfg.Problems = append(cfg.Problems, borgmoea.NewDTLZ2(5))
+			case "UF11":
+				cfg.Problems = append(cfg.Problems, borgmoea.NewUF11())
+			default:
+				fmt.Fprintf(os.Stderr, "unknown problem %q (want DTLZ2 or UF11)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	cells, err := borgmoea.RunTable2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := borgmoea.WriteTable2(os.Stdout, cells); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := borgmoea.WriteTable2CSV(f, cells); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

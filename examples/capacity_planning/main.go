@@ -1,0 +1,71 @@
+// Capacity planning: the paper's Section VI use case. Given measured
+// timing parameters and an evaluation cost, use the analytical bounds
+// and the simulation model to (a) find the efficiency-maximizing
+// processor count for a single master-slave instance and (b) size a
+// hierarchical (multi-island) decomposition of a large machine —
+// exactly what the paper proposes the simulation model be used for.
+//
+//	go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+
+	"borgmoea"
+)
+
+func main() {
+	// Timing parameters in the style of the paper's DTLZ2 rows:
+	// cheap 1 ms evaluations, 29 µs master time, 6 µs messages.
+	times := borgmoea.Times{TF: 0.001, TA: 0.000029, TC: 0.000006}
+	const machine = 1024 // processors available
+
+	fmt.Printf("capacity planning for TF=%.4fs, TA=%.0fµs, TC=%.0fµs on %d processors\n\n",
+		times.TF, times.TA*1e6, times.TC*1e6, machine)
+
+	fmt.Printf("analytical bounds:\n")
+	fmt.Printf("  lower bound (Eq. 4): %.2f → at least 3 processors\n",
+		borgmoea.ProcessorLowerBound(times))
+	pub := borgmoea.ProcessorUpperBound(times)
+	fmt.Printf("  upper bound (Eq. 3): %.0f (master saturation)\n\n", pub)
+
+	// Sweep the simulation model over candidate processor counts —
+	// the paper's observation: peak efficiency occurs well below the
+	// Eq. 3 bound.
+	fmt.Printf("simulation-model sweep (N = 20000 evaluations):\n")
+	fmt.Printf("  %6s %12s %12s %12s\n", "P", "T_P (s)", "speedup", "efficiency")
+	bestP, bestEff := 0, 0.0
+	for _, p := range []int{4, 8, 16, 24, 32, 48, 64, 128, 256, 512, 1024} {
+		cfg := borgmoea.SimConfig{
+			Processors:  p,
+			Evaluations: 20000,
+			TF:          borgmoea.GammaFromMeanCV(times.TF, 0.1),
+			TA:          borgmoea.ConstantDist(times.TA),
+			TC:          borgmoea.ConstantDist(times.TC),
+			Seed:        uint64(p),
+		}
+		sim, err := borgmoea.Simulate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		eff := borgmoea.SimEfficiency(cfg, sim.Elapsed)
+		ts := borgmoea.SerialTime(20000, times)
+		fmt.Printf("  %6d %12.2f %12.1f %12.2f\n", p, sim.Elapsed, ts/sim.Elapsed, eff)
+		if eff > bestEff {
+			bestP, bestEff = p, eff
+		}
+	}
+	fmt.Printf("\n  → single-instance sweet spot: P ≈ %d (efficiency %.2f), far below P_UB = %.0f\n\n",
+		bestP, bestEff, pub)
+
+	// Hierarchical decomposition of the full machine.
+	plan, err := borgmoea.PlanHierarchy(machine, times, 0.1, 20000, 99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hierarchical topology recommendation:\n  %s\n", plan)
+	fmt.Printf("\n  evaluated candidates:\n")
+	for _, c := range plan.Evaluated {
+		fmt.Printf("    island size %5d → efficiency %.2f\n", c.Size, c.Efficiency)
+	}
+}

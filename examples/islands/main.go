@@ -1,0 +1,67 @@
+// Islands: the hierarchical topology the paper's conclusion proposes
+// for machines too large for a single master (P ≫ Eq. 3's bound).
+// Runs one saturated 128-processor master-slave instance against
+// 8 islands × 16 processors with ring migration, same total budget,
+// and compares elapsed time and merged-front quality.
+//
+//	go run ./examples/islands
+package main
+
+import (
+	"fmt"
+
+	"borgmoea"
+)
+
+func main() {
+	const (
+		totalP     = 128
+		totalEvals = 40000
+		tfMean     = 0.001 // cheap evaluations: P_UB ≈ 24, so 128 saturates
+	)
+	base := borgmoea.ParallelConfig{
+		Problem:     borgmoea.NewDTLZ2(5),
+		Algorithm:   borgmoea.Config{Epsilons: borgmoea.UniformEpsilons(5, 0.15)},
+		TF:          borgmoea.GammaFromMeanCV(tfMean, 0.1),
+		TA:          borgmoea.ConstantDist(0.000029),
+		TC:          borgmoea.ConstantDist(0.000006),
+		Seed:        5,
+		Processors:  totalP,
+		Evaluations: totalEvals,
+	}
+	times := borgmoea.Times{TF: tfMean, TA: 0.000029, TC: 0.000006}
+	fmt.Printf("TF=%.3fs ⇒ single-master saturation at P_UB = %.0f (Eq. 3); machine has %d processors\n\n",
+		tfMean, borgmoea.ProcessorUpperBound(times), totalP)
+
+	mono, err := borgmoea.RunAsync(base)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("monolithic master-slave (P=%d, N=%d):\n", totalP, totalEvals)
+	fmt.Printf("  elapsed %.2fs, efficiency %.2f, master utilization %.2f\n\n",
+		mono.ElapsedTime, mono.Efficiency(), mono.MasterUtilization)
+
+	islandCfg := base
+	islandCfg.Processors = 16
+	islandCfg.Evaluations = totalEvals / 8
+	res, err := borgmoea.RunIslands(borgmoea.IslandsConfig{
+		Base:           islandCfg,
+		Islands:        8,
+		MigrationEvery: 1000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("8 islands × 16 processors, ring migration every 1000 evals:\n")
+	fmt.Printf("  elapsed %.2fs (%.1f× faster), efficiency %.2f, %d migrants\n",
+		res.ElapsedTime, mono.ElapsedTime/res.ElapsedTime,
+		res.Efficiency(tfMean, 0.000029, totalP), res.Migrants)
+
+	ref := []float64{1.1, 1.1, 1.1, 1.1, 1.1}
+	hvMono := borgmoea.HypervolumeMC(mono.Final.Archive().Objectives(), ref, 50000, 1)
+	hvIsl := borgmoea.HypervolumeMC(res.MergedFront, ref, 50000, 1)
+	ideal := borgmoea.IdealSphereHypervolume(5, 1.1)
+	fmt.Printf("\nsolution quality (normalized hypervolume):\n")
+	fmt.Printf("  monolithic:     %.3f\n", hvMono/ideal)
+	fmt.Printf("  islands merged: %.3f  (%d points)\n", hvIsl/ideal, len(res.MergedFront))
+}

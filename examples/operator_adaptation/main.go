@@ -1,0 +1,65 @@
+// Operator adaptation: shows Borg's auto-adaptive operator ensemble
+// specializing differently on the separable DTLZ2 versus the rotated,
+// non-separable UF11 — the algorithmic mechanism the paper's results
+// section ties to parallel scalability ("the effectiveness of the
+// asynchronous Borg MOEA's auto-adaptive search is strongly shaped by
+// parallel scalability and problem difficulty").
+//
+//	go run ./examples/operator_adaptation
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"borgmoea"
+)
+
+func run(problem borgmoea.Problem, budget uint64) *borgmoea.Algorithm {
+	alg, err := borgmoea.NewBorg(problem, borgmoea.Config{
+		Epsilons: borgmoea.UniformEpsilons(problem.NumObjs(), 0.1),
+		Seed:     2024,
+	})
+	if err != nil {
+		panic(err)
+	}
+	alg.Run(budget, nil)
+	return alg
+}
+
+func main() {
+	const budget = 30000
+	dtlz2 := run(borgmoea.NewDTLZ2(5), budget)
+	uf11 := run(borgmoea.NewUF11(), budget)
+
+	fmt.Printf("auto-adapted operator probabilities after %d evaluations\n\n", budget)
+	fmt.Printf("  %-10s %10s %10s\n", "operator", "DTLZ2_5", "UF11")
+	names := dtlz2.OperatorNames()
+	pd := dtlz2.OperatorProbabilities()
+	pu := uf11.OperatorProbabilities()
+	for i, name := range names {
+		fmt.Printf("  %-10s %10.3f %10.3f\n", name, pd[i], pu[i])
+	}
+
+	fmt.Printf("\n  DTLZ2_5: archive %4d, restarts %d\n",
+		dtlz2.Archive().Size(), dtlz2.Restarts())
+	fmt.Printf("  UF11:    archive %4d, restarts %d\n",
+		uf11.Archive().Size(), uf11.Restarts())
+
+	// Convergence comparison at equal budget (distance to the shared
+	// spherical Pareto front) — UF11's rotation makes it measurably
+	// harder, which is why the paper pairs these two problems.
+	fmt.Printf("\n  mean distance to Pareto front (lower is better):\n")
+	for _, alg := range []*borgmoea.Algorithm{dtlz2, uf11} {
+		dist, n := 0.0, 0
+		for _, f := range alg.Archive().Objectives() {
+			s := 0.0
+			for _, x := range f {
+				s += x * x
+			}
+			dist += math.Abs(math.Sqrt(s) - 1)
+			n++
+		}
+		fmt.Printf("    %-8s %.4f\n", alg.Problem().Name(), dist/float64(n))
+	}
+}

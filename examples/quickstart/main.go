@@ -1,0 +1,56 @@
+// Quickstart: run the serial Borg MOEA on the 2-objective DTLZ2
+// problem and print the Pareto approximation with its quality metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"borgmoea"
+)
+
+func main() {
+	problem := borgmoea.NewDTLZ2(2)
+	alg, err := borgmoea.NewBorg(problem, borgmoea.Config{
+		Epsilons: borgmoea.UniformEpsilons(2, 0.01),
+		Seed:     42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	const budget = 20000
+	alg.Run(budget, nil)
+
+	front := alg.Archive().Objectives()
+	sort.Slice(front, func(i, j int) bool { return front[i][0] < front[j][0] })
+
+	fmt.Printf("Borg MOEA on %s after %d evaluations\n", problem.Name(), budget)
+	fmt.Printf("  archive size:  %d\n", alg.Archive().Size())
+	fmt.Printf("  restarts:      %d\n", alg.Restarts())
+
+	ref := []float64{1.1, 1.1}
+	hv := borgmoea.Hypervolume(front, ref)
+	ideal := borgmoea.IdealSphereHypervolume(2, 1.1)
+	fmt.Printf("  hypervolume:   %.4f (%.1f%% of the ideal front)\n", hv, 100*hv/ideal)
+
+	refSet := borgmoea.SphereFront(2, 500, 1)
+	fmt.Printf("  gen. distance: %.5f\n", borgmoea.GenerationalDistance(front, refSet))
+
+	fmt.Println("\n  adapted operator probabilities:")
+	names := alg.OperatorNames()
+	for i, p := range alg.OperatorProbabilities() {
+		fmt.Printf("    %-8s %.3f\n", names[i], p)
+	}
+
+	fmt.Println("\n  first points of the Pareto approximation (f1, f2):")
+	for i, f := range front {
+		if i >= 8 {
+			fmt.Printf("    ... %d more\n", len(front)-8)
+			break
+		}
+		fmt.Printf("    %.4f  %.4f\n", f[0], f[1])
+	}
+}

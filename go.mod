@@ -1,0 +1,3 @@
+module borgmoea
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package ascii renders small text-mode plots for the CLI tools: 2-D
+// objective-space scatter charts and log-log line charts, so fronts
+// and scaling curves can be inspected without leaving the terminal.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scatter renders the 2-D points as a text scatter plot of the given
+// size (characters). Points beyond the axis ranges are clamped onto
+// the border. Returns "" for an empty input.
+func Scatter(points [][]float64, width, height int) string {
+	if len(points) == 0 {
+		return ""
+	}
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+		row := int((p[1] - minY) / (maxY - minY) * float64(height-1))
+		row = height - 1 - row // y grows upward
+		grid[clampInt(row, 0, height-1)][clampInt(col, 0, width-1)] = '*'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10.4g ┌%s┐\n", maxY, strings.Repeat("─", width))
+	for i, row := range grid {
+		label := strings.Repeat(" ", 11)
+		if i == height-1 {
+			label = fmt.Sprintf("%10.4g ", minY)
+		}
+		sb.WriteString(label)
+		sb.WriteByte('|')
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "%s└%s┘\n", strings.Repeat(" ", 11), strings.Repeat("─", width))
+	fmt.Fprintf(&sb, "%s%-10.4g%s%10.4g\n", strings.Repeat(" ", 12), minX,
+		strings.Repeat(" ", maxInt(1, width-20)), maxX)
+	return sb.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

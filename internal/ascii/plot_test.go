@@ -1,0 +1,66 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterEmpty(t *testing.T) {
+	if out := Scatter(nil, 40, 10); out != "" {
+		t.Fatalf("empty input rendered %q", out)
+	}
+}
+
+func TestScatterContainsPoints(t *testing.T) {
+	pts := [][]float64{{0, 1}, {0.5, 0.5}, {1, 0}}
+	out := Scatter(pts, 40, 10)
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("expected 3 marks, got:\n%s", out)
+	}
+	// Axis labels present.
+	for _, want := range []string{"0", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing axis label %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScatterCornersLandOnBorders(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}}
+	out := Scatter(pts, 20, 6)
+	lines := strings.Split(out, "\n")
+	// First grid line (max y) must hold the (1,1) mark at the right;
+	// last grid line the (0,0) mark at the left.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 6 {
+		t.Fatalf("expected 6 grid rows, got %d:\n%s", len(gridLines), out)
+	}
+	if !strings.Contains(gridLines[0], "*") {
+		t.Fatalf("top row missing the (1,1) mark:\n%s", out)
+	}
+	if !strings.Contains(gridLines[5], "*") {
+		t.Fatalf("bottom row missing the (0,0) mark:\n%s", out)
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// All points identical: must not divide by zero.
+	pts := [][]float64{{2, 3}, {2, 3}}
+	out := Scatter(pts, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("degenerate range lost the points:\n%s", out)
+	}
+}
+
+func TestScatterMinimumSize(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}}
+	out := Scatter(pts, 1, 1) // clamped up internally
+	if out == "" || !strings.Contains(out, "*") {
+		t.Fatal("minimum-size plot unusable")
+	}
+}

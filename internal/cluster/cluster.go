@@ -1,0 +1,271 @@
+// Package cluster models a message-passing machine — the stand-in for
+// TACC Ranger + OpenMPI — on top of the discrete-event engine in
+// internal/des. A Cluster is a set of ranked nodes exchanging tagged
+// messages; each node runs one process and accounts its busy time so
+// per-node utilization (master saturation, worker idle fractions) can
+// be reported after a run.
+//
+// Fidelity note: the paper measured communication as a round-trip cost
+// 2·T_C that *occupies the master* (its simulation model holds the
+// master for T_C + T_A + T_C per request, and Eq. 3's saturation bound
+// is T_F/(2·T_C + T_A)). Accordingly the drivers in internal/parallel
+// charge T_C as busy time on the communicating node, and Cluster's
+// message transit latency defaults to zero. A nonzero Transit
+// distribution is available to model pure wire delay in addition.
+package cluster
+
+import (
+	"fmt"
+
+	"borgmoea/internal/des"
+	"borgmoea/internal/rng"
+	"borgmoea/internal/stats"
+)
+
+// Message is one point-to-point datagram between nodes.
+type Message struct {
+	From, To int
+	Tag      int
+	Payload  any
+	SentAt   des.Time
+	ArriveAt des.Time
+}
+
+// Config configures a virtual cluster.
+type Config struct {
+	// Nodes is the number of nodes (P in the paper). Must be >= 1.
+	Nodes int
+	// Transit is the wire latency added to every message, sampled per
+	// message. Nil means instantaneous delivery (the paper's model:
+	// communication cost is charged as sender/receiver busy time by
+	// the drivers instead).
+	Transit stats.Distribution
+	// Seed seeds the cluster's internal randomness (transit sampling).
+	Seed uint64
+}
+
+// Cluster is a virtual message-passing machine bound to a DES engine.
+type Cluster struct {
+	eng     *des.Engine
+	nodes   []*Node
+	transit stats.Distribution
+	rng     *rng.Source
+
+	messagesSent uint64
+}
+
+// New builds a cluster on the engine. It panics if cfg.Nodes < 1.
+func New(eng *des.Engine, cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	c := &Cluster{
+		eng:     eng,
+		transit: cfg.Transit,
+		rng:     rng.New(cfg.Seed ^ 0x636c7573746572), // "cluster"
+	}
+	c.nodes = make([]*Node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = &Node{c: c, rank: i}
+	}
+	return c
+}
+
+// Engine returns the underlying DES engine.
+func (c *Cluster) Engine() *des.Engine { return c.eng }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the node with the given rank.
+func (c *Cluster) Node(rank int) *Node {
+	return c.nodes[rank]
+}
+
+// MessagesSent returns the number of messages sent so far.
+func (c *Cluster) MessagesSent() uint64 { return c.messagesSent }
+
+// Node is one machine in the cluster. At most one process should
+// receive on a node at a time (each node runs a single rank process,
+// as in the paper's one-solution-per-worker setup).
+type Node struct {
+	c    *Cluster
+	rank int
+
+	inbox   []*Message
+	waiting *des.Process
+	failed  bool
+
+	busyIntegral float64
+	busySince    des.Time
+	busyDepth    int
+	recvCount    uint64
+	sendCount    uint64
+}
+
+// Rank returns the node's rank (0 is the master by convention).
+func (n *Node) Rank() int { return n.rank }
+
+// Failed reports whether the node has been failed via Fail.
+func (n *Node) Failed() bool { return n.failed }
+
+// Fail marks the node dead: subsequent messages to it are dropped and
+// never delivered. Used for failure-injection experiments. A process
+// already running on the node is not interrupted; callers model death
+// by having the process stop responding (e.g. park forever).
+func (n *Node) Fail() { n.failed = true }
+
+// Send transmits a message from this node to rank dst. Delivery is
+// after the cluster's transit latency (zero when unset). Sending does
+// not consume the sender's time by itself; callers account the T_C
+// communication cost with HoldBusy, following the paper's model.
+func (n *Node) Send(dst, tag int, payload any) {
+	if dst < 0 || dst >= len(n.c.nodes) {
+		panic(fmt.Sprintf("cluster: Send to invalid rank %d", dst))
+	}
+	lat := 0.0
+	if n.c.transit != nil {
+		lat = n.c.transit.Sample(n.c.rng)
+		if lat < 0 {
+			lat = 0
+		}
+	}
+	msg := &Message{
+		From:    n.rank,
+		To:      dst,
+		Tag:     tag,
+		Payload: payload,
+		SentAt:  n.c.eng.Now(),
+	}
+	n.sendCount++
+	n.c.messagesSent++
+	n.c.eng.Emit("send", n.label(), fmt.Sprintf("to=%d tag=%d", dst, tag))
+	n.c.eng.Schedule(lat, func() { n.c.deliver(msg) })
+}
+
+func (c *Cluster) deliver(msg *Message) {
+	dst := c.nodes[msg.To]
+	if dst.failed {
+		c.eng.Emit("drop", dst.label(), fmt.Sprintf("from=%d tag=%d", msg.From, msg.Tag))
+		return
+	}
+	msg.ArriveAt = c.eng.Now()
+	dst.inbox = append(dst.inbox, msg)
+	if dst.waiting != nil {
+		p := dst.waiting
+		dst.waiting = nil
+		p.WakeLater(0)
+	}
+}
+
+// Recv blocks the calling process until a message is available and
+// returns it (FIFO by arrival).
+func (n *Node) Recv(p *des.Process) *Message {
+	msg, ok := n.recv(p, 0, false)
+	if !ok {
+		panic("cluster: Recv returned without message") // unreachable
+	}
+	return msg
+}
+
+// RecvTimeout is Recv with a deadline: it returns (nil, false) if no
+// message arrives within timeout units of virtual time.
+func (n *Node) RecvTimeout(p *des.Process, timeout des.Time) (*Message, bool) {
+	return n.recv(p, timeout, true)
+}
+
+func (n *Node) recv(p *des.Process, timeout des.Time, hasTimeout bool) (*Message, bool) {
+	if len(n.inbox) == 0 {
+		timedOut := false
+		n.waiting = p
+		var h des.Handle
+		if hasTimeout {
+			h = n.c.eng.Schedule(timeout, func() {
+				if n.waiting == p {
+					n.waiting = nil
+					timedOut = true
+					p.WakeLater(0)
+				}
+			})
+		}
+		p.Park()
+		if timedOut {
+			return nil, false
+		}
+		if hasTimeout {
+			h.Cancel()
+		}
+	}
+	msg := n.inbox[0]
+	copy(n.inbox, n.inbox[1:])
+	n.inbox[len(n.inbox)-1] = nil
+	n.inbox = n.inbox[:len(n.inbox)-1]
+	n.recvCount++
+	n.c.eng.Emit("recv", n.label(), fmt.Sprintf("from=%d tag=%d", msg.From, msg.Tag))
+	return msg, true
+}
+
+// InboxLen returns the number of delivered-but-unreceived messages.
+func (n *Node) InboxLen() int { return len(n.inbox) }
+
+// HoldBusy advances the process by d while accounting the interval as
+// busy time on this node, tagged with kind for the trace ("eval",
+// "comm", "algo", ...).
+func (n *Node) HoldBusy(p *des.Process, d des.Time, kind string) {
+	n.BeginBusy()
+	n.c.eng.Emit(kind+".start", n.label(), "")
+	p.Hold(d)
+	n.c.eng.Emit(kind+".end", n.label(), "")
+	n.EndBusy()
+}
+
+// BeginBusy marks the start of a busy interval. Busy intervals may
+// nest; the node is busy while any interval is open.
+func (n *Node) BeginBusy() {
+	if n.busyDepth == 0 {
+		n.busySince = n.c.eng.Now()
+	}
+	n.busyDepth++
+}
+
+// EndBusy closes the innermost busy interval. It panics if the node is
+// not busy.
+func (n *Node) EndBusy() {
+	if n.busyDepth <= 0 {
+		panic("cluster: EndBusy without BeginBusy")
+	}
+	n.busyDepth--
+	if n.busyDepth == 0 {
+		n.busyIntegral += n.c.eng.Now() - n.busySince
+	}
+}
+
+// BusyTime returns total accumulated busy time, including any interval
+// still open.
+func (n *Node) BusyTime() des.Time {
+	t := n.busyIntegral
+	if n.busyDepth > 0 {
+		t += n.c.eng.Now() - n.busySince
+	}
+	return t
+}
+
+// Utilization returns busy time divided by elapsed virtual time, or 0
+// at time 0.
+func (n *Node) Utilization() float64 {
+	now := n.c.eng.Now()
+	if now <= 0 {
+		return 0
+	}
+	return n.BusyTime() / now
+}
+
+// Counters returns the node's message counts.
+func (n *Node) Counters() (sent, received uint64) { return n.sendCount, n.recvCount }
+
+func (n *Node) label() string {
+	if n.rank == 0 {
+		return "master"
+	}
+	return fmt.Sprintf("worker%d", n.rank)
+}

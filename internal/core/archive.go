@@ -1,0 +1,230 @@
+package core
+
+import "math"
+
+// Archive is the ε-dominance archive of Laumanns et al. (2002) as used
+// by the Borg MOEA. Objective space is partitioned into ε-boxes; the
+// archive keeps at most one solution per nondominated box, which
+// bounds its size while guaranteeing convergence + diversity. The
+// archive additionally tracks ε-progress (the count of additions that
+// opened a previously unoccupied box — Borg's stagnation signal) and
+// per-operator contribution counts (the signal for operator
+// adaptation).
+type Archive struct {
+	epsilons []float64
+	members  []*Solution
+	boxes    [][]int64 // boxes[i] is the ε-box index of members[i]
+
+	improvements uint64 // ε-progress counter
+	numOps       int
+	opCounts     []int // archive members credited to each operator
+}
+
+// NewArchive creates an archive with the given per-objective ε values
+// and numOps operator slots for contribution accounting. It panics if
+// any ε is non-positive.
+func NewArchive(epsilons []float64, numOps int) *Archive {
+	if len(epsilons) == 0 {
+		panic("core: archive needs at least one epsilon")
+	}
+	for _, e := range epsilons {
+		if e <= 0 {
+			panic("core: archive epsilons must be positive")
+		}
+	}
+	return &Archive{
+		epsilons: append([]float64(nil), epsilons...),
+		numOps:   numOps,
+		opCounts: make([]int, numOps),
+	}
+}
+
+// Epsilons returns the archive's ε vector (not a copy; do not modify).
+func (a *Archive) Epsilons() []float64 { return a.epsilons }
+
+// Size returns the number of archived solutions.
+func (a *Archive) Size() int { return len(a.members) }
+
+// Members returns the archived solutions (the live slice; callers must
+// not modify it).
+func (a *Archive) Members() []*Solution { return a.members }
+
+// Improvements returns the cumulative ε-progress count.
+func (a *Archive) Improvements() uint64 { return a.improvements }
+
+// OperatorCounts returns the number of current members credited to
+// each operator (the live slice; callers must not modify it).
+func (a *Archive) OperatorCounts() []int { return a.opCounts }
+
+// box computes the ε-box index vector of a solution.
+func (a *Archive) box(s *Solution) []int64 {
+	b := make([]int64, len(s.Objs))
+	for i, f := range s.Objs {
+		b[i] = int64(math.Floor(f / a.epsilons[i]))
+	}
+	return b
+}
+
+// boxCompare performs Pareto comparison on box indices: -1 if x
+// dominates y, +1 if y dominates x, 0 if equal or nondominated.
+func boxCompare(x, y []int64) int {
+	xBetter, yBetter := false, false
+	for i := range x {
+		switch {
+		case x[i] < y[i]:
+			xBetter = true
+		case x[i] > y[i]:
+			yBetter = true
+		}
+	}
+	switch {
+	case xBetter && !yBetter:
+		return -1
+	case yBetter && !xBetter:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boxEqual(x, y []int64) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cornerDistance is the squared ε-normalized distance from the
+// solution to the lower corner of its box, used to break same-box
+// ties.
+func (a *Archive) cornerDistance(s *Solution, box []int64) float64 {
+	d := 0.0
+	for i, f := range s.Objs {
+		z := f/a.epsilons[i] - float64(box[i])
+		d += z * z
+	}
+	return d
+}
+
+// Add offers an evaluated solution to the archive. It returns true if
+// the solution was accepted (archived), false if it was ε-dominated.
+// Accepted solutions that open a previously unoccupied, nondominated
+// box count as ε-progress. Infeasible solutions are rejected whenever
+// the archive holds any feasible member (and compete by violation
+// otherwise).
+func (a *Archive) Add(s *Solution) bool {
+	if !s.Evaluated() {
+		panic("core: archiving an unevaluated solution")
+	}
+	if v := s.Violation(); v > 0 {
+		return a.addInfeasible(s, v)
+	}
+	// A feasible candidate flushes any infeasible placeholders.
+	a.dropInfeasible()
+
+	sBox := a.box(s)
+	sameBox := -1
+	removed := 0
+	for i := 0; i < len(a.members); i++ {
+		m := a.members[i]
+		mBox := a.boxes[i]
+		if boxEqual(sBox, mBox) {
+			// In-box duel: dominance first, then corner distance.
+			switch Compare(s, m) {
+			case -1:
+				sameBox = i
+			case 1:
+				return false
+			default:
+				if a.cornerDistance(s, sBox) < a.cornerDistance(m, mBox) {
+					sameBox = i
+				} else {
+					return false
+				}
+			}
+			continue
+		}
+		switch boxCompare(sBox, mBox) {
+		case 1:
+			return false // an existing box ε-dominates the candidate
+		case -1:
+			a.removeAt(i)
+			removed++
+			i--
+		}
+	}
+	if sameBox >= 0 {
+		a.removeAt(sameBox)
+	}
+	a.members = append(a.members, s)
+	a.boxes = append(a.boxes, sBox)
+	a.credit(s, +1)
+	if sameBox < 0 {
+		// New box opened (possibly displacing dominated boxes):
+		// ε-progress in Borg's sense.
+		a.improvements++
+	}
+	return true
+}
+
+// addInfeasible keeps at most one least-violating solution when the
+// archive has no feasible members yet.
+func (a *Archive) addInfeasible(s *Solution, v float64) bool {
+	if len(a.members) == 0 {
+		a.members = append(a.members, s)
+		a.boxes = append(a.boxes, a.box(s))
+		a.credit(s, +1)
+		return true
+	}
+	if a.members[0].Violation() == 0 {
+		return false // feasible members exist; reject infeasible
+	}
+	if v < a.members[0].Violation() {
+		a.removeAt(0)
+		a.members = append(a.members, s)
+		a.boxes = append(a.boxes, a.box(s))
+		a.credit(s, +1)
+		return true
+	}
+	return false
+}
+
+// dropInfeasible removes infeasible placeholders (only ever present
+// before the first feasible solution arrives).
+func (a *Archive) dropInfeasible() {
+	for i := 0; i < len(a.members); i++ {
+		if a.members[i].Violation() > 0 {
+			a.removeAt(i)
+			i--
+		}
+	}
+}
+
+func (a *Archive) removeAt(i int) {
+	a.credit(a.members[i], -1)
+	last := len(a.members) - 1
+	a.members[i] = a.members[last]
+	a.members[last] = nil
+	a.members = a.members[:last]
+	a.boxes[i] = a.boxes[last]
+	a.boxes[last] = nil
+	a.boxes = a.boxes[:last]
+}
+
+func (a *Archive) credit(s *Solution, delta int) {
+	if s.Operator >= 0 && s.Operator < a.numOps {
+		a.opCounts[s.Operator] += delta
+	}
+}
+
+// Objectives returns a copy of the members' objective vectors, ready
+// for the metrics package.
+func (a *Archive) Objectives() [][]float64 {
+	out := make([][]float64, len(a.members))
+	for i, m := range a.members {
+		out[i] = append([]float64(nil), m.Objs...)
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"borgmoea/internal/rng"
+)
+
+func newTestArchive(eps float64, m int) *Archive {
+	return NewArchive(UniformEpsilons(m, eps), 6)
+}
+
+func TestArchiveAcceptsFirst(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	if !a.Add(sol(0.5, 0.5)) {
+		t.Fatal("first solution rejected")
+	}
+	if a.Size() != 1 || a.Improvements() != 1 {
+		t.Fatalf("size=%d improvements=%d, want 1/1", a.Size(), a.Improvements())
+	}
+}
+
+func TestArchiveRejectsDominated(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	a.Add(sol(0.2, 0.2))
+	if a.Add(sol(0.8, 0.8)) {
+		t.Fatal("ε-dominated solution accepted")
+	}
+	if a.Size() != 1 {
+		t.Fatalf("size = %d, want 1", a.Size())
+	}
+}
+
+func TestArchiveRemovesDominatedMembers(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	a.Add(sol(0.8, 0.85))
+	a.Add(sol(0.85, 0.8))
+	if !a.Add(sol(0.1, 0.1)) {
+		t.Fatal("dominating solution rejected")
+	}
+	if a.Size() != 1 {
+		t.Fatalf("dominated members not purged: size = %d", a.Size())
+	}
+	if a.Members()[0].Objs[0] != 0.1 {
+		t.Fatal("wrong member survived")
+	}
+}
+
+func TestArchiveKeepsNondominated(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	a.Add(sol(0.15, 0.85))
+	a.Add(sol(0.85, 0.15))
+	a.Add(sol(0.45, 0.45))
+	if a.Size() != 3 {
+		t.Fatalf("size = %d, want 3", a.Size())
+	}
+	if a.Improvements() != 3 {
+		t.Fatalf("improvements = %d, want 3", a.Improvements())
+	}
+}
+
+func TestArchiveSameBoxKeepsDominant(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	a.Add(sol(0.55, 0.55))
+	// Same box [5,5], dominates the incumbent.
+	if !a.Add(sol(0.52, 0.52)) {
+		t.Fatal("in-box dominating solution rejected")
+	}
+	if a.Size() != 1 {
+		t.Fatalf("size = %d, want 1 (same box)", a.Size())
+	}
+	if a.Members()[0].Objs[0] != 0.52 {
+		t.Fatal("in-box dominated incumbent survived")
+	}
+	// Same-box replacement is not ε-progress.
+	if a.Improvements() != 1 {
+		t.Fatalf("improvements = %d, want 1", a.Improvements())
+	}
+}
+
+func TestArchiveSameBoxCornerTieBreak(t *testing.T) {
+	a := newTestArchive(1.0, 2)
+	a.Add(sol(0.4, 0.8)) // corner distance² = 0.16+0.64 = 0.80
+	// Nondominated with the incumbent, same box [0,0], closer to the
+	// corner: must replace.
+	if !a.Add(sol(0.6, 0.3)) { // 0.36+0.09 = 0.45
+		t.Fatal("closer-to-corner solution rejected")
+	}
+	if a.Members()[0].Objs[1] != 0.3 {
+		t.Fatal("corner tie-break kept the farther solution")
+	}
+	// Farther one must now be rejected.
+	if a.Add(sol(0.3, 0.9)) { // 0.09+0.81 = 0.90
+		t.Fatal("farther-from-corner solution accepted")
+	}
+}
+
+func TestArchiveEpsilonProgressStagnation(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	a.Add(sol(0.55, 0.55))
+	before := a.Improvements()
+	// In-box improvements do not count as ε-progress.
+	a.Add(sol(0.54, 0.54))
+	a.Add(sol(0.53, 0.53))
+	if a.Improvements() != before {
+		t.Fatal("in-box refinement counted as ε-progress")
+	}
+	// A new nondominated box does.
+	a.Add(sol(0.3, 0.8))
+	if a.Improvements() != before+1 {
+		t.Fatal("new box did not count as ε-progress")
+	}
+}
+
+func TestArchiveOperatorCredit(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	s1 := sol(0.2, 0.8)
+	s1.Operator = 2
+	s2 := sol(0.8, 0.2)
+	s2.Operator = 3
+	a.Add(s1)
+	a.Add(s2)
+	counts := a.OperatorCounts()
+	if counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("operator counts = %v", counts)
+	}
+	// Dominating both removes their credit.
+	s3 := sol(0.05, 0.05)
+	s3.Operator = 2
+	a.Add(s3)
+	counts = a.OperatorCounts()
+	if counts[2] != 1 || counts[3] != 0 {
+		t.Fatalf("credit not adjusted on removal: %v", counts)
+	}
+}
+
+func TestArchiveUncreditedOperator(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	s := sol(0.5, 0.5) // Operator zero-value is 0; set to -1 explicitly
+	s.Operator = -1
+	a.Add(s)
+	for i, c := range a.OperatorCounts() {
+		if c != 0 {
+			t.Fatalf("uncredited solution bumped operator %d", i)
+		}
+	}
+}
+
+func TestArchiveInfeasibleHandling(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	bad := sol(0.1, 0.1)
+	bad.Constrs = []float64{5}
+	if !a.Add(bad) {
+		t.Fatal("infeasible solution rejected from empty archive")
+	}
+	worse := sol(0.1, 0.1)
+	worse.Constrs = []float64{9}
+	if a.Add(worse) {
+		t.Fatal("more-violating solution accepted")
+	}
+	better := sol(0.1, 0.1)
+	better.Constrs = []float64{1}
+	if !a.Add(better) {
+		t.Fatal("less-violating solution rejected")
+	}
+	if a.Size() != 1 {
+		t.Fatalf("infeasible phase should keep exactly one, got %d", a.Size())
+	}
+	// First feasible solution flushes the placeholder.
+	if !a.Add(sol(0.9, 0.9)) {
+		t.Fatal("first feasible solution rejected")
+	}
+	if a.Size() != 1 || a.Members()[0].Violation() != 0 {
+		t.Fatal("feasible solution did not flush infeasible placeholder")
+	}
+	// And infeasible solutions are rejected from then on.
+	if a.Add(bad) {
+		t.Fatal("infeasible accepted into feasible archive")
+	}
+}
+
+func TestArchiveRejectsUnevaluated(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unevaluated Add did not panic")
+		}
+	}()
+	a.Add(&Solution{Vars: []float64{1}})
+}
+
+func TestNewArchiveValidation(t *testing.T) {
+	for _, eps := range [][]float64{nil, {0.1, 0}, {-1}} {
+		eps := eps
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewArchive(%v) did not panic", eps)
+				}
+			}()
+			NewArchive(eps, 1)
+		}()
+	}
+}
+
+// TestArchiveInvariant is the key property test: after any sequence of
+// random additions, no member ε-box-dominates another and every
+// member's box is unique.
+func TestArchiveInvariant(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		a := newTestArchive(0.07, 3)
+		for i := 0; i < 150; i++ {
+			a.Add(sol(r.Float64(), r.Float64(), r.Float64()))
+		}
+		seen := map[[3]int64]bool{}
+		for _, bi := range a.boxes {
+			key := [3]int64{bi[0], bi[1], bi[2]}
+			if seen[key] {
+				return false // duplicate box
+			}
+			seen[key] = true
+		}
+		for i := range a.boxes {
+			for j := range a.boxes {
+				if i != j && boxCompare(a.boxes[i], a.boxes[j]) != 0 {
+					return false // one box dominates another
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArchiveBoundedSize: with resolution ε over [0,1]^m, the archive
+// cannot exceed the number of nondominated boxes; sanity-check it
+// stays well bounded under heavy load.
+func TestArchiveBoundedSize(t *testing.T) {
+	r := rng.New(5)
+	a := newTestArchive(0.25, 2)
+	for i := 0; i < 5000; i++ {
+		a.Add(sol(r.Float64(), r.Float64()))
+	}
+	// 2-D with ε=0.25: at most 4+1 staircase boxes... conservatively
+	// the diagonal count 1/ε + 1.
+	if a.Size() > 5 {
+		t.Fatalf("archive size %d exceeds ε-grid staircase bound", a.Size())
+	}
+}
+
+func TestArchiveObjectivesCopies(t *testing.T) {
+	a := newTestArchive(0.1, 2)
+	a.Add(sol(0.5, 0.5))
+	objs := a.Objectives()
+	objs[0][0] = 99
+	if a.Members()[0].Objs[0] == 99 {
+		t.Fatal("Objectives returned aliased storage")
+	}
+}
+
+func TestArchiveNegativeObjectives(t *testing.T) {
+	// Box arithmetic must be correct for negative objective values.
+	a := newTestArchive(0.1, 2)
+	a.Add(sol(-0.55, -0.55))
+	if a.Add(sol(-0.3, -0.3)) {
+		t.Fatal("dominated negative-space solution accepted")
+	}
+	if !a.Add(sol(-0.95, -0.95)) {
+		t.Fatal("dominating negative-space solution rejected")
+	}
+	if a.Size() != 1 {
+		t.Fatalf("size = %d, want 1", a.Size())
+	}
+}
+
+func TestBoxIndexFloor(t *testing.T) {
+	a := newTestArchive(0.1, 1)
+	s := sol(0.25)
+	b := a.box(s)
+	if b[0] != 2 {
+		t.Fatalf("box(0.25, ε=0.1) = %d, want 2", b[0])
+	}
+	s2 := sol(-0.25)
+	if b2 := a.box(s2); b2[0] != -3 {
+		t.Fatalf("box(-0.25, ε=0.1) = %d, want -3 (floor)", b2[0])
+	}
+}
+
+func BenchmarkArchiveAdd(b *testing.B) {
+	r := rng.New(1)
+	a := NewArchive(UniformEpsilons(5, 0.05), 6)
+	pts := make([]*Solution, 1024)
+	for i := range pts {
+		pts[i] = sol(r.Float64(), r.Float64(), r.Float64(), r.Float64(), r.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(pts[i%len(pts)])
+	}
+}

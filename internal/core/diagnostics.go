@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// DiagRecord is one snapshot of the Borg MOEA's runtime dynamics —
+// the quantities the paper's Section VI-A discussion ties to parallel
+// scalability (archive growth, adaptive population sizing, restart
+// cadence, operator probabilities).
+type DiagRecord struct {
+	Evaluations           uint64
+	ArchiveSize           int
+	PopulationSize        int
+	PopulationCapacity    int
+	TournamentSize        int
+	Restarts              uint64
+	Improvements          uint64
+	OperatorProbabilities []float64
+}
+
+// Diagnostics records DiagRecords every Every evaluations when its
+// Observer is attached to a run.
+type Diagnostics struct {
+	// Every is the snapshot interval in evaluations (default 1000).
+	Every uint64
+	// Records accumulates the snapshots.
+	Records []DiagRecord
+}
+
+// Observer returns a callback for Borg.Run (or manual Accept loops via
+// Observe) that appends a record every Every evaluations.
+func (d *Diagnostics) Observer() func(*Borg) {
+	if d.Every == 0 {
+		d.Every = 1000
+	}
+	return func(b *Borg) {
+		if b.Evaluations()%d.Every == 0 {
+			d.Observe(b)
+		}
+	}
+}
+
+// Observe appends one snapshot of b immediately.
+func (d *Diagnostics) Observe(b *Borg) {
+	d.Records = append(d.Records, DiagRecord{
+		Evaluations:           b.Evaluations(),
+		ArchiveSize:           b.Archive().Size(),
+		PopulationSize:        b.Population().Size(),
+		PopulationCapacity:    b.Population().Capacity(),
+		TournamentSize:        b.TournamentSize(),
+		Restarts:              b.Restarts(),
+		Improvements:          b.Archive().Improvements(),
+		OperatorProbabilities: b.OperatorProbabilities(),
+	})
+}
+
+// Write renders the recorded dynamics as a table.
+func (d *Diagnostics) Write(w io.Writer, operatorNames []string) error {
+	if _, err := fmt.Fprintf(w, "%10s %8s %8s %8s %6s %9s %8s", "evals", "archive", "pop", "popCap", "tourn", "restarts", "improv"); err != nil {
+		return err
+	}
+	for _, n := range operatorNames {
+		if _, err := fmt.Fprintf(w, " %8s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, r := range d.Records {
+		if _, err := fmt.Fprintf(w, "%10d %8d %8d %8d %6d %9d %8d",
+			r.Evaluations, r.ArchiveSize, r.PopulationSize, r.PopulationCapacity,
+			r.TournamentSize, r.Restarts, r.Improvements); err != nil {
+			return err
+		}
+		for _, p := range r.OperatorProbabilities {
+			if _, err := fmt.Fprintf(w, " %8.3f", p); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"borgmoea/internal/problems"
+)
+
+func TestDiagnosticsRecords(t *testing.T) {
+	b := MustNew(problems.NewDTLZ2(3), dtlz2Config(3, 30))
+	var d Diagnostics
+	d.Every = 500
+	b.Run(5000, d.Observer())
+	if len(d.Records) != 10 {
+		t.Fatalf("got %d records, want 10", len(d.Records))
+	}
+	prev := uint64(0)
+	for _, r := range d.Records {
+		if r.Evaluations <= prev && prev != 0 {
+			t.Fatal("records not monotonically increasing in evaluations")
+		}
+		prev = r.Evaluations
+		if r.ArchiveSize <= 0 {
+			t.Fatal("archive size missing in record")
+		}
+		sum := 0.0
+		for _, p := range r.OperatorProbabilities {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("operator probabilities sum to %v", sum)
+		}
+	}
+	// Restart count and improvements are non-decreasing.
+	for i := 1; i < len(d.Records); i++ {
+		if d.Records[i].Restarts < d.Records[i-1].Restarts {
+			t.Fatal("restart count decreased")
+		}
+		if d.Records[i].Improvements < d.Records[i-1].Improvements {
+			t.Fatal("ε-progress decreased")
+		}
+	}
+}
+
+func TestDiagnosticsDefaultInterval(t *testing.T) {
+	b := MustNew(problems.NewDTLZ2(3), dtlz2Config(3, 31))
+	var d Diagnostics
+	b.Run(3000, d.Observer())
+	if len(d.Records) != 3 {
+		t.Fatalf("default interval produced %d records, want 3", len(d.Records))
+	}
+}
+
+func TestDiagnosticsWrite(t *testing.T) {
+	b := MustNew(problems.NewDTLZ2(3), dtlz2Config(3, 32))
+	var d Diagnostics
+	d.Every = 1000
+	b.Run(2000, d.Observer())
+	var sb strings.Builder
+	if err := d.Write(&sb, b.OperatorNames()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"evals", "archive", "sbx+pm", "1000", "2000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// solutionJSON is the wire form of a Solution.
+type solutionJSON struct {
+	Vars     []float64 `json:"vars"`
+	Objs     []float64 `json:"objs,omitempty"`
+	Constrs  []float64 `json:"constrs,omitempty"`
+	Operator int       `json:"operator"`
+	ID       uint64    `json:"id"`
+}
+
+// archiveJSON is the wire form of an Archive.
+type archiveJSON struct {
+	Epsilons  []float64      `json:"epsilons"`
+	Solutions []solutionJSON `json:"solutions"`
+}
+
+// SaveArchive writes the archive (ε values and members) as JSON, so a
+// long optimization can be checkpointed or its result shipped to
+// another process.
+func SaveArchive(w io.Writer, a *Archive) error {
+	out := archiveJSON{Epsilons: a.Epsilons()}
+	for _, m := range a.Members() {
+		out.Solutions = append(out.Solutions, solutionJSON{
+			Vars:     m.Vars,
+			Objs:     m.Objs,
+			Constrs:  m.Constrs,
+			Operator: m.Operator,
+			ID:       m.ID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// LoadArchive reads an archive written by SaveArchive. numOps sets the
+// operator-credit table size of the reconstructed archive (use
+// len(Config.Operators), or 0 if adaptation credit is not needed).
+// Members are re-added through the ε-dominance logic, so a file edited
+// by hand still yields a consistent archive.
+func LoadArchive(r io.Reader, numOps int) (*Archive, error) {
+	var in archiveJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding archive: %w", err)
+	}
+	if len(in.Epsilons) == 0 {
+		return nil, fmt.Errorf("core: archive file has no epsilons")
+	}
+	for _, e := range in.Epsilons {
+		if e <= 0 {
+			return nil, fmt.Errorf("core: archive file has non-positive epsilon %v", e)
+		}
+	}
+	a := NewArchive(in.Epsilons, numOps)
+	for i, s := range in.Solutions {
+		if len(s.Objs) != len(in.Epsilons) {
+			return nil, fmt.Errorf("core: solution %d has %d objectives, want %d",
+				i, len(s.Objs), len(in.Epsilons))
+		}
+		a.Add(&Solution{
+			Vars:     s.Vars,
+			Objs:     s.Objs,
+			Constrs:  s.Constrs,
+			Operator: s.Operator,
+			ID:       s.ID,
+		})
+	}
+	return a, nil
+}

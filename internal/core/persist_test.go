@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"borgmoea/internal/problems"
+)
+
+func TestSaveLoadArchiveRoundTrip(t *testing.T) {
+	b := MustNew(problems.NewDTLZ2(3), Config{
+		Epsilons: UniformEpsilons(3, 0.05),
+		Seed:     1,
+	})
+	b.Run(3000, nil)
+	orig := b.Archive()
+
+	var buf bytes.Buffer
+	if err := SaveArchive(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArchive(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != orig.Size() {
+		t.Fatalf("round trip changed size: %d -> %d", orig.Size(), loaded.Size())
+	}
+	// Same epsilons.
+	for i, e := range loaded.Epsilons() {
+		if e != orig.Epsilons()[i] {
+			t.Fatal("epsilons not preserved")
+		}
+	}
+	// Same objective vectors (order-independent).
+	want := map[[3]float64]bool{}
+	for _, m := range orig.Members() {
+		want[[3]float64{m.Objs[0], m.Objs[1], m.Objs[2]}] = true
+	}
+	for _, m := range loaded.Members() {
+		if !want[[3]float64{m.Objs[0], m.Objs[1], m.Objs[2]}] {
+			t.Fatalf("loaded archive contains unknown member %v", m.Objs)
+		}
+	}
+	// Operator credit preserved through re-adding.
+	for i, c := range loaded.OperatorCounts() {
+		if c != orig.OperatorCounts()[i] {
+			t.Fatalf("operator credit changed: %v -> %v",
+				orig.OperatorCounts(), loaded.OperatorCounts())
+		}
+	}
+}
+
+func TestLoadArchiveRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"epsilons": [], "solutions": []}`,
+		`{"epsilons": [0.1, -1], "solutions": []}`,
+		`{"epsilons": [0.1], "solutions": [{"vars":[1],"objs":[1,2]}]}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadArchive(strings.NewReader(c), 0); err == nil {
+			t.Errorf("LoadArchive accepted %q", c)
+		}
+	}
+}
+
+func TestLoadArchiveReappliesDominance(t *testing.T) {
+	// A hand-edited file with a dominated entry: the loader must drop
+	// it.
+	file := `{
+	 "epsilons": [0.1, 0.1],
+	 "solutions": [
+	  {"vars": [0.1], "objs": [0.2, 0.2]},
+	  {"vars": [0.2], "objs": [0.9, 0.9]}
+	 ]
+	}`
+	a, err := LoadArchive(strings.NewReader(file), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 1 {
+		t.Fatalf("dominated member survived load: size = %d", a.Size())
+	}
+}
+
+func TestSaveArchiveEmptyIsLoadable(t *testing.T) {
+	a := NewArchive([]float64{0.1}, 0)
+	var buf bytes.Buffer
+	if err := SaveArchive(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArchive(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 0 {
+		t.Fatal("empty archive round trip gained members")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import "borgmoea/internal/rng"
+
+// Population is Borg's fixed-capacity working population with
+// tournament selection and the steady-state replacement rule.
+type Population struct {
+	members  []*Solution
+	capacity int
+}
+
+// NewPopulation returns an empty population with the given capacity.
+// It panics if capacity < 1.
+func NewPopulation(capacity int) *Population {
+	if capacity < 1 {
+		panic("core: population capacity must be >= 1")
+	}
+	return &Population{capacity: capacity}
+}
+
+// Size returns the current member count.
+func (p *Population) Size() int { return len(p.members) }
+
+// Capacity returns the population's capacity.
+func (p *Population) Capacity() int { return p.capacity }
+
+// SetCapacity resizes the population capacity (used by restarts). If
+// the population currently exceeds the new capacity, random members
+// are evicted.
+func (p *Population) SetCapacity(capacity int, r *rng.Source) {
+	if capacity < 1 {
+		panic("core: population capacity must be >= 1")
+	}
+	p.capacity = capacity
+	for len(p.members) > capacity {
+		p.removeAt(r.Intn(len(p.members)))
+	}
+}
+
+// Clear empties the population (capacity unchanged).
+func (p *Population) Clear() { p.members = p.members[:0] }
+
+// Members returns the live member slice (callers must not modify it).
+func (p *Population) Members() []*Solution { return p.members }
+
+// Add inserts an evaluated solution using Borg's steady-state rule:
+// below capacity it is simply appended; at capacity the solution is
+// compared against the population — if any member dominates it, it is
+// rejected; if it dominates one or more members it replaces one of
+// those at random; otherwise it replaces a random member. Reports
+// whether the solution entered the population.
+func (p *Population) Add(s *Solution, r *rng.Source) bool {
+	if !s.Evaluated() {
+		panic("core: adding an unevaluated solution to the population")
+	}
+	if len(p.members) < p.capacity {
+		p.members = append(p.members, s)
+		return true
+	}
+	var dominated []int
+	for i, m := range p.members {
+		switch Compare(s, m) {
+		case 1:
+			return false // a member dominates the offspring
+		case -1:
+			dominated = append(dominated, i)
+		}
+	}
+	var victim int
+	if len(dominated) > 0 {
+		victim = dominated[r.Intn(len(dominated))]
+	} else {
+		victim = r.Intn(len(p.members))
+	}
+	p.members[victim] = s
+	return true
+}
+
+// Tournament selects one member via size-k tournament: k members are
+// drawn uniformly (with replacement across draws) and the
+// dominance-best is returned; nondominated ties keep the incumbent,
+// which is itself a uniform draw. It panics on an empty population.
+func (p *Population) Tournament(k int, r *rng.Source) *Solution {
+	if len(p.members) == 0 {
+		panic("core: tournament on empty population")
+	}
+	if k < 1 {
+		k = 1
+	}
+	best := p.members[r.Intn(len(p.members))]
+	for i := 1; i < k; i++ {
+		challenger := p.members[r.Intn(len(p.members))]
+		if Compare(challenger, best) == -1 {
+			best = challenger
+		}
+	}
+	return best
+}
+
+// Random returns a uniformly random member. It panics on an empty
+// population.
+func (p *Population) Random(r *rng.Source) *Solution {
+	if len(p.members) == 0 {
+		panic("core: Random on empty population")
+	}
+	return p.members[r.Intn(len(p.members))]
+}
+
+func (p *Population) removeAt(i int) {
+	last := len(p.members) - 1
+	p.members[i] = p.members[last]
+	p.members[last] = nil
+	p.members = p.members[:last]
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"borgmoea/internal/rng"
+)
+
+func sol(objs ...float64) *Solution {
+	return &Solution{Vars: []float64{0}, Objs: objs}
+}
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b *Solution
+		want int
+	}{
+		{sol(1, 1), sol(2, 2), -1},
+		{sol(2, 2), sol(1, 1), 1},
+		{sol(1, 2), sol(2, 1), 0},
+		{sol(1, 1), sol(1, 1), 0},
+		{sol(1, 1), sol(1, 2), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a.Objs, c.b.Objs, got, c.want)
+		}
+	}
+}
+
+func TestCompareConstraints(t *testing.T) {
+	feasible := sol(5, 5)
+	infeasible := sol(1, 1)
+	infeasible.Constrs = []float64{2}
+	if Compare(feasible, infeasible) != -1 {
+		t.Error("feasible solution must beat infeasible regardless of objectives")
+	}
+	worse := sol(1, 1)
+	worse.Constrs = []float64{3}
+	if Compare(infeasible, worse) != -1 {
+		t.Error("smaller violation must win between infeasible solutions")
+	}
+	// Equal violations fall through to Pareto comparison.
+	a := sol(1, 1)
+	a.Constrs = []float64{2}
+	b := sol(2, 2)
+	b.Constrs = []float64{2}
+	if Compare(a, b) != -1 {
+		t.Error("equal violations should compare by objectives")
+	}
+}
+
+func TestViolationUsesAbsoluteValues(t *testing.T) {
+	s := sol(0)
+	s.Constrs = []float64{-1, 2}
+	if s.Violation() != 3 {
+		t.Errorf("Violation = %v, want 3", s.Violation())
+	}
+}
+
+func TestDominatesConsistency(t *testing.T) {
+	r := rng.New(1)
+	err := quick.Check(func(seed uint64) bool {
+		rr := rng.New(seed)
+		a := sol(rr.Float64(), rr.Float64(), rr.Float64())
+		b := sol(rr.Float64(), rr.Float64(), rr.Float64())
+		// Compare is antisymmetric.
+		return Compare(a, b) == -Compare(b, a)
+	}, &quick.Config{MaxCount: 200})
+	_ = r
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &Solution{
+		Vars:     []float64{1, 2},
+		Objs:     []float64{3},
+		Constrs:  []float64{0.5},
+		Operator: 2,
+		ID:       9,
+	}
+	c := s.Clone()
+	c.Vars[0] = 99
+	c.Objs[0] = 99
+	c.Constrs[0] = 99
+	if s.Vars[0] != 1 || s.Objs[0] != 3 || s.Constrs[0] != 0.5 {
+		t.Fatal("Clone shares backing arrays")
+	}
+	if c.Operator != 2 || c.ID != 9 {
+		t.Fatal("Clone lost metadata")
+	}
+}
+
+func TestCloneUnevaluated(t *testing.T) {
+	s := &Solution{Vars: []float64{1}}
+	c := s.Clone()
+	if c.Evaluated() {
+		t.Fatal("clone of unevaluated solution claims evaluation")
+	}
+}
+
+func TestEvaluatedFlag(t *testing.T) {
+	s := &Solution{Vars: []float64{1}}
+	if s.Evaluated() {
+		t.Fatal("fresh solution claims to be evaluated")
+	}
+	s.Objs = []float64{1}
+	if !s.Evaluated() {
+		t.Fatal("solution with objectives not Evaluated")
+	}
+}

@@ -1,0 +1,150 @@
+package des
+
+import "fmt"
+
+// killed is the panic payload used to unwind a process goroutine when
+// the engine shuts down.
+type killed struct{}
+
+// Process is a simulated activity running as a goroutine in lock-step
+// with the engine: while the process executes, the engine (and every
+// other process) is parked, so process code may freely manipulate
+// simulation state. Process methods must only be called from the
+// process's own goroutine (the function passed to Engine.Go), except
+// Name.
+type Process struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	finished bool
+	killing  bool
+}
+
+// Name returns the process's diagnostic name.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// Go starts fn as a new process at the current virtual time. fn begins
+// executing when the engine reaches the start event; it runs until it
+// returns or is killed by Engine.Shutdown.
+func (e *Engine) Go(name string, fn func(*Process)) *Process {
+	return e.GoAfter(0, name, fn)
+}
+
+// GoAfter starts fn as a new process after delay units of virtual time.
+func (e *Engine) GoAfter(delay Time, name string, fn func(*Process)) *Process {
+	p := &Process{eng: e, name: name, resume: make(chan struct{})}
+	go func() {
+		<-p.resume // wait for the start event
+		defer func() {
+			p.finished = true
+			delete(e.live, p)
+			r := recover()
+			// Hand control back before anything else so the waiting
+			// domain (engine Run loop, or kill) is never deadlocked.
+			e.park <- struct{}{}
+			if r != nil {
+				if _, ok := r.(killed); ok {
+					return // orderly unwind requested by Shutdown
+				}
+				panic(r) // real bug: crash with the original payload
+			}
+		}()
+		fn(p)
+	}()
+	e.Schedule(delay, p.wake)
+	return p
+}
+
+// wake transfers control to the process and blocks until it parks
+// again or finishes. It runs in the engine domain.
+func (p *Process) wake() {
+	if p.finished {
+		return
+	}
+	delete(p.eng.live, p)
+	p.resume <- struct{}{}
+	<-p.eng.park
+}
+
+// parkSelf yields control back to the engine and blocks until woken.
+// It must be called from the process goroutine.
+func (p *Process) parkSelf() {
+	p.eng.live[p] = struct{}{}
+	p.eng.park <- struct{}{}
+	<-p.resume
+	if p.killing {
+		panic(killed{})
+	}
+}
+
+// Hold advances the process by d units of virtual time, yielding to
+// the engine meanwhile. It panics on negative d.
+func (p *Process) Hold(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: Hold(%v) with negative duration", d))
+	}
+	p.eng.Schedule(d, p.wake)
+	p.parkSelf()
+}
+
+// Park blocks the process until some other simulation activity wakes
+// it via a Signal, Resource grant, or a scheduled WakeLater.
+func (p *Process) Park() { p.parkSelf() }
+
+// WakeLater schedules this process to be woken after delay. It is the
+// companion of Park for building custom synchronization: typically
+// another process or event calls proc.WakeLater(0).
+//
+// Unlike most Process methods, WakeLater may be called from any
+// simulation domain (the engine or another process).
+func (p *Process) WakeLater(delay Time) { p.eng.Schedule(delay, p.wake) }
+
+// kill resumes a parked process in kill mode and waits for its
+// goroutine to unwind. Runs in the engine domain (from Shutdown).
+func (p *Process) kill() {
+	if p.finished {
+		delete(p.eng.live, p)
+		return
+	}
+	p.killing = true
+	delete(p.eng.live, p)
+	p.resume <- struct{}{}
+	// The process panics with killed{}; its deferred handler signals
+	// park once the goroutine has fully unwound.
+	<-p.eng.park
+}
+
+// Signal is a broadcast condition: processes Wait on it and a Fire
+// wakes every current waiter at the same virtual time.
+type Signal struct {
+	eng     *Engine
+	waiters []*Process
+}
+
+// NewSignal returns a Signal bound to the engine.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait parks the calling process until the next Fire.
+func (s *Signal) Wait(p *Process) {
+	s.waiters = append(s.waiters, p)
+	p.Park()
+}
+
+// Fire wakes all currently waiting processes. Processes that start
+// waiting after Fire returns wait for the next Fire.
+func (s *Signal) Fire() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		p.WakeLater(0)
+	}
+}
+
+// Waiting returns the number of processes currently waiting.
+func (s *Signal) Waiting() int { return len(s.waiters) }

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/parallel"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/stats"
+)
+
+// DynamicsConfig parameterizes the algorithm-dynamics sweep of the
+// paper's Section VI-A discussion: how parallelization (the processor
+// count) reshapes the Borg MOEA's auto-adaptive machinery — operator
+// probabilities, restart cadence, archive growth — on problems of
+// different difficulty.
+type DynamicsConfig struct {
+	// Problem under study.
+	Problem problems.Problem
+	// Processors to sweep; 1 means the serial algorithm. Default
+	// {1, 16, 128, 1024}.
+	Processors []int
+	// Evaluations per run. Default 50000.
+	Evaluations uint64
+	// TFMean/TFCV control the evaluation delay (default 0.01 / 0.1).
+	TFMean, TFCV float64
+	// TAOverride fixes the master algorithm time; nil measures.
+	TAOverride stats.Distribution
+	// Epsilon is the archive resolution. Default 0.15.
+	Epsilon float64
+	// Seed seeds the sweep.
+	Seed uint64
+}
+
+func (c *DynamicsConfig) normalize() error {
+	if c.Problem == nil {
+		return fmt.Errorf("experiment: DynamicsConfig.Problem required")
+	}
+	if len(c.Processors) == 0 {
+		c.Processors = []int{1, 16, 128, 1024}
+	}
+	if c.Evaluations == 0 {
+		c.Evaluations = 50000
+	}
+	if c.TFMean == 0 {
+		c.TFMean = 0.01
+	}
+	if c.TFCV == 0 {
+		c.TFCV = 0.1
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.15
+	}
+	return nil
+}
+
+// DynamicsRow summarizes one processor count's end-of-run state.
+type DynamicsRow struct {
+	P                     int
+	Restarts              uint64
+	ArchiveSize           int
+	PopulationCapacity    int
+	Improvements          uint64
+	OperatorProbabilities []float64
+	OperatorNames         []string
+}
+
+// RunDynamics sweeps processor counts and reports the final adaptive
+// state of each run. The asynchronous algorithm sees results in a
+// different (completion) order at each P, so its adaptation
+// trajectory — and with it the operator mix — depends on the
+// parallelization, the effect the paper's conclusion highlights
+// ("the effectiveness of the auto-adaptive search is strongly shaped
+// by parallel scalability and problem difficulty").
+func RunDynamics(cfg DynamicsConfig) ([]DynamicsRow, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	var rows []DynamicsRow
+	for _, p := range cfg.Processors {
+		algCfg := core.Config{
+			Epsilons: core.UniformEpsilons(cfg.Problem.NumObjs(), cfg.Epsilon),
+			Seed:     cfg.Seed + uint64(p),
+		}
+		var b *core.Borg
+		if p <= 1 {
+			b = core.MustNew(cfg.Problem, algCfg)
+			b.Run(cfg.Evaluations, nil)
+		} else {
+			res, err := parallel.RunAsync(parallel.Config{
+				Problem:     cfg.Problem,
+				Algorithm:   algCfg,
+				Processors:  p,
+				Evaluations: cfg.Evaluations,
+				TF:          stats.GammaFromMeanCV(cfg.TFMean, cfg.TFCV),
+				TA:          cfg.TAOverride,
+				Seed:        cfg.Seed + uint64(p),
+			})
+			if err != nil {
+				return nil, err
+			}
+			b = res.Final
+		}
+		rows = append(rows, DynamicsRow{
+			P:                     p,
+			Restarts:              b.Restarts(),
+			ArchiveSize:           b.Archive().Size(),
+			PopulationCapacity:    b.Population().Capacity(),
+			Improvements:          b.Archive().Improvements(),
+			OperatorProbabilities: b.OperatorProbabilities(),
+			OperatorNames:         b.OperatorNames(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteDynamics renders the sweep as a table.
+func WriteDynamics(w io.Writer, rows []DynamicsRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%6s %9s %8s %7s %8s", "P", "restarts", "archive", "popCap", "improv"); err != nil {
+		return err
+	}
+	for _, n := range rows[0].OperatorNames {
+		if _, err := fmt.Fprintf(w, " %8s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%6d %9d %8d %7d %8d",
+			r.P, r.Restarts, r.ArchiveSize, r.PopulationCapacity, r.Improvements); err != nil {
+			return err
+		}
+		for _, p := range r.OperatorProbabilities {
+			if _, err := fmt.Fprintf(w, " %8.3f", p); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"borgmoea/internal/problems"
+	"borgmoea/internal/stats"
+)
+
+func TestRunDynamicsShape(t *testing.T) {
+	rows, err := RunDynamics(DynamicsConfig{
+		Problem:     problems.NewDTLZ2(5),
+		Processors:  []int{1, 16, 64},
+		Evaluations: 5000,
+		TAOverride:  stats.NewConstant(0.000029),
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.ArchiveSize <= 0 {
+			t.Fatalf("P=%d: empty archive", r.P)
+		}
+		if r.Improvements == 0 {
+			t.Fatalf("P=%d: no ε-progress", r.P)
+		}
+		sum := 0.0
+		for _, p := range r.OperatorProbabilities {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("P=%d: probabilities sum to %v", r.P, sum)
+		}
+		if len(r.OperatorNames) != len(r.OperatorProbabilities) {
+			t.Fatalf("P=%d: names/probabilities mismatch", r.P)
+		}
+	}
+}
+
+// TestDynamicsDifferAcrossP: the asynchronous completion order
+// reshapes the adaptation trajectory, so different processor counts
+// should end in measurably different adaptive states.
+func TestDynamicsDifferAcrossP(t *testing.T) {
+	rows, err := RunDynamics(DynamicsConfig{
+		Problem:     problems.NewDTLZ2(5),
+		Processors:  []int{1, 128},
+		Evaluations: 8000,
+		TAOverride:  stats.NewConstant(0.000029),
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rows[0].OperatorProbabilities, rows[1].OperatorProbabilities
+	diff := 0.0
+	for i := range a {
+		diff += math.Abs(a[i] - b[i])
+	}
+	if diff < 1e-6 {
+		t.Fatal("serial and P=128 runs ended in identical operator mixes — suspicious")
+	}
+}
+
+func TestRunDynamicsValidation(t *testing.T) {
+	if _, err := RunDynamics(DynamicsConfig{}); err == nil {
+		t.Error("missing problem accepted")
+	}
+}
+
+func TestWriteDynamics(t *testing.T) {
+	rows, err := RunDynamics(DynamicsConfig{
+		Problem:     problems.NewDTLZ2(3),
+		Processors:  []int{1, 8},
+		Evaluations: 2000,
+		TAOverride:  stats.NewConstant(0.000029),
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteDynamics(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"restarts", "sbx+pm", "archive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dynamics table missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteDynamics(&sb, nil); err != nil {
+		t.Fatal("empty rows must not error")
+	}
+}

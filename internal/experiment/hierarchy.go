@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+
+	"borgmoea/internal/model"
+	"borgmoea/internal/stats"
+)
+
+// HierarchyPlan is the output of PlanHierarchy: how to split a large
+// machine into concurrently-running master-slave islands, the paper's
+// Section VI recommendation for regimes where a single master
+// saturates ("better resource utilization may be possible with
+// hierarchical topologies ... Our parallel performance simulation
+// model can be used to determine the size of these subsets to
+// maximize efficiency").
+type HierarchyPlan struct {
+	// TotalProcessors available.
+	TotalProcessors int
+	// Islands is the recommended number of concurrent master-slave
+	// instances.
+	Islands int
+	// IslandSize is the processor count per island.
+	IslandSize int
+	// IslandEfficiency is the simulated efficiency of one island.
+	IslandEfficiency float64
+	// SingleEfficiency is the simulated efficiency of one monolithic
+	// master-slave instance using all processors — the baseline the
+	// plan improves on.
+	SingleEfficiency float64
+	// Evaluated lists every candidate island size with its simulated
+	// efficiency (diagnostics).
+	Evaluated []CandidateIsland
+}
+
+// CandidateIsland is one evaluated split.
+type CandidateIsland struct {
+	Size       int
+	Efficiency float64
+}
+
+func (p *HierarchyPlan) String() string {
+	return fmt.Sprintf("%d processors → %d islands × %d processors (eff %.2f/island vs %.2f monolithic)",
+		p.TotalProcessors, p.Islands, p.IslandSize, p.IslandEfficiency, p.SingleEfficiency)
+}
+
+// PlanHierarchy searches island sizes (powers of two from 4 up to
+// total) with the simulation model and returns the split maximizing
+// per-island efficiency. evaluations is the per-simulation budget
+// (default 20000 when 0); timing parameters come from times and tfCV.
+func PlanHierarchy(total int, times model.Times, tfCV float64, evaluations uint64, seed uint64) (*HierarchyPlan, error) {
+	if total < 4 {
+		return nil, fmt.Errorf("experiment: need at least 4 processors to plan, got %d", total)
+	}
+	if evaluations == 0 {
+		evaluations = 20000
+	}
+	if tfCV <= 0 {
+		tfCV = 0.1
+	}
+	eff := func(p int) (float64, error) {
+		cfg := model.SimConfig{
+			Processors:  p,
+			Evaluations: evaluations,
+			TF:          stats.GammaFromMeanCV(times.TF, tfCV),
+			TA:          stats.NewConstant(times.TA),
+			TC:          stats.NewConstant(times.TC),
+			Seed:        seed + uint64(p),
+		}
+		sim, err := model.Simulate(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return model.SimEfficiency(cfg, sim.Elapsed), nil
+	}
+
+	plan := &HierarchyPlan{TotalProcessors: total}
+	var err error
+	plan.SingleEfficiency, err = eff(total)
+	if err != nil {
+		return nil, err
+	}
+
+	best := CandidateIsland{Size: total, Efficiency: plan.SingleEfficiency}
+	for size := 4; size <= total; size *= 2 {
+		e, err := eff(size)
+		if err != nil {
+			return nil, err
+		}
+		plan.Evaluated = append(plan.Evaluated, CandidateIsland{Size: size, Efficiency: e})
+		if e > best.Efficiency {
+			best = CandidateIsland{Size: size, Efficiency: e}
+		}
+	}
+	plan.IslandSize = best.Size
+	plan.IslandEfficiency = best.Efficiency
+	plan.Islands = total / best.Size
+	return plan, nil
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"borgmoea/internal/model"
+	"borgmoea/internal/stats"
+)
+
+// SurfaceConfig parameterizes the Figure 5 reproduction: predicted
+// efficiency of the synchronous MOEA (Cantú-Paz's analytical model)
+// against the asynchronous MOEA (the simulation model) over a log-log
+// grid of T_F and P.
+type SurfaceConfig struct {
+	// TFValues is the T_F axis. Default: log-spaced 1e-4 .. 1 (13
+	// points).
+	TFValues []float64
+	// PValues is the processor-count axis. Default: powers of two,
+	// 2 .. 16384.
+	PValues []int
+	// TA and TC are fixed, as in the paper's Figure 5 (whose text
+	// sets T_A = 0.000006 and T_C = 0.000060 — note the reversal of
+	// the values used elsewhere in the paper; both are configurable).
+	TA, TC float64
+	// TFCV adds variability to the asynchronous simulation's T_F
+	// (default 0.1, matching the experiment design).
+	TFCV float64
+	// EvaluationsPerPoint is the simulation budget per grid point.
+	// Default max(4000, 40·P) so large machines reach steady state.
+	EvaluationsPerPoint uint64
+	// Seed seeds the simulations.
+	Seed uint64
+	// Progress receives one line per completed T_F row, when set.
+	Progress func(string)
+}
+
+func (c *SurfaceConfig) normalize() {
+	if len(c.TFValues) == 0 {
+		for e := -4.0; e <= 0.01; e += 1.0 / 3 {
+			c.TFValues = append(c.TFValues, math.Pow(10, e))
+		}
+	}
+	if len(c.PValues) == 0 {
+		for p := 2; p <= 16384; p *= 2 {
+			c.PValues = append(c.PValues, p)
+		}
+	}
+	if c.TA == 0 {
+		c.TA = 0.000006
+	}
+	if c.TC == 0 {
+		c.TC = 0.000060
+	}
+	if c.TFCV == 0 {
+		c.TFCV = 0.1
+	}
+}
+
+// Surface holds one efficiency grid: Eff[i][j] is the efficiency at
+// TF[i], P[j].
+type Surface struct {
+	TF  []float64
+	P   []int
+	Eff [][]float64
+}
+
+// SurfaceResult pairs the synchronous and asynchronous surfaces.
+type SurfaceResult struct {
+	Sync  Surface
+	Async Surface
+	TA    float64
+	TC    float64
+}
+
+// RunSurface computes the Figure 5 surfaces.
+func RunSurface(cfg SurfaceConfig) (*SurfaceResult, error) {
+	cfg.normalize()
+	res := &SurfaceResult{TA: cfg.TA, TC: cfg.TC}
+	res.Sync = Surface{TF: cfg.TFValues, P: cfg.PValues}
+	res.Async = Surface{TF: cfg.TFValues, P: cfg.PValues}
+	for i, tf := range cfg.TFValues {
+		syncRow := make([]float64, len(cfg.PValues))
+		asyncRow := make([]float64, len(cfg.PValues))
+		for j, p := range cfg.PValues {
+			times := model.Times{TF: tf, TA: cfg.TA, TC: cfg.TC}
+			syncRow[j] = model.SyncEfficiency(p, times)
+
+			// Budget must scale with P: with too few cycles per
+			// worker the start-up stagger and final partial wave
+			// dominate and understate steady-state efficiency.
+			n := cfg.EvaluationsPerPoint
+			if n == 0 {
+				n = uint64(40 * p)
+				if n < 4000 {
+					n = 4000
+				}
+			}
+			simCfg := model.SimConfig{
+				Processors:  p,
+				Evaluations: n,
+				TF:          stats.GammaFromMeanCV(tf, cfg.TFCV),
+				TA:          stats.NewConstant(cfg.TA),
+				TC:          stats.NewConstant(cfg.TC),
+				Seed:        cfg.Seed + uint64(i*1000+j),
+			}
+			sim, err := model.Simulate(simCfg)
+			if err != nil {
+				return nil, err
+			}
+			asyncRow[j] = model.SimEfficiency(simCfg, sim.Elapsed)
+		}
+		res.Sync.Eff = append(res.Sync.Eff, syncRow)
+		res.Async.Eff = append(res.Async.Eff, asyncRow)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("TF=%.2e row done (async eff %.2f..%.2f)",
+				tf, minOf(asyncRow), maxOf(asyncRow)))
+		}
+	}
+	return res, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}

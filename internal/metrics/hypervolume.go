@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"borgmoea/internal/rng"
+)
+
+// Hypervolume computes the exact hypervolume of the set relative to
+// the reference point using the WFG algorithm (While, Bradstreet &
+// Barone 2012). Points not strictly dominating the reference point
+// contribute nothing. The input is not modified.
+//
+// Complexity is exponential in the worst case but fast for the
+// archive sizes produced by ε-dominance archives (hundreds of points,
+// ≤ 10 objectives). For very large sets prefer HypervolumeMC.
+func Hypervolume(set [][]float64, ref []float64) float64 {
+	m := len(ref)
+	pts := make([][]float64, 0, len(set))
+	for _, p := range set {
+		if len(p) != m {
+			panic(fmt.Sprintf("metrics: point dimension %d != reference dimension %d", len(p), m))
+		}
+		if strictlyBelow(p, ref) {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	pts = NondominatedFilter(pts)
+	// Sorting by the last objective (descending) improves limit-set
+	// pruning substantially.
+	sort.Slice(pts, func(i, j int) bool { return pts[i][m-1] > pts[j][m-1] })
+	return wfg(pts, ref)
+}
+
+func strictlyBelow(p, ref []float64) bool {
+	for i := range p {
+		if p[i] >= ref[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// wfg computes hypervolume of a mutually nondominated set.
+func wfg(pts [][]float64, ref []float64) float64 {
+	total := 0.0
+	for i := range pts {
+		total += exclhv(pts, i, ref)
+	}
+	return total
+}
+
+// exclhv is the hypervolume dominated exclusively by pts[i] relative
+// to the points after it.
+func exclhv(pts [][]float64, i int, ref []float64) float64 {
+	v := inclhv(pts[i], ref)
+	limited := limitSet(pts, i)
+	if len(limited) > 0 {
+		v -= wfg(NondominatedFilter(limited), ref)
+	}
+	return v
+}
+
+// inclhv is the hypervolume dominated by a single point.
+func inclhv(p, ref []float64) float64 {
+	v := 1.0
+	for i := range p {
+		v *= ref[i] - p[i]
+	}
+	return v
+}
+
+// limitSet worsens each later point to the component-wise maximum
+// with pts[i], restricting to the box dominated by pts[i].
+func limitSet(pts [][]float64, i int) [][]float64 {
+	out := make([][]float64, 0, len(pts)-i-1)
+	for _, q := range pts[i+1:] {
+		lim := make([]float64, len(q))
+		for j := range q {
+			if q[j] > pts[i][j] {
+				lim[j] = q[j]
+			} else {
+				lim[j] = pts[i][j]
+			}
+		}
+		out = append(out, lim)
+	}
+	return out
+}
+
+// HypervolumeMC estimates hypervolume by Monte Carlo: the fraction of
+// samples points uniform in the box [min(set), ref] that are dominated
+// by the set, scaled by the box volume. A fixed seed gives
+// reproducible estimates; the standard error is ≈ HV/√samples.
+func HypervolumeMC(set [][]float64, ref []float64, samples int, seed uint64) float64 {
+	m := len(ref)
+	if samples <= 0 {
+		panic("metrics: HypervolumeMC needs samples > 0")
+	}
+	pts := make([][]float64, 0, len(set))
+	for _, p := range set {
+		if len(p) != m {
+			panic("metrics: dimension mismatch")
+		}
+		if strictlyBelow(p, ref) {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	pts = NondominatedFilter(pts)
+	// Tight sampling box: [component-wise min, ref].
+	lo := append([]float64(nil), pts[0]...)
+	for _, p := range pts[1:] {
+		for j := range lo {
+			if p[j] < lo[j] {
+				lo[j] = p[j]
+			}
+		}
+	}
+	vol := 1.0
+	for j := range lo {
+		vol *= ref[j] - lo[j]
+	}
+	if vol <= 0 {
+		return 0
+	}
+	// Sort points by first objective so the dominance scan can often
+	// stop early.
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	r := rng.New(seed)
+	x := make([]float64, m)
+	hit := 0
+	for s := 0; s < samples; s++ {
+		for j := range x {
+			x[j] = lo[j] + (ref[j]-lo[j])*r.Float64()
+		}
+		for _, p := range pts {
+			if p[0] > x[0] {
+				break // no later point can dominate x in objective 0
+			}
+			if weaklyDominates(p, x) {
+				hit++
+				break
+			}
+		}
+	}
+	return vol * float64(hit) / float64(samples)
+}
+
+func weaklyDominates(p, x []float64) bool {
+	for j := range p {
+		if p[j] > x[j] {
+			return false
+		}
+	}
+	return true
+}

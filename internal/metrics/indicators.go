@@ -1,0 +1,133 @@
+package metrics
+
+import "math"
+
+// GenerationalDistance returns the mean Euclidean distance from each
+// point of the approximation set to its nearest reference-set point —
+// a convergence measure. It panics on empty inputs.
+func GenerationalDistance(approx, reference [][]float64) float64 {
+	checkSets(approx, reference)
+	sum := 0.0
+	for _, a := range approx {
+		sum += nearestDistance(a, reference)
+	}
+	return sum / float64(len(approx))
+}
+
+// InvertedGenerationalDistance returns the mean distance from each
+// reference point to its nearest approximation point — a combined
+// convergence + diversity measure.
+func InvertedGenerationalDistance(approx, reference [][]float64) float64 {
+	checkSets(approx, reference)
+	sum := 0.0
+	for _, r := range reference {
+		sum += nearestDistance(r, approx)
+	}
+	return sum / float64(len(reference))
+}
+
+// AdditiveEpsilon returns the additive ε-indicator: the smallest ε
+// such that every reference point is weakly dominated by some
+// approximation point shifted down by ε (equivalently, how far the
+// approximation must improve to cover the reference set).
+func AdditiveEpsilon(approx, reference [][]float64) float64 {
+	checkSets(approx, reference)
+	eps := math.Inf(-1)
+	for _, r := range reference {
+		best := math.Inf(1)
+		for _, a := range approx {
+			worst := math.Inf(-1)
+			for j := range a {
+				if d := a[j] - r[j]; d > worst {
+					worst = d
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+		}
+		if best > eps {
+			eps = best
+		}
+	}
+	return eps
+}
+
+// Spacing returns Schott's spacing metric: the standard deviation of
+// nearest-neighbor L1 distances within the set. Zero means perfectly
+// even spacing. Sets with fewer than 2 points have spacing 0.
+func Spacing(set [][]float64) float64 {
+	if len(set) < 2 {
+		return 0
+	}
+	d := make([]float64, len(set))
+	for i, a := range set {
+		best := math.Inf(1)
+		for j, b := range set {
+			if i == j {
+				continue
+			}
+			dist := 0.0
+			for k := range a {
+				dist += math.Abs(a[k] - b[k])
+			}
+			if dist < best {
+				best = dist
+			}
+		}
+		d[i] = best
+	}
+	mean := 0.0
+	for _, x := range d {
+		mean += x
+	}
+	mean /= float64(len(d))
+	ss := 0.0
+	for _, x := range d {
+		dev := x - mean
+		ss += dev * dev
+	}
+	return math.Sqrt(ss / float64(len(d)-1))
+}
+
+// Coverage returns Zitzler's C-metric C(a, b): the fraction of
+// members of b that are weakly dominated by at least one member of a.
+// C(a,b) = 1 means a covers b entirely; note C is not symmetric, so
+// report both directions. It panics on empty inputs.
+func Coverage(a, b [][]float64) float64 {
+	checkSets(a, b)
+	covered := 0
+	for _, q := range b {
+		for _, p := range a {
+			if weaklyDominates(p, q) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(b))
+}
+
+func nearestDistance(p []float64, set [][]float64) float64 {
+	best := math.Inf(1)
+	for _, q := range set {
+		d := 0.0
+		for j := range p {
+			dd := p[j] - q[j]
+			d += dd * dd
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return math.Sqrt(best)
+}
+
+func checkSets(a, b [][]float64) {
+	if len(a) == 0 || len(b) == 0 {
+		panic("metrics: empty set")
+	}
+	if len(a[0]) != len(b[0]) {
+		panic("metrics: dimension mismatch between sets")
+	}
+}

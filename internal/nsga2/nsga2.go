@@ -1,0 +1,322 @@
+// Package nsga2 implements NSGA-II (Deb et al. 2002): fast
+// nondominated sorting, crowding distance, binary tournament
+// selection, SBX crossover and polynomial mutation. It serves as the
+// classical generational baseline against the steady-state Borg MOEA —
+// the per-generation barrier of its evolutionary cycle is exactly what
+// the paper's synchronous master-slave model (Eq. 6) prices, so the
+// pairing lets the repository compare both the algorithms and their
+// parallel coordination models.
+package nsga2
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"borgmoea/internal/operators"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/rng"
+)
+
+// Config parameterizes NSGA-II.
+type Config struct {
+	// PopulationSize is the (even) population size. Default 100.
+	PopulationSize int
+	// Crossover is the recombination operator (default SBX with
+	// rate 1.0, index 15). Must have arity 2.
+	Crossover operators.Operator
+	// Mutation is applied to every offspring (default polynomial
+	// mutation, rate 1/L, index 20).
+	Mutation operators.Operator
+	// Seed seeds the random stream.
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 100
+	}
+	if c.PopulationSize < 4 {
+		return fmt.Errorf("nsga2: population size %d too small", c.PopulationSize)
+	}
+	if c.PopulationSize%2 != 0 {
+		c.PopulationSize++ // pairs of offspring
+	}
+	if c.Crossover == nil {
+		c.Crossover = operators.NewSBX()
+	}
+	if c.Crossover.Arity() != 2 {
+		return fmt.Errorf("nsga2: crossover must take 2 parents, %s takes %d",
+			c.Crossover.Name(), c.Crossover.Arity())
+	}
+	if c.Mutation == nil {
+		c.Mutation = operators.NewPM()
+	}
+	if c.Mutation.Arity() != 1 {
+		return fmt.Errorf("nsga2: mutation must take 1 parent")
+	}
+	return nil
+}
+
+// individual is one population member with its NSGA-II bookkeeping.
+type individual struct {
+	vars     []float64
+	objs     []float64
+	rank     int
+	crowding float64
+}
+
+// NSGA2 is the algorithm state.
+type NSGA2 struct {
+	problem problems.Problem
+	cfg     Config
+	rng     *rng.Source
+	lo, hi  []float64
+
+	pop         []*individual
+	evaluations uint64
+	generations uint64
+}
+
+// New constructs an NSGA-II instance.
+func New(problem problems.Problem, cfg Config) (*NSGA2, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	lo, hi := problem.Bounds()
+	return &NSGA2{
+		problem: problem,
+		cfg:     cfg,
+		rng:     rng.New(cfg.Seed ^ 0x6e73676132), // "nsga2"
+		lo:      lo,
+		hi:      hi,
+	}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(problem problems.Problem, cfg Config) *NSGA2 {
+	a, err := New(problem, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Evaluations returns the number of function evaluations consumed.
+func (a *NSGA2) Evaluations() uint64 { return a.evaluations }
+
+// Generations returns the number of completed generations.
+func (a *NSGA2) Generations() uint64 { return a.generations }
+
+// Front returns the objective vectors of the current first
+// nondominated front.
+func (a *NSGA2) Front() [][]float64 {
+	var out [][]float64
+	for _, ind := range a.pop {
+		if ind.rank == 0 {
+			out = append(out, append([]float64(nil), ind.objs...))
+		}
+	}
+	return out
+}
+
+// FrontVars returns the decision vectors of the first front.
+func (a *NSGA2) FrontVars() [][]float64 {
+	var out [][]float64
+	for _, ind := range a.pop {
+		if ind.rank == 0 {
+			out = append(out, append([]float64(nil), ind.vars...))
+		}
+	}
+	return out
+}
+
+func (a *NSGA2) evaluate(vars []float64) *individual {
+	ind := &individual{vars: vars, objs: make([]float64, a.problem.NumObjs())}
+	a.problem.Evaluate(vars, ind.objs)
+	a.evaluations++
+	return ind
+}
+
+func (a *NSGA2) initialize() {
+	a.pop = make([]*individual, a.cfg.PopulationSize)
+	for i := range a.pop {
+		vars := make([]float64, len(a.lo))
+		for j := range vars {
+			vars[j] = a.rng.Range(a.lo[j], a.hi[j])
+		}
+		a.pop[i] = a.evaluate(vars)
+	}
+	rankAndCrowd(a.pop)
+}
+
+// Run executes NSGA-II until the evaluation budget is exhausted.
+func (a *NSGA2) Run(maxEvaluations uint64) {
+	if a.pop == nil {
+		a.initialize()
+	}
+	for a.evaluations < maxEvaluations {
+		a.Generation()
+	}
+}
+
+// Generation performs one full generational cycle (the synchronous
+// unit of work priced by Eq. 6).
+func (a *NSGA2) Generation() {
+	if a.pop == nil {
+		a.initialize()
+		return
+	}
+	offspring := make([]*individual, 0, a.cfg.PopulationSize)
+	for len(offspring) < a.cfg.PopulationSize {
+		p1 := a.tournament()
+		p2 := a.tournament()
+		children := a.cfg.Crossover.Apply([][]float64{p1.vars, p2.vars}, a.lo, a.hi, a.rng)
+		for _, c := range children {
+			if len(offspring) >= a.cfg.PopulationSize {
+				break
+			}
+			mutated := a.cfg.Mutation.Apply([][]float64{c}, a.lo, a.hi, a.rng)[0]
+			offspring = append(offspring, a.evaluate(mutated))
+		}
+	}
+	// Environmental selection over the combined population.
+	combined := append(append([]*individual(nil), a.pop...), offspring...)
+	fronts := fastNondominatedSort(combined)
+	next := make([]*individual, 0, a.cfg.PopulationSize)
+	for _, front := range fronts {
+		assignCrowding(front)
+		if len(next)+len(front) <= a.cfg.PopulationSize {
+			next = append(next, front...)
+			continue
+		}
+		sort.Slice(front, func(i, j int) bool {
+			return front[i].crowding > front[j].crowding
+		})
+		next = append(next, front[:a.cfg.PopulationSize-len(next)]...)
+		break
+	}
+	a.pop = next
+	rankAndCrowd(a.pop)
+	a.generations++
+}
+
+// tournament is NSGA-II's binary tournament on (rank, crowding).
+func (a *NSGA2) tournament() *individual {
+	x := a.pop[a.rng.Intn(len(a.pop))]
+	y := a.pop[a.rng.Intn(len(a.pop))]
+	if crowdedLess(x, y) {
+		return x
+	}
+	return y
+}
+
+// crowdedLess is the crowded-comparison operator: lower rank wins,
+// then larger crowding distance.
+func crowdedLess(x, y *individual) bool {
+	if x.rank != y.rank {
+		return x.rank < y.rank
+	}
+	return x.crowding > y.crowding
+}
+
+// dominates is Pareto dominance on the individuals' objectives.
+func dominates(x, y *individual) bool {
+	better := false
+	for i := range x.objs {
+		switch {
+		case x.objs[i] < y.objs[i]:
+			better = true
+		case x.objs[i] > y.objs[i]:
+			return false
+		}
+	}
+	return better
+}
+
+// fastNondominatedSort partitions the population into fronts and sets
+// each individual's rank.
+func fastNondominatedSort(pop []*individual) [][]*individual {
+	n := len(pop)
+	domCount := make([]int, n)
+	dominated := make([][]int, n)
+	var first []*individual
+	firstIdx := []int{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if dominates(pop[i], pop[j]) {
+				dominated[i] = append(dominated[i], j)
+			} else if dominates(pop[j], pop[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			pop[i].rank = 0
+			first = append(first, pop[i])
+			firstIdx = append(firstIdx, i)
+		}
+	}
+	fronts := [][]*individual{first}
+	frontIdx := firstIdx
+	for rank := 0; len(frontIdx) > 0; rank++ {
+		var nextIdx []int
+		var next []*individual
+		for _, i := range frontIdx {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pop[j].rank = rank + 1
+					nextIdx = append(nextIdx, j)
+					next = append(next, pop[j])
+				}
+			}
+		}
+		if len(next) > 0 {
+			fronts = append(fronts, next)
+		}
+		frontIdx = nextIdx
+	}
+	return fronts
+}
+
+// assignCrowding computes crowding distances within one front.
+func assignCrowding(front []*individual) {
+	n := len(front)
+	if n == 0 {
+		return
+	}
+	for _, ind := range front {
+		ind.crowding = 0
+	}
+	if n <= 2 {
+		for _, ind := range front {
+			ind.crowding = math.Inf(1)
+		}
+		return
+	}
+	m := len(front[0].objs)
+	for k := 0; k < m; k++ {
+		k := k
+		sort.Slice(front, func(i, j int) bool { return front[i].objs[k] < front[j].objs[k] })
+		lo, hi := front[0].objs[k], front[n-1].objs[k]
+		front[0].crowding = math.Inf(1)
+		front[n-1].crowding = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for i := 1; i < n-1; i++ {
+			front[i].crowding += (front[i+1].objs[k] - front[i-1].objs[k]) / (hi - lo)
+		}
+	}
+}
+
+// rankAndCrowd refreshes rank and crowding bookkeeping for the whole
+// population.
+func rankAndCrowd(pop []*individual) {
+	for _, front := range fastNondominatedSort(pop) {
+		assignCrowding(front)
+	}
+}

@@ -1,0 +1,216 @@
+package nsga2
+
+import (
+	"math"
+	"testing"
+
+	"borgmoea/internal/metrics"
+	"borgmoea/internal/problems"
+)
+
+func mkInd(objs ...float64) *individual {
+	return &individual{objs: objs}
+}
+
+func TestFastNondominatedSort(t *testing.T) {
+	pop := []*individual{
+		mkInd(1, 5), mkInd(2, 2), mkInd(5, 1), // front 0
+		mkInd(3, 3), mkInd(6, 6), // fronts 1 and 2
+	}
+	fronts := fastNondominatedSort(pop)
+	if len(fronts) != 3 {
+		t.Fatalf("got %d fronts, want 3", len(fronts))
+	}
+	if len(fronts[0]) != 3 {
+		t.Fatalf("front 0 has %d members, want 3", len(fronts[0]))
+	}
+	if pop[3].rank != 1 || pop[4].rank != 2 {
+		t.Fatalf("ranks wrong: %d %d", pop[3].rank, pop[4].rank)
+	}
+	// Within-front mutual nondominance.
+	for _, front := range fronts {
+		for i, x := range front {
+			for j, y := range front {
+				if i != j && dominates(x, y) {
+					t.Fatal("front member dominates a same-front member")
+				}
+			}
+		}
+	}
+}
+
+func TestCrowdingDistance(t *testing.T) {
+	front := []*individual{
+		mkInd(0, 1), mkInd(0.5, 0.5), mkInd(1, 0),
+	}
+	assignCrowding(front)
+	// Boundary points get infinite crowding; the middle point gets
+	// (1-0)/(1-0) + (1-0)/(1-0) = 2.
+	inf := 0
+	var mid *individual
+	for _, ind := range front {
+		if math.IsInf(ind.crowding, 1) {
+			inf++
+		} else {
+			mid = ind
+		}
+	}
+	if inf != 2 || mid == nil {
+		t.Fatalf("boundary crowding wrong: %v", front)
+	}
+	if math.Abs(mid.crowding-2) > 1e-12 {
+		t.Fatalf("middle crowding = %v, want 2", mid.crowding)
+	}
+}
+
+func TestCrowdingSmallFronts(t *testing.T) {
+	front := []*individual{mkInd(1, 1), mkInd(2, 0)}
+	assignCrowding(front)
+	for _, ind := range front {
+		if !math.IsInf(ind.crowding, 1) {
+			t.Fatal("2-member front should have infinite crowding")
+		}
+	}
+	assignCrowding(nil) // must not panic
+}
+
+func TestCrowdedComparison(t *testing.T) {
+	a := &individual{rank: 0, crowding: 1}
+	b := &individual{rank: 1, crowding: 99}
+	if !crowdedLess(a, b) {
+		t.Fatal("lower rank must win")
+	}
+	c := &individual{rank: 0, crowding: 5}
+	if !crowdedLess(c, a) {
+		t.Fatal("same rank: larger crowding must win")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := problems.NewDTLZ2(2)
+	if _, err := New(p, Config{PopulationSize: 2}); err == nil {
+		t.Error("tiny population accepted")
+	}
+	// Odd population rounds up.
+	a := MustNew(p, Config{PopulationSize: 101})
+	if a.cfg.PopulationSize != 102 {
+		t.Errorf("odd population size not rounded: %d", a.cfg.PopulationSize)
+	}
+}
+
+func TestPopulationSizeStable(t *testing.T) {
+	a := MustNew(problems.NewDTLZ2(2), Config{PopulationSize: 40, Seed: 1})
+	a.Run(2000)
+	if len(a.pop) != 40 {
+		t.Fatalf("population drifted to %d members", len(a.pop))
+	}
+	if a.Generations() == 0 {
+		t.Fatal("no generations recorded")
+	}
+	if a.Evaluations() < 2000 {
+		t.Fatalf("budget not consumed: %d", a.Evaluations())
+	}
+}
+
+func TestConvergenceZDTLikeDTLZ2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence test skipped in -short mode")
+	}
+	a := MustNew(problems.NewDTLZ2(2), Config{Seed: 2})
+	a.Run(20000)
+	front := a.Front()
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	// Mean distance to the unit circle.
+	sum := 0.0
+	for _, f := range front {
+		sum += math.Abs(math.Sqrt(f[0]*f[0]+f[1]*f[1]) - 1)
+	}
+	if gd := sum / float64(len(front)); gd > 0.02 {
+		t.Fatalf("NSGA-II front distance = %v, want < 0.02", gd)
+	}
+	hv := metrics.Hypervolume(front, []float64{1.1, 1.1})
+	ideal := problems.IdealSphereHypervolume(2, 1.1)
+	if hv < 0.92*ideal {
+		t.Fatalf("NSGA-II normalized HV = %v, want > 0.92", hv/ideal)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() [][]float64 {
+		a := MustNew(problems.NewDTLZ2(2), Config{Seed: 7})
+		a.Run(3000)
+		return a.Front()
+	}
+	x, y := run(), run()
+	if len(x) != len(y) {
+		t.Fatalf("replays differ in front size: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		for j := range x[i] {
+			if x[i][j] != y[i][j] {
+				t.Fatal("identical seeds produced different fronts")
+			}
+		}
+	}
+}
+
+func TestFrontVarsMatchFront(t *testing.T) {
+	a := MustNew(problems.NewDTLZ2(3), Config{PopulationSize: 30, Seed: 3})
+	a.Run(1500)
+	objs := a.Front()
+	vars := a.FrontVars()
+	if len(objs) != len(vars) {
+		t.Fatalf("front objs %d != vars %d", len(objs), len(vars))
+	}
+	// Re-evaluating the vars must give the recorded objectives.
+	p := problems.NewDTLZ2(3)
+	tmp := make([]float64, 3)
+	for i := range vars {
+		p.Evaluate(vars[i], tmp)
+		for j := range tmp {
+			if math.Abs(tmp[j]-objs[i][j]) > 1e-12 {
+				t.Fatal("front vars do not reproduce front objectives")
+			}
+		}
+	}
+}
+
+// TestBorgOutperformsNSGA2OnManyObjectives reproduces the motivation
+// for Borg's ε-archive: on the 5-objective DTLZ2, NSGA-II's crowding
+// selection degrades while Borg keeps converging (Hadka & Reed 2013).
+func TestBorgStyleArchiveBeatsCrowdingAtFiveObjectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison skipped in -short mode")
+	}
+	a := MustNew(problems.NewDTLZ2(5), Config{Seed: 4})
+	a.Run(20000)
+	sum, n := 0.0, 0
+	for _, f := range a.Front() {
+		s := 0.0
+		for _, x := range f {
+			s += x * x
+		}
+		sum += math.Abs(math.Sqrt(s) - 1)
+		n++
+	}
+	nsgaDist := sum / float64(n)
+	// NSGA-II on 5 objectives typically stalls well off the front;
+	// just require it produced a valid (finite, nonempty) answer and
+	// record the gap — the cross-algorithm comparison lives in the
+	// compare command and the core tests assert Borg's side.
+	if n == 0 || math.IsNaN(nsgaDist) {
+		t.Fatal("NSGA-II produced no usable front")
+	}
+	t.Logf("NSGA-II 5-objective mean front distance: %.4f", nsgaDist)
+}
+
+func BenchmarkGeneration(b *testing.B) {
+	a := MustNew(problems.NewDTLZ2(5), Config{Seed: 1})
+	a.Generation() // initialize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Generation()
+	}
+}

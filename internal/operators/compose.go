@@ -1,0 +1,42 @@
+package operators
+
+import "borgmoea/internal/rng"
+
+// WithPM wraps a recombination operator so that polynomial mutation is
+// applied to every offspring, the composition Borg uses for SBX, DE,
+// PCX, SPX and UNDX ("sbx+pm", "de+pm", ...).
+type WithPM struct {
+	Base     Operator
+	Mutation PM
+}
+
+// NewWithPM composes base with Borg's default polynomial mutation.
+func NewWithPM(base Operator) WithPM {
+	return WithPM{Base: base, Mutation: NewPM()}
+}
+
+func (op WithPM) Name() string { return op.Base.Name() + "+pm" }
+func (op WithPM) Arity() int   { return op.Base.Arity() }
+
+// Apply runs the base operator and mutates each offspring in place.
+func (op WithPM) Apply(parents [][]float64, lo, hi []float64, r *rng.Source) [][]float64 {
+	children := op.Base.Apply(parents, lo, hi, r)
+	for i, c := range children {
+		children[i] = op.Mutation.Apply([][]float64{c}, lo, hi, r)[0]
+	}
+	return children
+}
+
+// BorgEnsemble returns the six operators of the Borg MOEA with their
+// default parameterizations, recombinations composed with polynomial
+// mutation, in the canonical order SBX, DE, PCX, SPX, UNDX, UM.
+func BorgEnsemble() []Operator {
+	return []Operator{
+		NewWithPM(NewSBX()),
+		NewWithPM(NewDE()),
+		NewWithPM(NewPCX()),
+		NewWithPM(NewSPX()),
+		NewWithPM(NewUNDX()),
+		NewUM(),
+	}
+}

@@ -1,0 +1,128 @@
+// Package operators implements the six real-valued variation operators
+// the Borg MOEA auto-adapts among — simulated binary crossover (SBX),
+// differential evolution (DE), parent-centric crossover (PCX), simplex
+// crossover (SPX), unimodal normal distribution crossover (UNDX), and
+// uniform mutation (UM) — plus polynomial mutation (PM), which Borg
+// applies after each recombination. Parameterizations follow the Borg
+// paper's defaults (Hadka & Reed 2013 / MOEA Framework).
+//
+// Operators work on raw decision-variable vectors so they are usable
+// both by the Borg core and standalone.
+package operators
+
+import (
+	"fmt"
+	"math"
+
+	"borgmoea/internal/rng"
+)
+
+// Operator produces offspring decision vectors from parent vectors.
+type Operator interface {
+	// Name returns a short identifier, e.g. "sbx+pm".
+	Name() string
+	// Arity returns the number of parents required.
+	Arity() int
+	// Apply returns one or more offspring. Parents must contain
+	// exactly Arity() vectors of equal length matching lo/hi; the
+	// parents are not modified. Offspring are clamped to [lo, hi].
+	Apply(parents [][]float64, lo, hi []float64, r *rng.Source) [][]float64
+}
+
+// clamp snaps each variable of x into [lo, hi].
+func clamp(x, lo, hi []float64) {
+	for i := range x {
+		if x[i] < lo[i] {
+			x[i] = lo[i]
+		} else if x[i] > hi[i] {
+			x[i] = hi[i]
+		}
+	}
+}
+
+// checkParents validates the Apply contract; operators call it first.
+func checkParents(op Operator, parents [][]float64, lo, hi []float64) {
+	if len(parents) != op.Arity() {
+		panic(fmt.Sprintf("operators: %s requires %d parents, got %d",
+			op.Name(), op.Arity(), len(parents)))
+	}
+	n := len(lo)
+	if len(hi) != n {
+		panic("operators: bounds length mismatch")
+	}
+	for _, p := range parents {
+		if len(p) != n {
+			panic(fmt.Sprintf("operators: %s parent length %d != %d variables",
+				op.Name(), len(p), n))
+		}
+	}
+}
+
+// clone returns a copy of x.
+func clone(x []float64) []float64 {
+	return append([]float64(nil), x...)
+}
+
+// centroid returns the mean of the vectors.
+func centroid(vs [][]float64) []float64 {
+	g := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		for i, x := range v {
+			g[i] += x
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for i := range g {
+		g[i] *= inv
+	}
+	return g
+}
+
+// sub returns a - b as a new vector.
+func sub(a, b []float64) []float64 {
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return d
+}
+
+// dot returns the inner product.
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// norm returns the Euclidean length.
+func norm(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}
+
+// orthogonalize removes from v its components along each unit vector
+// in basis (modifying v in place) and returns v's remaining length.
+func orthogonalize(v []float64, basis [][]float64) float64 {
+	for _, e := range basis {
+		c := dot(v, e)
+		for i := range v {
+			v[i] -= c * e[i]
+		}
+	}
+	return norm(v)
+}
+
+// normalize scales v to unit length in place and reports success
+// (false if v is ~zero).
+func normalize(v []float64) bool {
+	n := norm(v)
+	if n < 1e-12 {
+		return false
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package operators
+
+import (
+	"math"
+
+	"borgmoea/internal/rng"
+)
+
+// PM is Deb's polynomial mutation (bounded variant). Borg applies it
+// after every recombination operator with probability 1/L and
+// distribution index 20.
+type PM struct {
+	// Probability is the per-variable mutation probability. A zero
+	// value means "use 1/L".
+	Probability float64
+	// DistributionIndex controls perturbation size (larger = smaller
+	// steps).
+	DistributionIndex float64
+}
+
+// NewPM returns PM with Borg's defaults (1/L, index 20).
+func NewPM() PM { return PM{DistributionIndex: 20} }
+
+func (PM) Name() string { return "pm" }
+func (PM) Arity() int   { return 1 }
+
+// Apply returns one mutated copy of the parent.
+func (op PM) Apply(parents [][]float64, lo, hi []float64, r *rng.Source) [][]float64 {
+	checkParents(op, parents, lo, hi)
+	child := clone(parents[0])
+	p := op.Probability
+	if p == 0 {
+		p = 1 / float64(len(child))
+	}
+	eta := op.DistributionIndex
+	for i := range child {
+		if r.Float64() > p {
+			continue
+		}
+		x := child[i]
+		lb, ub := lo[i], hi[i]
+		if ub <= lb {
+			continue
+		}
+		d1 := (x - lb) / (ub - lb)
+		d2 := (ub - x) / (ub - lb)
+		u := r.Float64()
+		mpow := 1 / (eta + 1)
+		var deltaq float64
+		if u < 0.5 {
+			xy := 1 - d1
+			val := 2*u + (1-2*u)*math.Pow(xy, eta+1)
+			deltaq = math.Pow(val, mpow) - 1
+		} else {
+			xy := 1 - d2
+			val := 2*(1-u) + (2*u-1)*math.Pow(xy, eta+1)
+			deltaq = 1 - math.Pow(val, mpow)
+		}
+		child[i] = x + deltaq*(ub-lb)
+	}
+	clamp(child, lo, hi)
+	return [][]float64{child}
+}

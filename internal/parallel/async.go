@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"fmt"
+
+	"borgmoea/internal/cluster"
+	"borgmoea/internal/core"
+	"borgmoea/internal/des"
+	"borgmoea/internal/rng"
+)
+
+// RunAsync executes the asynchronous, master-slave Borg MOEA on the
+// virtual cluster and returns its timing and search results.
+//
+// Protocol (Figure 2 of the paper): the master seeds every worker with
+// one solution; thereafter, whenever a worker returns an evaluated
+// solution the master is held for T_C (receive) + T_A (process result,
+// generate next offspring) + T_C (send) and the worker immediately
+// receives new work. Workers evaluate (T_F) and send back. The run
+// ends when N evaluations have been accepted; T_P is the virtual time
+// of the N-th acceptance.
+func RunAsync(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	eng := des.New()
+	if cfg.TraceHook != nil {
+		eng.SetTrace(func(ev des.TraceEvent) {
+			cfg.TraceHook(ev.At, ev.Kind, ev.Actor, ev.Detail)
+		})
+	}
+	cl := cluster.New(eng, cluster.Config{Nodes: cfg.Processors, Seed: cfg.Seed})
+
+	algCfg := cfg.Algorithm
+	algCfg.Seed = cfg.Seed
+	b, err := core.New(cfg.Problem, algCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Processors: cfg.Processors, Final: b}
+	masterRng := rng.New(cfg.Seed ^ 0x6d617374) // "mast"
+	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings}
+	tcSum, tcN := 0.0, uint64(0)
+	sampleTC := func() float64 {
+		tc := cfg.TC.Sample(masterRng)
+		tcSum += tc
+		tcN++
+		return tc
+	}
+
+	var elapsedAtN float64
+	completed := uint64(0)
+
+	// Worker processes: evaluate, hold T_F, return.
+	tfSum, tfN := 0.0, uint64(0)
+	for w := 1; w < cfg.Processors; w++ {
+		w := w
+		node := cl.Node(w)
+		wRng := rng.New(cfg.Seed ^ (uint64(w) * 0x9e3779b97f4a7c15))
+		straggler := cfg.StragglerFraction > 0 &&
+			float64(w-1) < cfg.StragglerFraction*float64(cfg.Processors-1)
+		eng.Go(fmt.Sprintf("worker%d", w), func(p *des.Process) {
+			for {
+				msg := node.Recv(p)
+				if msg.Tag == tagStop {
+					return
+				}
+				s := msg.Payload.(*core.Solution)
+				core.EvaluateSolution(cfg.Problem, s)
+				tf := cfg.TF.Sample(wRng)
+				if straggler {
+					tf *= cfg.StragglerFactor
+				}
+				tfSum += tf
+				tfN++
+				if cfg.CaptureTimings {
+					res.TFSamples = append(res.TFSamples, tf)
+				}
+				node.HoldBusy(p, tf, "eval")
+				node.Send(0, tagResult, s)
+			}
+		})
+	}
+
+	// Master process.
+	master := cl.Node(0)
+	eng.Go("master", func(p *des.Process) {
+		// Seed every worker with an initial solution.
+		for w := 1; w < cfg.Processors; w++ {
+			var s *core.Solution
+			ta := meter.measure(func() { s = b.Suggest() })
+			master.HoldBusy(p, ta, "algo")
+			master.HoldBusy(p, sampleTC(), "comm")
+			master.Send(w, tagEvaluate, s)
+		}
+		// Steady state: receive, process, resend.
+		for completed < cfg.Evaluations {
+			msg := master.Recv(p)
+			master.HoldBusy(p, sampleTC(), "comm")
+			s := msg.Payload.(*core.Solution)
+			var next *core.Solution
+			ta := meter.measure(func() {
+				b.Accept(s)
+				next = b.Suggest()
+			})
+			master.HoldBusy(p, ta, "algo")
+			completed++
+			if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+				cfg.OnCheckpoint(p.Now(), b)
+			}
+			if completed >= cfg.Evaluations {
+				elapsedAtN = p.Now()
+				break
+			}
+			master.HoldBusy(p, sampleTC(), "comm")
+			master.Send(msg.From, tagEvaluate, next)
+		}
+		// Tear down: stop every worker. Workers mid-evaluation will
+		// see the stop after returning their (discarded) result.
+		for w := 1; w < cfg.Processors; w++ {
+			master.Send(w, tagStop, nil)
+		}
+		// Drain any in-flight results so the mailbox is empty.
+		for w := 1; w < cfg.Processors; w++ {
+			if master.InboxLen() == 0 {
+				break
+			}
+			master.Recv(p)
+		}
+	})
+
+	eng.Run()
+	eng.Shutdown()
+
+	res.ElapsedTime = elapsedAtN
+	res.Evaluations = completed
+	res.MasterBusy = master.BusyTime()
+	if elapsedAtN > 0 {
+		res.MasterUtilization = res.MasterBusy / elapsedAtN
+		sum := 0.0
+		for w := 1; w < cfg.Processors; w++ {
+			sum += cl.Node(w).BusyTime() / elapsedAtN
+		}
+		res.MeanWorkerUtilization = sum / float64(cfg.Processors-1)
+	}
+	res.MeanTA = meter.mean()
+	res.TASamples = meter.samples
+	if tfN > 0 {
+		res.MeanTF = tfSum / float64(tfN)
+	}
+	if tcN > 0 {
+		res.MeanTC = tcSum / float64(tcN)
+	}
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package parallel
+
+import (
+	"fmt"
+
+	"borgmoea/internal/cluster"
+	"borgmoea/internal/core"
+	"borgmoea/internal/des"
+	"borgmoea/internal/rng"
+)
+
+// IslandsConfig parameterizes the hierarchical (multi-island) topology
+// the paper's conclusion proposes as future work: several smaller
+// asynchronous master-slave Borg instances running concurrently, each
+// on its own processor subset, optionally exchanging archive members
+// in a ring. Splitting avoids single-master saturation when T_F is
+// small relative to 2·T_C + T_A (Eq. 3).
+type IslandsConfig struct {
+	// Base configures each island (Processors is the per-island P,
+	// Evaluations the per-island budget). Checkpoint hooks, timing
+	// capture and stragglers are not supported at the island level.
+	Base Config
+	// Islands is the number of concurrent instances (>= 1).
+	Islands int
+	// MigrationEvery exchanges one archive member to the next island
+	// in the ring after every such number of accepted evaluations on
+	// an island (0 disables migration).
+	MigrationEvery uint64
+}
+
+// IslandsResult summarizes a multi-island run.
+type IslandsResult struct {
+	// ElapsedTime is the virtual time at which the last island
+	// finished its budget.
+	ElapsedTime float64
+	// TotalEvaluations across all islands.
+	TotalEvaluations uint64
+	// Islands holds each island's final Borg instance.
+	Islands []*core.Borg
+	// IslandElapsed is each island's own finish time.
+	IslandElapsed []float64
+	// Migrants is the number of archive members exchanged.
+	Migrants uint64
+	// MergedFront is the ε-nondominated union of all island
+	// archives (objective vectors).
+	MergedFront [][]float64
+}
+
+// Efficiency returns T_S / (P_total · T_P) treating the union of
+// islands as one machine, using the configured mean timings.
+func (r *IslandsResult) Efficiency(meanTF, meanTA float64, totalProcessors int) float64 {
+	if r.ElapsedTime == 0 || totalProcessors == 0 {
+		return 0
+	}
+	ts := float64(r.TotalEvaluations) * (meanTF + meanTA)
+	return ts / (float64(totalProcessors) * r.ElapsedTime)
+}
+
+// RunIslands executes Islands concurrent asynchronous master-slave
+// Borg instances under one virtual clock. Each island occupies its
+// own block of ranks; with migration enabled, island masters send a
+// random archive member to the next island's master, which folds it
+// into its population and archive without charging a function
+// evaluation (only T_C and T_A).
+func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
+	if cfg.Islands < 1 {
+		return nil, fmt.Errorf("parallel: need at least 1 island, got %d", cfg.Islands)
+	}
+	base := cfg.Base
+	if err := base.normalize(); err != nil {
+		return nil, err
+	}
+	if base.TA == nil {
+		return nil, fmt.Errorf("parallel: RunIslands requires an explicit TA distribution (measured TA is ambiguous across concurrent masters)")
+	}
+	if base.CheckpointEvery != 0 || base.CaptureTimings || base.StragglerFraction != 0 {
+		return nil, fmt.Errorf("parallel: RunIslands does not support checkpoints, timing capture or stragglers")
+	}
+
+	k := cfg.Islands
+	perP := base.Processors
+	eng := des.New()
+	cl := cluster.New(eng, cluster.Config{Nodes: k * perP, Seed: base.Seed})
+
+	res := &IslandsResult{
+		Islands:       make([]*core.Borg, k),
+		IslandElapsed: make([]float64, k),
+	}
+
+	const tagMigrant = 100
+
+	for isl := 0; isl < k; isl++ {
+		isl := isl
+		masterRank := isl * perP
+		algCfg := base.Algorithm
+		algCfg.Seed = base.Seed + uint64(isl)*0x9e3779b97f4a7c15
+		b, err := core.New(base.Problem, algCfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Islands[isl] = b
+
+		mRng := rng.New(base.Seed ^ (uint64(isl+1) * 0x6d61)) // per-island master stream
+		sampleTC := func() float64 { return base.TC.Sample(mRng) }
+		sampleTA := func() float64 { return base.TA.Sample(mRng) }
+
+		// Island workers.
+		for w := 1; w < perP; w++ {
+			rank := masterRank + w
+			node := cl.Node(rank)
+			wRng := rng.New(base.Seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15))
+			eng.Go(fmt.Sprintf("i%dworker%d", isl, w), func(p *des.Process) {
+				for {
+					msg := node.Recv(p)
+					if msg.Tag == tagStop {
+						return
+					}
+					s := msg.Payload.(*core.Solution)
+					core.EvaluateSolution(base.Problem, s)
+					node.HoldBusy(p, base.TF.Sample(wRng), "eval")
+					node.Send(masterRank, tagResult, s)
+				}
+			})
+		}
+
+		// Island master.
+		master := cl.Node(masterRank)
+		nextMaster := ((isl + 1) % k) * perP
+		eng.Go(fmt.Sprintf("i%dmaster", isl), func(p *des.Process) {
+			for w := 1; w < perP; w++ {
+				s := b.Suggest()
+				master.HoldBusy(p, sampleTA(), "algo")
+				master.HoldBusy(p, sampleTC(), "comm")
+				master.Send(masterRank+w, tagEvaluate, s)
+			}
+			completed := uint64(0)
+			for completed < base.Evaluations {
+				msg := master.Recv(p)
+				master.HoldBusy(p, sampleTC(), "comm")
+				switch msg.Tag {
+				case tagMigrant:
+					// Fold the migrant in: algorithm time, but no
+					// function evaluation charged.
+					b.InjectEvaluated(msg.Payload.(*core.Solution))
+					master.HoldBusy(p, sampleTA(), "algo")
+					continue
+				case tagResult:
+					// fall through to the normal path
+				default:
+					continue
+				}
+				s := msg.Payload.(*core.Solution)
+				b.Accept(s)
+				next := b.Suggest()
+				master.HoldBusy(p, sampleTA(), "algo")
+				completed++
+				if cfg.MigrationEvery > 0 && k > 1 && completed%cfg.MigrationEvery == 0 && b.Archive().Size() > 0 {
+					emigrant := b.Archive().Members()[mRng.Intn(b.Archive().Size())].Clone()
+					master.HoldBusy(p, sampleTC(), "comm")
+					master.Send(nextMaster, tagMigrant, emigrant)
+					res.Migrants++
+				}
+				if completed >= base.Evaluations {
+					res.IslandElapsed[isl] = p.Now()
+					break
+				}
+				master.HoldBusy(p, sampleTC(), "comm")
+				master.Send(msg.From, tagEvaluate, next)
+			}
+			for w := 1; w < perP; w++ {
+				master.Send(masterRank+w, tagStop, nil)
+			}
+		})
+	}
+
+	eng.Run()
+	eng.Shutdown()
+
+	for isl := 0; isl < k; isl++ {
+		res.TotalEvaluations += res.Islands[isl].Evaluations()
+		if res.IslandElapsed[isl] > res.ElapsedTime {
+			res.ElapsedTime = res.IslandElapsed[isl]
+		}
+	}
+
+	// Merge: ε-nondominated union of all island archives.
+	merged := core.NewArchive(base.Algorithm.Epsilons, 0)
+	for _, b := range res.Islands {
+		for _, m := range b.Archive().Members() {
+			merged.Add(m)
+		}
+	}
+	res.MergedFront = merged.Objectives()
+	return res, nil
+}

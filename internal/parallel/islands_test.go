@@ -1,0 +1,166 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/metrics"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/stats"
+)
+
+func islandBase(perP int, evals uint64) Config {
+	return Config{
+		Problem:     problems.NewDTLZ2(5),
+		Algorithm:   core.Config{Epsilons: core.UniformEpsilons(5, 0.15)},
+		Processors:  perP,
+		Evaluations: evals,
+		TF:          stats.NewConstant(0.001),
+		TA:          stats.NewConstant(0.000029),
+		TC:          stats.NewConstant(0.000006),
+		Seed:        1,
+	}
+}
+
+func TestIslandsValidation(t *testing.T) {
+	cfg := IslandsConfig{Base: islandBase(8, 100), Islands: 0}
+	if _, err := RunIslands(cfg); err == nil {
+		t.Error("zero islands accepted")
+	}
+	cfg = IslandsConfig{Base: islandBase(8, 100), Islands: 2}
+	cfg.Base.TA = nil
+	if _, err := RunIslands(cfg); err == nil {
+		t.Error("measured TA accepted for islands")
+	}
+	cfg = IslandsConfig{Base: islandBase(8, 100), Islands: 2}
+	cfg.Base.CaptureTimings = true
+	if _, err := RunIslands(cfg); err == nil {
+		t.Error("timing capture accepted for islands")
+	}
+}
+
+func TestIslandsCompleteBudgets(t *testing.T) {
+	cfg := IslandsConfig{Base: islandBase(8, 1000), Islands: 3}
+	res, err := RunIslands(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEvaluations != 3000 {
+		t.Fatalf("total evaluations = %d, want 3000", res.TotalEvaluations)
+	}
+	for i, b := range res.Islands {
+		if b.Evaluations() != 1000 {
+			t.Fatalf("island %d completed %d evaluations", i, b.Evaluations())
+		}
+		if res.IslandElapsed[i] <= 0 {
+			t.Fatalf("island %d has no elapsed time", i)
+		}
+	}
+	if len(res.MergedFront) == 0 {
+		t.Fatal("merged front empty")
+	}
+}
+
+func TestSingleIslandMatchesMonolithic(t *testing.T) {
+	// One island must behave exactly like RunAsync with the same
+	// parameters, modulo the per-island seed derivation.
+	res, err := RunIslands(IslandsConfig{Base: islandBase(8, 2000), Islands: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := RunAsync(islandBase(8, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic constant timings: both derive from the same Eq. 2
+	// process, so elapsed times agree to within a cycle.
+	if rel := math.Abs(res.ElapsedTime-mono.ElapsedTime) / mono.ElapsedTime; rel > 0.02 {
+		t.Fatalf("single island %v vs monolithic %v (%.1f%% apart)",
+			res.ElapsedTime, mono.ElapsedTime, 100*rel)
+	}
+}
+
+// TestIslandsBeatSaturatedMonolith reproduces the paper's Section VI
+// recommendation: when TF is too small for the processor count, many
+// small islands finish the same total budget far sooner than one
+// saturated master-slave instance.
+func TestIslandsBeatSaturatedMonolith(t *testing.T) {
+	const totalP = 128
+	const totalEvals = 40000
+	// Monolithic: one master, 127 workers, saturated (P_UB ≈ 24).
+	mono, err := RunAsync(islandBase(totalP, totalEvals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 islands × 16 processors, same machine, same total budget.
+	cfg := IslandsConfig{Base: islandBase(16, totalEvals/8), Islands: 8}
+	isl, err := RunIslands(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isl.TotalEvaluations != totalEvals {
+		t.Fatalf("island total = %d, want %d", isl.TotalEvaluations, totalEvals)
+	}
+	if isl.ElapsedTime >= mono.ElapsedTime {
+		t.Fatalf("islands (%v) did not beat the saturated monolith (%v)",
+			isl.ElapsedTime, mono.ElapsedTime)
+	}
+	speedup := mono.ElapsedTime / isl.ElapsedTime
+	if speedup < 2 {
+		t.Fatalf("island speedup over monolith only %.2f, expected substantial", speedup)
+	}
+	// And the merged front must still be a competent approximation.
+	ref := make([]float64, 5)
+	for i := range ref {
+		ref[i] = 1.1
+	}
+	hvIslands := metrics.HypervolumeMC(isl.MergedFront, ref, 20000, 1)
+	hvMono := metrics.HypervolumeMC(mono.Final.Archive().Objectives(), ref, 20000, 1)
+	if hvIslands < 0.9*hvMono {
+		t.Fatalf("island merged HV %v fell far below monolith %v", hvIslands, hvMono)
+	}
+}
+
+func TestIslandsMigration(t *testing.T) {
+	cfg := IslandsConfig{
+		Base:           islandBase(8, 3000),
+		Islands:        4,
+		MigrationEvery: 500,
+	}
+	res, err := RunIslands(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrants == 0 {
+		t.Fatal("migration enabled but no migrants exchanged")
+	}
+	// 4 islands × 3000 evals / 500 = 24 expected migrations.
+	if res.Migrants != 24 {
+		t.Fatalf("migrants = %d, want 24", res.Migrants)
+	}
+	if res.TotalEvaluations != 12000 {
+		t.Fatalf("migrants were charged as evaluations: total = %d", res.TotalEvaluations)
+	}
+}
+
+func TestIslandsMigrationOffByDefault(t *testing.T) {
+	res, err := RunIslands(IslandsConfig{Base: islandBase(8, 1000), Islands: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrants != 0 {
+		t.Fatalf("unexpected migrants: %d", res.Migrants)
+	}
+}
+
+func TestIslandsEfficiencyHelper(t *testing.T) {
+	res := &IslandsResult{ElapsedTime: 10, TotalEvaluations: 1000}
+	// TS = 1000·(0.04+0.01) = 50; eff = 50/(5·10) = 1.
+	if e := res.Efficiency(0.04, 0.01, 5); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("efficiency = %v, want 1", e)
+	}
+	if (&IslandsResult{}).Efficiency(1, 1, 4) != 0 {
+		t.Fatal("zero-result efficiency should be 0")
+	}
+}

@@ -1,0 +1,207 @@
+// Package parallel implements the paper's parallel Borg MOEA drivers:
+// the asynchronous master-slave algorithm (the paper's subject), the
+// synchronous generational master-slave baseline (Cantú-Paz's model),
+// and a wall-clock goroutine executor used to cross-validate the
+// virtual-time results.
+//
+// The virtual-time drivers execute the *real* Borg MOEA — actual
+// offspring, archives and restarts — on the virtual cluster in
+// internal/cluster. Function-evaluation cost is a configurable
+// distribution T_F (the paper's controlled delays), communication cost
+// T_C is charged as master busy time (matching the paper's model where
+// saturation occurs at T_F/(2·T_C + T_A)), and the master's algorithm
+// time T_A is either sampled from a distribution or measured from the
+// actual CPU time of the Go implementation's Accept+Suggest critical
+// section — the latter reproduces the paper's methodology of fitting
+// distributions to measured timings.
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/rng"
+	"borgmoea/internal/stats"
+)
+
+// Message tags used by the master/worker protocol.
+const (
+	tagEvaluate = iota
+	tagResult
+	tagStop
+)
+
+// Config describes one parallel run.
+type Config struct {
+	// Problem is the optimization problem; workers evaluate it.
+	Problem problems.Problem
+	// Algorithm configures the Borg core run by the master.
+	Algorithm core.Config
+	// Processors is P: one master plus P−1 workers. Must be >= 2.
+	Processors int
+	// Evaluations is N, the total function-evaluation budget.
+	Evaluations uint64
+	// TF is the function-evaluation time distribution (required).
+	// The paper's controlled delays are Gamma distributions with
+	// coefficient of variation 0.1 (stats.GammaFromMeanCV).
+	TF stats.Distribution
+	// TC is the one-way communication cost charged to the master per
+	// message. Default: constant 6 µs, the paper's measured value.
+	TC stats.Distribution
+	// TA is the master's per-result algorithm time. Nil measures the
+	// actual CPU time of the core's Accept+Suggest critical section
+	// and charges that, reproducing the paper's instrumentation.
+	TA stats.Distribution
+	// Seed seeds all random streams of the run.
+	Seed uint64
+
+	// CheckpointEvery invokes OnCheckpoint after every k completed
+	// evaluations (0 disables). Used for hypervolume trajectories.
+	CheckpointEvery uint64
+	// OnCheckpoint receives the current virtual time and the live
+	// Borg instance. The callback must not retain the Borg pointer's
+	// mutable state beyond the call.
+	OnCheckpoint func(virtualTime float64, b *core.Borg)
+
+	// CaptureTimings records every T_A and T_F sample into the
+	// result, for distribution fitting.
+	CaptureTimings bool
+
+	// StragglerFraction marks the given fraction of workers as
+	// stragglers whose evaluation times are multiplied by
+	// StragglerFactor — the failure-injection extension used to
+	// quantify the paper's §VI-B claim about T_F variability.
+	StragglerFraction float64
+	// StragglerFactor multiplies straggler evaluation times
+	// (default 1, i.e. no effect).
+	StragglerFactor float64
+
+	// TraceHook, when set, receives every simulation trace event
+	// (sends, receives, and the start/end of eval/comm/algo busy
+	// intervals per node). Used to render Figure 1/2-style
+	// timelines; it adds overhead, so leave nil for experiments.
+	TraceHook func(at float64, kind, actor, detail string)
+}
+
+// normalize fills defaults and validates.
+func (c *Config) normalize() error {
+	if c.Problem == nil {
+		return fmt.Errorf("parallel: Problem is required")
+	}
+	if c.Processors < 2 {
+		return fmt.Errorf("parallel: need at least 2 processors (1 master + 1 worker), got %d", c.Processors)
+	}
+	if c.Evaluations == 0 {
+		return fmt.Errorf("parallel: Evaluations must be positive")
+	}
+	if c.TF == nil {
+		return fmt.Errorf("parallel: TF distribution is required")
+	}
+	if c.TC == nil {
+		c.TC = stats.NewConstant(6e-6) // the paper's measured Ranger value
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 1
+	}
+	if c.StragglerFraction < 0 || c.StragglerFraction > 1 {
+		return fmt.Errorf("parallel: straggler fraction %v outside [0,1]", c.StragglerFraction)
+	}
+	return nil
+}
+
+// Result summarizes a parallel run.
+type Result struct {
+	// ElapsedTime is T_P: the virtual time at which the N-th
+	// evaluation was accepted by the master (wall-clock seconds for
+	// the realtime executor).
+	ElapsedTime float64
+	// Evaluations actually completed (== the configured budget).
+	Evaluations uint64
+	// Processors is P.
+	Processors int
+
+	// MasterBusy is the master's total busy time (T_C and T_A
+	// holds); MasterUtilization = MasterBusy / ElapsedTime.
+	MasterBusy        float64
+	MasterUtilization float64
+	// MeanWorkerUtilization averages busy/elapsed across workers.
+	MeanWorkerUtilization float64
+
+	// MeanTA, MeanTF, MeanTC are the observed means of the timing
+	// processes during this run.
+	MeanTA, MeanTF, MeanTC float64
+	// TASamples and TFSamples hold raw samples when CaptureTimings
+	// was set.
+	TASamples, TFSamples []float64
+
+	// Final is the Borg instance at the end of the run (archive,
+	// operator probabilities, restart counts).
+	Final *core.Borg
+
+	// Generations is the number of synchronization barriers
+	// (synchronous driver only).
+	Generations uint64
+}
+
+// SerialTime estimates T_S = N·(T̄F + T̄A) (Eq. 1) from this run's
+// observed means, the quantity speedup and efficiency are measured
+// against.
+func (r *Result) SerialTime() float64 {
+	return float64(r.Evaluations) * (r.MeanTF + r.MeanTA)
+}
+
+// Speedup returns S_P = T_S / T_P using the run's own timing means.
+func (r *Result) Speedup() float64 {
+	if r.ElapsedTime == 0 {
+		return 0
+	}
+	return r.SerialTime() / r.ElapsedTime
+}
+
+// Efficiency returns E_P = T_S / (P·T_P).
+func (r *Result) Efficiency() float64 {
+	if r.ElapsedTime == 0 || r.Processors == 0 {
+		return 0
+	}
+	return r.SerialTime() / (float64(r.Processors) * r.ElapsedTime)
+}
+
+// taMeter measures or samples the master's algorithm time.
+type taMeter struct {
+	dist    stats.Distribution
+	rng     *rng.Source
+	capture bool
+	samples []float64
+	sum     float64
+	n       uint64
+}
+
+// measure wraps the master critical section fn, returning the T_A
+// charge: sampled from the distribution when set, otherwise the
+// measured wall-clock duration of fn.
+func (m *taMeter) measure(fn func()) float64 {
+	var ta float64
+	if m.dist != nil {
+		fn()
+		ta = m.dist.Sample(m.rng)
+	} else {
+		start := time.Now()
+		fn()
+		ta = time.Since(start).Seconds()
+	}
+	m.sum += ta
+	m.n++
+	if m.capture {
+		m.samples = append(m.samples, ta)
+	}
+	return ta
+}
+
+func (m *taMeter) mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}

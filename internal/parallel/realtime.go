@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"time"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/rng"
+)
+
+// RunAsyncRealtime executes the asynchronous master-slave Borg MOEA
+// with real goroutines, channels and wall-clock delays — the Go
+// equivalent of the paper's MPI implementation, used to cross-validate
+// the virtual-time driver against actual concurrent execution.
+// Evaluation delays are slept for real; keep N·TF/(P−1) small.
+//
+// The master is a single goroutine, preserving the paper's property
+// that the algorithm's critical section is serial; workers communicate
+// over channels (the MPI substitution — see DESIGN.md §2).
+func RunAsyncRealtime(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	algCfg := cfg.Algorithm
+	algCfg.Seed = cfg.Seed
+	b, err := core.New(cfg.Problem, algCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := cfg.Processors - 1
+	tasks := make(chan *core.Solution, workers)
+	results := make(chan *core.Solution, workers)
+	done := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wRng := rng.New(cfg.Seed ^ (uint64(w+1) * 0x9e3779b97f4a7c15))
+		straggler := cfg.StragglerFraction > 0 &&
+			float64(w) < cfg.StragglerFraction*float64(workers)
+		go func() {
+			for s := range tasks {
+				core.EvaluateSolution(cfg.Problem, s)
+				tf := cfg.TF.Sample(wRng)
+				if straggler {
+					tf *= cfg.StragglerFactor
+				}
+				time.Sleep(time.Duration(tf * float64(time.Second)))
+				select {
+				case results <- s:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	res := &Result{Processors: cfg.Processors, Final: b}
+	start := time.Now()
+	taSum := 0.0
+	var taN uint64
+	for w := 0; w < workers; w++ {
+		tasks <- b.Suggest()
+	}
+	for completed := uint64(0); completed < cfg.Evaluations; completed++ {
+		s := <-results
+		t0 := time.Now()
+		b.Accept(s)
+		next := b.Suggest()
+		taSum += time.Since(t0).Seconds()
+		taN++
+		if cfg.CheckpointEvery > 0 && (completed+1)%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(time.Since(start).Seconds(), b)
+		}
+		if completed+1 < cfg.Evaluations {
+			tasks <- next
+		}
+	}
+	res.ElapsedTime = time.Since(start).Seconds()
+	close(done)
+	close(tasks)
+
+	res.Evaluations = cfg.Evaluations
+	res.MeanTA = taSum / float64(taN)
+	res.MeanTF = cfg.TF.Mean()
+	res.MeanTC = 0 // channel transfers; not separately measurable here
+	return res, nil
+}

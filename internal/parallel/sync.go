@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"fmt"
+
+	"borgmoea/internal/cluster"
+	"borgmoea/internal/core"
+	"borgmoea/internal/des"
+	"borgmoea/internal/rng"
+)
+
+// RunSync executes the synchronous (generational) master-slave MOEA
+// baseline of Cantú-Paz on the virtual cluster, using the same Borg
+// core for search so the comparison isolates the coordination model.
+//
+// Protocol (Figure 1 of the paper): each generation the master
+// generates P offspring (T_A each — the synchronous algorithm
+// processes the whole generation, hence T_A^sync ≈ P·T_A), sends one
+// to each of the P−1 workers (T_C each), evaluates one offspring
+// itself (T_F), then waits for every worker's result (T_C per
+// receive) before starting the next generation. The barrier makes the
+// generation as slow as its slowest evaluation — the effect the
+// asynchronous design removes.
+func RunSync(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	eng := des.New()
+	if cfg.TraceHook != nil {
+		eng.SetTrace(func(ev des.TraceEvent) {
+			cfg.TraceHook(ev.At, ev.Kind, ev.Actor, ev.Detail)
+		})
+	}
+	cl := cluster.New(eng, cluster.Config{Nodes: cfg.Processors, Seed: cfg.Seed})
+
+	algCfg := cfg.Algorithm
+	algCfg.Seed = cfg.Seed
+	b, err := core.New(cfg.Problem, algCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Processors: cfg.Processors, Final: b}
+	masterRng := rng.New(cfg.Seed ^ 0x73796e63) // "sync"
+	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings}
+	tcSum, tcN := 0.0, uint64(0)
+	sampleTC := func() float64 {
+		tc := cfg.TC.Sample(masterRng)
+		tcSum += tc
+		tcN++
+		return tc
+	}
+
+	tfSum, tfN := 0.0, uint64(0)
+	sampleTF := func(r *rng.Source, straggler bool) float64 {
+		tf := cfg.TF.Sample(r)
+		if straggler {
+			tf *= cfg.StragglerFactor
+		}
+		tfSum += tf
+		tfN++
+		if cfg.CaptureTimings {
+			res.TFSamples = append(res.TFSamples, tf)
+		}
+		return tf
+	}
+
+	// Workers: evaluate exactly one solution per generation.
+	for w := 1; w < cfg.Processors; w++ {
+		w := w
+		node := cl.Node(w)
+		wRng := rng.New(cfg.Seed ^ (uint64(w) * 0x9e3779b97f4a7c15))
+		straggler := cfg.StragglerFraction > 0 &&
+			float64(w-1) < cfg.StragglerFraction*float64(cfg.Processors-1)
+		eng.Go(fmt.Sprintf("worker%d", w), func(p *des.Process) {
+			for {
+				msg := node.Recv(p)
+				if msg.Tag == tagStop {
+					return
+				}
+				s := msg.Payload.(*core.Solution)
+				core.EvaluateSolution(cfg.Problem, s)
+				node.HoldBusy(p, sampleTF(wRng, straggler), "eval")
+				node.Send(0, tagResult, s)
+			}
+		})
+	}
+
+	master := cl.Node(0)
+	masterTFRng := rng.New(cfg.Seed ^ 0x6d746600)
+	completed := uint64(0)
+	var elapsedAtN float64
+	eng.Go("master", func(p *des.Process) {
+		batch := make([]*core.Solution, cfg.Processors)
+		for completed < cfg.Evaluations {
+			// Generate the generation's P offspring.
+			for i := range batch {
+				var s *core.Solution
+				ta := meter.measure(func() { s = b.Suggest() })
+				master.HoldBusy(p, ta, "algo")
+				batch[i] = s
+			}
+			// Scatter: one offspring per worker.
+			for w := 1; w < cfg.Processors; w++ {
+				master.HoldBusy(p, sampleTC(), "comm")
+				master.Send(w, tagEvaluate, batch[w])
+			}
+			// The master evaluates one offspring itself.
+			core.EvaluateSolution(cfg.Problem, batch[0])
+			master.HoldBusy(p, sampleTF(masterTFRng, false), "eval")
+			// Gather: the synchronization barrier.
+			for w := 1; w < cfg.Processors; w++ {
+				master.Recv(p)
+				master.HoldBusy(p, sampleTC(), "comm")
+			}
+			// Fold the full generation back in.
+			for _, s := range batch {
+				ta := meter.measure(func() { b.Accept(s) })
+				master.HoldBusy(p, ta, "algo")
+				completed++
+				if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+					cfg.OnCheckpoint(p.Now(), b)
+				}
+				if completed >= cfg.Evaluations {
+					break
+				}
+			}
+			res.Generations++
+		}
+		elapsedAtN = p.Now()
+		for w := 1; w < cfg.Processors; w++ {
+			master.Send(w, tagStop, nil)
+		}
+	})
+
+	eng.Run()
+	eng.Shutdown()
+
+	res.ElapsedTime = elapsedAtN
+	res.Evaluations = completed
+	res.MasterBusy = master.BusyTime()
+	if elapsedAtN > 0 {
+		res.MasterUtilization = res.MasterBusy / elapsedAtN
+		sum := 0.0
+		for w := 1; w < cfg.Processors; w++ {
+			sum += cl.Node(w).BusyTime() / elapsedAtN
+		}
+		res.MeanWorkerUtilization = sum / float64(cfg.Processors-1)
+	}
+	res.MeanTA = meter.mean()
+	res.TASamples = meter.samples
+	if tfN > 0 {
+		res.MeanTF = tfSum / float64(tfN)
+	}
+	if tcN > 0 {
+		res.MeanTC = tcSum / float64(tcN)
+	}
+	return res, nil
+}

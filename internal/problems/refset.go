@@ -1,0 +1,85 @@
+package problems
+
+import (
+	"math"
+
+	"borgmoea/internal/rng"
+)
+
+// SphereFront samples count points from the Pareto front shared by
+// DTLZ2/3/4 and UF11: the unit hypersphere octant {f ≥ 0, ‖f‖₂ = 1}
+// in m dimensions. Points are uniform on the octant surface.
+func SphereFront(m, count int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	set := make([][]float64, count)
+	for i := range set {
+		p := make([]float64, m)
+		for {
+			n := 0.0
+			for j := range p {
+				p[j] = math.Abs(r.Norm())
+				n += p[j] * p[j]
+			}
+			if n > 1e-20 {
+				n = math.Sqrt(n)
+				for j := range p {
+					p[j] /= n
+				}
+				break
+			}
+		}
+		set[i] = p
+	}
+	return set
+}
+
+// LinearFront samples count points from the DTLZ1 Pareto front
+// {f ≥ 0, Σf = 0.5} uniformly over the simplex.
+func LinearFront(m, count int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	set := make([][]float64, count)
+	for i := range set {
+		p := make([]float64, m)
+		// Uniform simplex sampling via normalized exponentials.
+		sum := 0.0
+		for j := range p {
+			p[j] = r.Exp(1)
+			sum += p[j]
+		}
+		for j := range p {
+			p[j] = 0.5 * p[j] / sum
+		}
+		set[i] = p
+	}
+	return set
+}
+
+// IdealSphereHypervolume returns the exact hypervolume dominated by
+// the continuous spherical front (DTLZ2/UF11) within [0, ref]^m:
+//
+//	ref^m − V_m/2^m,  V_m = π^{m/2}/Γ(m/2+1)
+//
+// the box volume minus the unit-ball orthant that the front cannot
+// dominate. This is the paper's "ideal mathematical baseline": a
+// normalized hypervolume of 1.
+func IdealSphereHypervolume(m int, ref float64) float64 {
+	if ref < 1 {
+		panic("problems: reference point must dominate the nadir (ref >= 1)")
+	}
+	lg, _ := math.Lgamma(float64(m)/2 + 1)
+	ballOrthant := math.Pow(math.Pi, float64(m)/2) / math.Exp(lg) / math.Pow(2, float64(m))
+	return math.Pow(ref, float64(m)) - ballOrthant
+}
+
+// IdealLinearHypervolume returns the exact hypervolume dominated by
+// the DTLZ1 front {Σf = 0.5} within [0, ref]^m: ref^m − 0.5^m/m!.
+func IdealLinearHypervolume(m int, ref float64) float64 {
+	if ref < 0.5 {
+		panic("problems: reference point must dominate the nadir (ref >= 0.5)")
+	}
+	fact := 1.0
+	for i := 2; i <= m; i++ {
+		fact *= float64(i)
+	}
+	return math.Pow(ref, float64(m)) - math.Pow(0.5, float64(m))/fact
+}

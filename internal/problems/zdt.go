@@ -1,0 +1,141 @@
+package problems
+
+import (
+	"fmt"
+	"math"
+)
+
+// ZDT is the Zitzler-Deb-Thiele bi-objective suite (variants 1, 2, 3,
+// 4 and 6 — ZDT5 is binary-coded and out of scope for a real-valued
+// library). The suite is the standard entry-level benchmark for
+// bi-objective convergence and diversity.
+type ZDT struct {
+	variant int
+	n       int
+	lo, hi  []float64
+}
+
+// NewZDT returns ZDT<variant> with the suite's standard dimensions
+// (30 variables for 1–3, 10 for 4 and 6).
+func NewZDT(variant int) *ZDT {
+	var n int
+	switch variant {
+	case 1, 2, 3:
+		n = 30
+	case 4, 6:
+		n = 10
+	default:
+		panic(fmt.Sprintf("problems: ZDT%d not implemented (1-4, 6)", variant))
+	}
+	p := &ZDT{variant: variant, n: n}
+	p.lo = make([]float64, n)
+	p.hi = make([]float64, n)
+	for i := range p.hi {
+		p.hi[i] = 1
+	}
+	if variant == 4 {
+		for i := 1; i < n; i++ {
+			p.lo[i], p.hi[i] = -5, 5
+		}
+	}
+	return p
+}
+
+func (p *ZDT) Name() string               { return fmt.Sprintf("ZDT%d", p.variant) }
+func (p *ZDT) NumVars() int               { return p.n }
+func (p *ZDT) NumObjs() int               { return 2 }
+func (p *ZDT) Bounds() (lo, hi []float64) { return p.lo, p.hi }
+
+// Evaluate computes the ZDT objectives.
+func (p *ZDT) Evaluate(vars, objs []float64) {
+	checkEvalArgs(p, vars, objs)
+	x1 := vars[0]
+	rest := vars[1:]
+	switch p.variant {
+	case 1:
+		g := 1 + 9*meanSlice(rest)
+		objs[0] = x1
+		objs[1] = g * (1 - math.Sqrt(x1/g))
+	case 2:
+		g := 1 + 9*meanSlice(rest)
+		objs[0] = x1
+		objs[1] = g * (1 - (x1/g)*(x1/g))
+	case 3:
+		g := 1 + 9*meanSlice(rest)
+		objs[0] = x1
+		objs[1] = g * (1 - math.Sqrt(x1/g) - x1/g*math.Sin(10*math.Pi*x1))
+	case 4:
+		g := 1 + 10*float64(p.n-1)
+		for _, x := range rest {
+			g += x*x - 10*math.Cos(4*math.Pi*x)
+		}
+		objs[0] = x1
+		objs[1] = g * (1 - math.Sqrt(x1/g))
+	case 6:
+		f1 := 1 - math.Exp(-4*x1)*math.Pow(math.Sin(6*math.Pi*x1), 6)
+		g := 1 + 9*math.Pow(meanSlice(rest), 0.25)
+		objs[0] = f1
+		objs[1] = g * (1 - (f1/g)*(f1/g))
+	}
+}
+
+func meanSlice(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ZDTFront samples count points from ZDT<variant>'s Pareto front.
+func ZDTFront(variant, count int) [][]float64 {
+	out := make([][]float64, 0, count)
+	for i := 0; i < count; i++ {
+		x1 := float64(i) / float64(count-1)
+		f := make([]float64, 2)
+		switch variant {
+		case 1, 4:
+			f[0], f[1] = x1, 1-math.Sqrt(x1)
+		case 2:
+			f[0], f[1] = x1, 1-x1*x1
+		case 3:
+			f[0] = x1
+			f[1] = 1 - math.Sqrt(x1) - x1*math.Sin(10*math.Pi*x1)
+		case 6:
+			f1 := 1 - math.Exp(-4*x1)*math.Pow(math.Sin(6*math.Pi*x1), 6)
+			f[0], f[1] = f1, 1-f1*f1
+		default:
+			panic(fmt.Sprintf("problems: ZDT%d front not available", variant))
+		}
+		out = append(out, f)
+	}
+	if variant == 3 || variant == 6 {
+		// Disconnected/biased fronts: keep only nondominated samples.
+		return nondominated2(out)
+	}
+	return out
+}
+
+// nondominated2 filters a bi-objective set to its nondominated subset.
+func nondominated2(set [][]float64) [][]float64 {
+	var out [][]float64
+	for i, p := range set {
+		dominated := false
+		for j, q := range set {
+			if i == j {
+				continue
+			}
+			if (q[0] <= p[0] && q[1] <= p[1]) && (q[0] < p[0] || q[1] < p[1]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package problems
+
+import (
+	"math"
+	"testing"
+
+	"borgmoea/internal/rng"
+)
+
+func TestZDTDimensions(t *testing.T) {
+	cases := []struct{ v, n int }{{1, 30}, {2, 30}, {3, 30}, {4, 10}, {6, 10}}
+	for _, c := range cases {
+		p := NewZDT(c.v)
+		if p.NumVars() != c.n || p.NumObjs() != 2 {
+			t.Errorf("ZDT%d dims = (%d, %d)", c.v, p.NumVars(), p.NumObjs())
+		}
+	}
+}
+
+func TestZDTConstructorPanics(t *testing.T) {
+	for _, v := range []int{0, 5, 7} {
+		v := v
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZDT(%d) did not panic", v)
+				}
+			}()
+			NewZDT(v)
+		}()
+	}
+}
+
+func TestZDT4Bounds(t *testing.T) {
+	p := NewZDT(4)
+	lo, hi := p.Bounds()
+	if lo[0] != 0 || hi[0] != 1 {
+		t.Error("ZDT4 x1 bounds wrong")
+	}
+	if lo[1] != -5 || hi[1] != 5 {
+		t.Error("ZDT4 distance-variable bounds wrong")
+	}
+}
+
+// TestZDTParetoOptimal: zero distance variables put each problem on
+// its known front shape.
+func TestZDTParetoOptimal(t *testing.T) {
+	r := rng.New(1)
+	for _, v := range []int{1, 2, 3, 4, 6} {
+		p := NewZDT(v)
+		objs := make([]float64, 2)
+		for trial := 0; trial < 100; trial++ {
+			vars := make([]float64, p.NumVars())
+			vars[0] = r.Float64()
+			p.Evaluate(vars, objs)
+			var want float64
+			switch v {
+			case 1, 4:
+				want = 1 - math.Sqrt(objs[0])
+			case 2:
+				want = 1 - objs[0]*objs[0]
+			case 3:
+				want = 1 - math.Sqrt(vars[0]) - vars[0]*math.Sin(10*math.Pi*vars[0])
+			case 6:
+				want = 1 - objs[0]*objs[0]
+			}
+			if math.Abs(objs[1]-want) > 1e-9 {
+				t.Fatalf("ZDT%d optimal point off front: f=(%v, %v), want f2=%v",
+					v, objs[0], objs[1], want)
+			}
+		}
+	}
+}
+
+func TestZDT4Multimodal(t *testing.T) {
+	p := NewZDT(4)
+	objs := make([]float64, 2)
+	vars := make([]float64, 10)
+	vars[0] = 0.5
+	p.Evaluate(vars, objs)
+	base := objs[1]
+	vars[3] = 1.0 // a local optimum of the Rastrigin term is near ±1
+	p.Evaluate(vars, objs)
+	if objs[1] <= base {
+		t.Fatal("ZDT4 distance perturbation did not worsen f2")
+	}
+}
+
+func TestZDTFrontNondominated(t *testing.T) {
+	for _, v := range []int{1, 2, 3, 4, 6} {
+		front := ZDTFront(v, 200)
+		if len(front) < 20 {
+			t.Fatalf("ZDT%d front sample too small: %d", v, len(front))
+		}
+		for i, p := range front {
+			for j, q := range front {
+				if i == j {
+					continue
+				}
+				if (q[0] <= p[0] && q[1] <= p[1]) && (q[0] < p[0] || q[1] < p[1]) {
+					t.Fatalf("ZDT%d reference front contains dominated point %v (by %v)", v, p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestZDTFiniteEverywhere(t *testing.T) {
+	r := rng.New(2)
+	for _, v := range []int{1, 2, 3, 4, 6} {
+		p := NewZDT(v)
+		lo, hi := p.Bounds()
+		objs := make([]float64, 2)
+		for trial := 0; trial < 200; trial++ {
+			vars := make([]float64, p.NumVars())
+			for j := range vars {
+				vars[j] = r.Range(lo[j], hi[j])
+			}
+			p.Evaluate(vars, objs)
+			for _, f := range objs {
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					t.Fatalf("ZDT%d produced non-finite objective", v)
+				}
+			}
+		}
+	}
+}

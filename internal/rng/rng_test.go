@@ -1,0 +1,299 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with the same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("successive Split children produced identical first outputs")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(7): value %d drawn %d times out of 70000, grossly non-uniform", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormMS(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.NormMS(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.05 {
+		t.Fatalf("NormMS(10,2) mean = %v, want ~10", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exp(4)
+		if x < 0 {
+			t.Fatalf("Exp produced negative value %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-0.25) > 0.005 {
+		t.Fatalf("Exp(4) mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 2.0}, {1.0, 1.0}, {2.5, 0.4}, {100, 0.001},
+	}
+	for _, c := range cases {
+		r := New(23)
+		const n = 200000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := r.Gamma(c.shape, c.scale)
+			if x < 0 {
+				t.Fatalf("Gamma(%v,%v) produced negative value", c.shape, c.scale)
+			}
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean+1e-9 {
+			t.Errorf("Gamma(%v,%v) mean = %v, want ~%v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.08*wantVar+1e-9 {
+			t.Errorf("Gamma(%v,%v) variance = %v, want ~%v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0, 1) did not panic")
+		}
+	}()
+	New(1).Gamma(0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	p := make([]int, 50)
+	r.Perm(p)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(31)
+	err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		k := int(kRaw) % (n + 1)
+		idx := r.Sample(n, k, nil)
+		if len(idx) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range idx {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleAppends(t *testing.T) {
+	r := New(37)
+	dst := []int{99}
+	dst = r.Sample(10, 3, dst)
+	if len(dst) != 4 || dst[0] != 99 {
+		t.Fatalf("Sample did not append: %v", dst)
+	}
+}
+
+func TestSamplePanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(2, 3, nil) did not panic")
+		}
+	}()
+	New(1).Sample(2, 3, nil)
+}
+
+func TestSampleCoversAll(t *testing.T) {
+	// Sampling n of n must be a permutation.
+	r := New(41)
+	idx := r.Sample(12, 12, nil)
+	seen := make([]bool, 12)
+	for _, v := range idx {
+		if seen[v] {
+			t.Fatalf("Sample(12,12) repeated index %d: %v", v, idx)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// Over many shuffles of [0,1,2], each of the 6 orderings should
+	// appear roughly 1/6 of the time.
+	r := New(43)
+	counts := map[[3]int]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		a := [3]int{0, 1, 2}
+		r.Shuffle(3, func(x, y int) { a[x], a[y] = a[y], a[x] })
+		counts[a]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 orderings, got %d", len(counts))
+	}
+	for ord, c := range counts {
+		if c < n/6-n/60 || c > n/6+n/60 {
+			t.Fatalf("ordering %v appeared %d times, want ~%d", ord, c, n/6)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(47)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Range(-3,5) = %v out of bounds", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Norm()
+	}
+	_ = sink
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Gamma(100, 0.001)
+	}
+	_ = sink
+}

@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrBadSample reports that a sample cannot be fit (too small, or
+// violating a family's support).
+var ErrBadSample = errors.New("stats: sample unsuitable for fitting")
+
+// LogLikelihood returns the total log-likelihood of the sample under
+// d: sum over x of d.LogPDF(x).
+func LogLikelihood(d Distribution, xs []float64) float64 {
+	ll := 0.0
+	for _, x := range xs {
+		ll += d.LogPDF(x)
+	}
+	return ll
+}
+
+// Fit holds one fitted candidate distribution and its goodness scores.
+type Fit struct {
+	Dist          Distribution
+	LogLikelihood float64
+	NumParams     int
+	AIC           float64 // 2k - 2*loglik
+}
+
+// FitNormal returns the maximum-likelihood normal fit.
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) < 2 {
+		return Normal{}, ErrBadSample
+	}
+	mean := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(xs))) // MLE uses n denominator
+	if sigma == 0 {
+		return Normal{}, ErrBadSample
+	}
+	return Normal{Mu: mean, Sigma: sigma}, nil
+}
+
+// FitLogNormal returns the maximum-likelihood log-normal fit. The
+// sample must be strictly positive.
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	if len(xs) < 2 {
+		return LogNormal{}, ErrBadSample
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return LogNormal{}, ErrBadSample
+		}
+		logs[i] = math.Log(x)
+	}
+	n, err := FitNormal(logs)
+	if err != nil {
+		return LogNormal{}, err
+	}
+	return LogNormal{Mu: n.Mu, Sigma: n.Sigma}, nil
+}
+
+// FitExponential returns the maximum-likelihood exponential fit. The
+// sample must be non-negative with positive mean.
+func FitExponential(xs []float64) (Exponential, error) {
+	if len(xs) == 0 {
+		return Exponential{}, ErrBadSample
+	}
+	for _, x := range xs {
+		if x < 0 {
+			return Exponential{}, ErrBadSample
+		}
+	}
+	mean := Mean(xs)
+	if mean <= 0 {
+		return Exponential{}, ErrBadSample
+	}
+	return Exponential{Rate: 1 / mean}, nil
+}
+
+// FitUniform returns the maximum-likelihood uniform fit
+// [min, max+ulp). The width is nudged so the sample maximum stays in
+// the half-open support.
+func FitUniform(xs []float64) (Uniform, error) {
+	if len(xs) < 2 {
+		return Uniform{}, ErrBadSample
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		return Uniform{}, ErrBadSample
+	}
+	return Uniform{Lo: lo, Hi: math.Nextafter(hi, math.Inf(1))}, nil
+}
+
+// digamma returns the digamma function ψ(x) for x > 0, via the
+// recurrence ψ(x) = ψ(x+1) - 1/x and an asymptotic expansion.
+func digamma(x float64) float64 {
+	result := 0.0
+	for x < 12 {
+		result -= 1 / x
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// Asymptotic series: ln x - 1/(2x) - 1/(12x^2) + 1/(120x^4) - 1/(252x^6)
+	result += math.Log(x) - 0.5*inv - inv2*(1.0/12-inv2*(1.0/120-inv2/252))
+	return result
+}
+
+// trigamma returns ψ'(x) for x > 0.
+func trigamma(x float64) float64 {
+	result := 0.0
+	for x < 12 {
+		result += 1 / (x * x)
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// Asymptotic: 1/x + 1/(2x^2) + 1/(6x^3) - 1/(30x^5) + 1/(42x^7)
+	result += inv + 0.5*inv2 + inv2*inv*(1.0/6-inv2*(1.0/30-inv2/42))
+	return result
+}
+
+// FitGamma returns the maximum-likelihood gamma fit using Newton
+// iteration on the shape (Minka's update). The sample must be strictly
+// positive.
+func FitGamma(xs []float64) (Gamma, error) {
+	if len(xs) < 2 {
+		return Gamma{}, ErrBadSample
+	}
+	mean := 0.0
+	meanLog := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return Gamma{}, ErrBadSample
+		}
+		mean += x
+		meanLog += math.Log(x)
+	}
+	n := float64(len(xs))
+	mean /= n
+	meanLog /= n
+	s := math.Log(mean) - meanLog
+	if s <= 0 {
+		// Zero spread on the log scale: degenerate sample.
+		return Gamma{}, ErrBadSample
+	}
+	// Initial guess (Minka 2002).
+	k := (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	for i := 0; i < 100; i++ {
+		num := math.Log(k) - digamma(k) - s
+		den := 1/k - trigamma(k)
+		next := 1 / (1/k + num/(k*k*den))
+		if next <= 0 || math.IsNaN(next) || math.IsInf(next, 0) {
+			break
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) {
+		return Gamma{}, ErrBadSample
+	}
+	return Gamma{Shape: k, Scale: mean / k}, nil
+}
+
+// FitWeibull returns the maximum-likelihood Weibull fit using Newton
+// iteration on the shape. The sample must be strictly positive.
+func FitWeibull(xs []float64) (Weibull, error) {
+	if len(xs) < 2 {
+		return Weibull{}, ErrBadSample
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return Weibull{}, ErrBadSample
+		}
+		logs[i] = math.Log(x)
+	}
+	n := float64(len(xs))
+	meanLog := Mean(logs)
+	// Solve f(k) = sum(x^k ln x)/sum(x^k) - 1/k - meanLog = 0.
+	k := 1.0
+	// A method-of-moments style start: k ≈ 1.2 / stddev(log x).
+	sd := 0.0
+	for _, l := range logs {
+		d := l - meanLog
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / n)
+	if sd > 0 {
+		k = 1.2 / sd
+	}
+	for i := 0; i < 200; i++ {
+		var sxk, sxkl, sxkl2 float64
+		for j, x := range xs {
+			xk := math.Pow(x, k)
+			sxk += xk
+			sxkl += xk * logs[j]
+			sxkl2 += xk * logs[j] * logs[j]
+		}
+		f := sxkl/sxk - 1/k - meanLog
+		fp := (sxkl2*sxk-sxkl*sxkl)/(sxk*sxk) + 1/(k*k)
+		if fp == 0 {
+			break
+		}
+		next := k - f/fp
+		if next <= 0 || math.IsNaN(next) || math.IsInf(next, 0) {
+			next = k / 2
+		}
+		if math.Abs(next-k) < 1e-12*k {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) {
+		return Weibull{}, ErrBadSample
+	}
+	sxk := 0.0
+	for _, x := range xs {
+		sxk += math.Pow(x, k)
+	}
+	scale := math.Pow(sxk/n, 1/k)
+	return Weibull{Shape: k, Scale: scale}, nil
+}
+
+// numParams maps a fitted family to its parameter count for AIC.
+func numParams(d Distribution) int {
+	switch d.(type) {
+	case Constant:
+		return 1
+	case Exponential:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// FitAll fits every applicable candidate family to the sample and
+// returns the fits sorted by descending log-likelihood. Families whose
+// support the sample violates are silently skipped. The paper's
+// procedure — fit in R, compare log-likelihoods — maps to FitAll +
+// SelectBest.
+func FitAll(xs []float64) []Fit {
+	var fits []Fit
+	add := func(d Distribution, err error) {
+		if err != nil {
+			return
+		}
+		ll := LogLikelihood(d, xs)
+		if math.IsNaN(ll) || math.IsInf(ll, 1) {
+			return
+		}
+		k := numParams(d)
+		fits = append(fits, Fit{
+			Dist:          d,
+			LogLikelihood: ll,
+			NumParams:     k,
+			AIC:           2*float64(k) - 2*ll,
+		})
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	// Degenerate sample: the constant "distribution" is the only honest
+	// description and has infinite density; report just it.
+	if allEqual(xs) {
+		return []Fit{{Dist: NewConstant(xs[0]), LogLikelihood: 0, NumParams: 1, AIC: 2}}
+	}
+	if d, err := FitNormal(xs); err == nil {
+		add(d, nil)
+	}
+	if d, err := FitLogNormal(xs); err == nil {
+		add(d, nil)
+	}
+	if d, err := FitExponential(xs); err == nil {
+		add(d, nil)
+	}
+	if d, err := FitUniform(xs); err == nil {
+		add(d, nil)
+	}
+	if d, err := FitGamma(xs); err == nil {
+		add(d, nil)
+	}
+	if d, err := FitWeibull(xs); err == nil {
+		add(d, nil)
+	}
+	sort.Slice(fits, func(i, j int) bool {
+		return fits[i].LogLikelihood > fits[j].LogLikelihood
+	})
+	return fits
+}
+
+// SelectBest fits all candidate families and returns the one with the
+// highest log-likelihood, mirroring the paper's model-selection step.
+func SelectBest(xs []float64) (Fit, error) {
+	fits := FitAll(xs)
+	if len(fits) == 0 {
+		return Fit{}, ErrBadSample
+	}
+	return fits[0], nil
+}
+
+func allEqual(xs []float64) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}

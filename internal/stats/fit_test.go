@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"borgmoea/internal/rng"
+)
+
+// draw produces n samples from d.
+func draw(d Distribution, n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	return xs
+}
+
+func TestFitNormalRecovers(t *testing.T) {
+	xs := draw(NewNormal(5, 2), 50000, 1)
+	got, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-5) > 0.05 || math.Abs(got.Sigma-2) > 0.05 {
+		t.Errorf("FitNormal = %v, want ~normal(5,2)", got)
+	}
+}
+
+func TestFitLogNormalRecovers(t *testing.T) {
+	xs := draw(NewLogNormal(-2, 0.7), 50000, 2)
+	got, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu+2) > 0.03 || math.Abs(got.Sigma-0.7) > 0.03 {
+		t.Errorf("FitLogNormal = %v, want ~lognormal(-2,0.7)", got)
+	}
+}
+
+func TestFitExponentialRecovers(t *testing.T) {
+	xs := draw(NewExponential(30), 50000, 3)
+	got, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Rate-30)/30 > 0.03 {
+		t.Errorf("FitExponential = %v, want rate ~30", got)
+	}
+}
+
+func TestFitUniformRecovers(t *testing.T) {
+	xs := draw(NewUniform(3, 9), 50000, 4)
+	got, err := FitUniform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Lo-3) > 0.01 || math.Abs(got.Hi-9) > 0.01 {
+		t.Errorf("FitUniform = %v, want ~uniform(3,9)", got)
+	}
+	// The sample maximum must lie inside the fitted support.
+	maxX := xs[0]
+	for _, x := range xs {
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if !(maxX < got.Hi) {
+		t.Errorf("sample max %v not inside fitted support [%v,%v)", maxX, got.Lo, got.Hi)
+	}
+}
+
+func TestFitGammaRecovers(t *testing.T) {
+	cases := []Gamma{
+		NewGamma(100, 1e-4), // the paper's CV=0.1 controlled-delay shape
+		NewGamma(2, 3),
+		NewGamma(0.7, 1),
+	}
+	for _, want := range cases {
+		xs := draw(want, 50000, 5)
+		got, err := FitGamma(xs)
+		if err != nil {
+			t.Fatalf("FitGamma(%v): %v", want, err)
+		}
+		if math.Abs(got.Shape-want.Shape)/want.Shape > 0.08 {
+			t.Errorf("FitGamma shape = %v, want ~%v", got.Shape, want.Shape)
+		}
+		if math.Abs(got.Mean()-want.Mean())/want.Mean() > 0.03 {
+			t.Errorf("FitGamma mean = %v, want ~%v", got.Mean(), want.Mean())
+		}
+	}
+}
+
+func TestFitWeibullRecovers(t *testing.T) {
+	cases := []Weibull{
+		NewWeibull(1.5, 2),
+		NewWeibull(4, 0.01),
+	}
+	for _, want := range cases {
+		xs := draw(want, 50000, 6)
+		got, err := FitWeibull(xs)
+		if err != nil {
+			t.Fatalf("FitWeibull(%v): %v", want, err)
+		}
+		if math.Abs(got.Shape-want.Shape)/want.Shape > 0.05 {
+			t.Errorf("FitWeibull shape = %v, want ~%v", got.Shape, want.Shape)
+		}
+		if math.Abs(got.Scale-want.Scale)/want.Scale > 0.05 {
+			t.Errorf("FitWeibull scale = %v, want ~%v", got.Scale, want.Scale)
+		}
+	}
+}
+
+func TestFitErrorsOnBadSamples(t *testing.T) {
+	if _, err := FitNormal([]float64{1}); err == nil {
+		t.Error("FitNormal accepted a single observation")
+	}
+	if _, err := FitNormal([]float64{2, 2, 2}); err == nil {
+		t.Error("FitNormal accepted a zero-variance sample")
+	}
+	if _, err := FitLogNormal([]float64{1, -1}); err == nil {
+		t.Error("FitLogNormal accepted a negative observation")
+	}
+	if _, err := FitExponential([]float64{-0.1, 1}); err == nil {
+		t.Error("FitExponential accepted a negative observation")
+	}
+	if _, err := FitGamma([]float64{0, 1}); err == nil {
+		t.Error("FitGamma accepted a zero observation")
+	}
+	if _, err := FitWeibull([]float64{1, 0}); err == nil {
+		t.Error("FitWeibull accepted a zero observation")
+	}
+	if _, err := FitUniform([]float64{3, 3}); err == nil {
+		t.Error("FitUniform accepted a degenerate sample")
+	}
+}
+
+// TestSelectBestPrefersTrueFamily draws from a known family and checks
+// that model selection by log-likelihood picks it (or an equivalent
+// special case).
+func TestSelectBestPrefersTrueFamily(t *testing.T) {
+	cases := []struct {
+		gen        Distribution
+		acceptable map[string]bool
+	}{
+		// Gamma with CV 0.1 looks normal-ish; accept gamma or its
+		// close relatives that achieve near-identical likelihood.
+		{NewGamma(2, 1), map[string]bool{"gamma": true, "weibull": true}},
+		{NewExponential(5), map[string]bool{"exponential": true, "gamma": true, "weibull": true}},
+		{NewNormal(100, 1), map[string]bool{"normal": true, "gamma": true, "lognormal": true, "weibull": true}},
+		{NewLogNormal(0, 1.5), map[string]bool{"lognormal": true}},
+		{NewUniform(10, 11), map[string]bool{"uniform": true}},
+	}
+	for _, c := range cases {
+		xs := draw(c.gen, 20000, 7)
+		best, err := SelectBest(xs)
+		if err != nil {
+			t.Fatalf("SelectBest(%s): %v", c.gen, err)
+		}
+		if !c.acceptable[best.Dist.Name()] {
+			t.Errorf("SelectBest for %s picked %s (ll=%v)", c.gen, best.Dist, best.LogLikelihood)
+		}
+	}
+}
+
+func TestSelectBestConstantSample(t *testing.T) {
+	best, err := SelectBest([]float64{6e-6, 6e-6, 6e-6, 6e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := best.Dist.(Constant)
+	if !ok {
+		t.Fatalf("degenerate sample fitted as %s, want constant", best.Dist)
+	}
+	if c.Value != 6e-6 {
+		t.Errorf("constant value = %v, want 6e-6", c.Value)
+	}
+}
+
+func TestSelectBestEmptySample(t *testing.T) {
+	if _, err := SelectBest(nil); err == nil {
+		t.Error("SelectBest(nil) did not error")
+	}
+}
+
+func TestFitAllSortedByLogLikelihood(t *testing.T) {
+	xs := draw(NewGamma(3, 2), 5000, 8)
+	fits := FitAll(xs)
+	if len(fits) < 4 {
+		t.Fatalf("expected several candidate fits, got %d", len(fits))
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i].LogLikelihood > fits[i-1].LogLikelihood {
+			t.Fatalf("fits not sorted by log-likelihood at %d", i)
+		}
+	}
+	for _, f := range fits {
+		wantAIC := 2*float64(f.NumParams) - 2*f.LogLikelihood
+		if math.Abs(f.AIC-wantAIC) > 1e-9 {
+			t.Errorf("%s: AIC = %v, want %v", f.Dist, f.AIC, wantAIC)
+		}
+	}
+}
+
+func TestDigammaTrigamma(t *testing.T) {
+	// ψ(1) = -γ (Euler–Mascheroni), ψ'(1) = π²/6.
+	const euler = 0.57721566490153286
+	if got := digamma(1); math.Abs(got+euler) > 1e-10 {
+		t.Errorf("digamma(1) = %v, want %v", got, -euler)
+	}
+	if got := trigamma(1); math.Abs(got-math.Pi*math.Pi/6) > 1e-10 {
+		t.Errorf("trigamma(1) = %v, want π²/6", got)
+	}
+	// Recurrence ψ(x+1) = ψ(x) + 1/x at a few points.
+	for _, x := range []float64{0.5, 2.3, 7.7, 40} {
+		if got, want := digamma(x+1), digamma(x)+1/x; math.Abs(got-want) > 1e-9 {
+			t.Errorf("digamma recurrence broken at %v: %v vs %v", x, got, want)
+		}
+		if got, want := trigamma(x+1), trigamma(x)-1/(x*x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("trigamma recurrence broken at %v: %v vs %v", x, got, want)
+		}
+	}
+}
+
+func TestLogLikelihoodMatchesManualSum(t *testing.T) {
+	d := NewNormal(0, 1)
+	xs := []float64{-1, 0, 2}
+	want := d.LogPDF(-1) + d.LogPDF(0) + d.LogPDF(2)
+	if got := LogLikelihood(d, xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogLikelihood = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if math.Abs(s.Variance-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance, 32.0/7)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Variance != 0 || s.Median != 3 || s.Min != 3 || s.Max != 3 {
+		t.Errorf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryCV(t *testing.T) {
+	s := Summary{Mean: 10, Stddev: 1}
+	if s.CV() != 0.1 {
+		t.Errorf("CV = %v, want 0.1", s.CV())
+	}
+	if (Summary{}).CV() != 0 {
+		t.Error("CV of zero-mean summary should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.5, 0.9, 1.0}
+	counts, edges := Histogram(xs, 2)
+	if len(counts) != 2 || len(edges) != 3 {
+		t.Fatalf("histogram shape wrong: %v %v", counts, edges)
+	}
+	if counts[0]+counts[1] != len(xs) {
+		t.Errorf("histogram lost samples: %v", counts)
+	}
+	// 0.5 lands exactly on the second bin's left edge.
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("counts = %v, want [3 3]", counts)
+	}
+	if edges[0] != 0 || edges[2] != 1 {
+		t.Errorf("edges = %v, want [0 0.5 1]", edges)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	counts, _ := Histogram([]float64{5, 5, 5}, 4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("degenerate histogram lost samples: %v", counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Histogram(nil, 3) },
+		func() { Histogram([]float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Histogram did not panic on bad input")
+				}
+			}()
+			fn()
+		}()
+	}
+}
