@@ -11,7 +11,10 @@
 //   - The asynchronous master-slave parallel algorithm on a
 //     discrete-event virtual cluster (RunAsync), the synchronous
 //     generational baseline (RunSync), and a wall-clock goroutine
-//     executor (RunAsyncRealtime).
+//     executor (RunAsyncRealtime). Both virtual-time drivers are
+//     fault-tolerant: a FaultPlan injects crashes, hangs and message
+//     loss, and lease/barrier-timeout protocols recover lost work
+//     (RunResilience measures the efficiency cost).
 //   - The paper's analytical scalability model (SerialTime,
 //     AsyncTime, ProcessorUpperBound, ProcessorLowerBound, SyncTime)
 //     and its discrete-event simulation model (Simulate).
@@ -36,6 +39,7 @@ package borgmoea
 import (
 	"borgmoea/internal/core"
 	"borgmoea/internal/experiment"
+	"borgmoea/internal/fault"
 	"borgmoea/internal/metrics"
 	"borgmoea/internal/model"
 	"borgmoea/internal/nsga2"
@@ -116,6 +120,32 @@ type (
 	IslandsResult = parallel.IslandsResult
 )
 
+// Fault-injection types (see internal/fault): a FaultPlan attached to
+// ParallelConfig.Fault injects crash-stop, crash-recover, transient
+// hangs and message loss into the virtual cluster, and the drivers'
+// lease/barrier-timeout protocols recover the lost work.
+type (
+	// FaultPlan is a composable fault-injection schedule.
+	FaultPlan = fault.Plan
+	// FaultRule applies one failure model to a set of node ranks.
+	FaultRule = fault.Rule
+	// FaultStats counts injected fault events.
+	FaultStats = fault.Stats
+	// CrashStop kills a node once, permanently.
+	CrashStop = fault.CrashStop
+	// CrashRecover alternates a node between up (MTBF) and down
+	// (MTTR) states.
+	CrashRecover = fault.CrashRecover
+	// TransientHang freezes a node for bounded intervals without
+	// losing its state.
+	TransientHang = fault.TransientHang
+)
+
+// FailedFractionPlan builds a crash-recover plan over all workers with
+// exponential MTBF/MTTR such that the given fraction of workers is
+// down at any instant.
+var FailedFractionPlan = fault.FailedFractionPlan
+
 // Model types.
 type (
 	// Times bundles mean T_F, T_A, T_C.
@@ -158,6 +188,11 @@ type (
 	// dynamics across processor counts (paper §VI-A).
 	DynamicsConfig = experiment.DynamicsConfig
 	DynamicsRow    = experiment.DynamicsRow
+	// ResilienceConfig / ResilienceResult / ResilienceCell measure
+	// efficiency versus worker-failure rate, sync vs async.
+	ResilienceConfig = experiment.ResilienceConfig
+	ResilienceResult = experiment.ResilienceResult
+	ResilienceCell   = experiment.ResilienceCell
 )
 
 // Algorithm constructors.
@@ -326,6 +361,10 @@ var (
 	// counts; WriteDynamics renders the result.
 	RunDynamics   = experiment.RunDynamics
 	WriteDynamics = experiment.WriteDynamics
+	// RunResilience measures efficiency versus failure rate;
+	// WriteResilience renders the table.
+	RunResilience   = experiment.RunResilience
+	WriteResilience = experiment.WriteResilience
 	// Renderers for harness outputs.
 	WriteTable2       = experiment.WriteTable2
 	WriteTable2CSV    = experiment.WriteTable2CSV

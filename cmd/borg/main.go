@@ -29,6 +29,9 @@ func main() {
 		parallelP   = flag.Int("parallel", 0, "processor count P for the async master-slave run (0 = serial)")
 		tf          = flag.Float64("tf", 0.01, "mean evaluation delay in seconds (parallel mode)")
 		tfcv        = flag.Float64("tfcv", 0.1, "evaluation delay coefficient of variation")
+		mtbf        = flag.Float64("mtbf", 0, "worker mean time between failures in seconds (0 = no faults; parallel mode)")
+		mttr        = flag.Float64("mttr", 0.5, "worker mean time to repair in seconds (with -mtbf)")
+		leaseT      = flag.Float64("lease-timeout", 0, "master lease timeout in seconds (0 = auto when faults are on)")
 		printFront  = flag.Bool("front", false, "print the full Pareto approximation")
 		plot        = flag.Bool("plot", false, "render an ASCII scatter of the first two objectives")
 		outPath     = flag.String("out", "", "save the final archive as JSON to this path")
@@ -47,14 +50,26 @@ func main() {
 
 	var alg *borgmoea.Algorithm
 	if *parallelP > 0 {
-		res, err := borgmoea.RunAsync(borgmoea.ParallelConfig{
-			Problem:     problem,
-			Algorithm:   cfg,
-			Processors:  *parallelP,
-			Evaluations: *evals,
-			TF:          borgmoea.GammaFromMeanCV(*tf, *tfcv),
-			Seed:        *seed,
-		})
+		pcfg := borgmoea.ParallelConfig{
+			Problem:      problem,
+			Algorithm:    cfg,
+			Processors:   *parallelP,
+			Evaluations:  *evals,
+			TF:           borgmoea.GammaFromMeanCV(*tf, *tfcv),
+			Seed:         *seed,
+			LeaseTimeout: *leaseT,
+		}
+		if *mtbf > 0 {
+			if *mttr <= 0 {
+				fmt.Fprintln(os.Stderr, "-mttr must be positive when -mtbf is set")
+				os.Exit(2)
+			}
+			// Crash-recover faults on every worker at the requested
+			// MTBF/MTTR; the lease protocol resubmits lost work.
+			f := *mttr / (*mtbf + *mttr)
+			pcfg.Fault = borgmoea.FailedFractionPlan(f, *mttr, *seed)
+		}
+		res, err := borgmoea.RunAsync(pcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -62,6 +77,11 @@ func main() {
 		alg = res.Final
 		fmt.Printf("async master-slave: P=%d  T_P=%.2fs  speedup=%.1f  efficiency=%.2f  master-util=%.2f\n",
 			*parallelP, res.ElapsedTime, res.Speedup(), res.Efficiency(), res.MasterUtilization)
+		if *mtbf > 0 {
+			fmt.Printf("faults: completed=%v crashes=%d recoveries=%d resubmitted=%d lost=%d duplicates=%d messages-lost=%d\n",
+				res.Completed, res.WorkerCrashes, res.WorkerRecoveries,
+				res.Resubmissions, res.LostEvaluations, res.DuplicateResults, res.MessagesLost)
+		}
 	} else {
 		alg = borgmoea.MustNewBorg(problem, cfg)
 		alg.Run(*evals, nil)

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	scalesim -tf 0.01 -ta 0.000029 -tc 0.000006 -n 100000 -p 16,32,64,128,256,512,1024
+//
+// With -mtbf the tool switches to the fault-tolerant full driver
+// (real Borg MOEA on the virtual cluster) and reports per-P efficiency
+// under crash-recover worker failures:
+//
+//	scalesim -tf 0.01 -n 20000 -p 16,64,256 -mtbf 10 -mttr 0.5
 package main
 
 import (
@@ -20,14 +26,17 @@ import (
 
 func main() {
 	var (
-		tf    = flag.Float64("tf", 0.01, "mean evaluation time TF (s)")
-		tfcv  = flag.Float64("tfcv", 0.1, "TF coefficient of variation")
-		ta    = flag.Float64("ta", 0.000029, "master algorithm time TA (s)")
-		tc    = flag.Float64("tc", 0.000006, "one-way communication time TC (s)")
-		n     = flag.Uint64("n", 100000, "evaluation budget N")
-		pList = flag.String("p", "16,32,64,128,256,512,1024", "comma-separated processor counts")
-		reps  = flag.Int("reps", 3, "simulation replicates per point")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		tf     = flag.Float64("tf", 0.01, "mean evaluation time TF (s)")
+		tfcv   = flag.Float64("tfcv", 0.1, "TF coefficient of variation")
+		ta     = flag.Float64("ta", 0.000029, "master algorithm time TA (s)")
+		tc     = flag.Float64("tc", 0.000006, "one-way communication time TC (s)")
+		n      = flag.Uint64("n", 100000, "evaluation budget N")
+		pList  = flag.String("p", "16,32,64,128,256,512,1024", "comma-separated processor counts")
+		reps   = flag.Int("reps", 3, "simulation replicates per point")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		mtbf   = flag.Float64("mtbf", 0, "worker mean time between failures in seconds (0 = fault-free model sweep)")
+		mttr   = flag.Float64("mttr", 0.5, "worker mean time to repair in seconds (with -mtbf)")
+		leaseT = flag.Float64("lease-timeout", 0, "master lease timeout in seconds (0 = auto)")
 	)
 	flag.Parse()
 
@@ -35,6 +44,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *mtbf > 0 {
+		if *mttr <= 0 {
+			fmt.Fprintln(os.Stderr, "-mttr must be positive when -mtbf is set")
+			os.Exit(2)
+		}
+		faultSweep(ps, *tf, *tfcv, *ta, *tc, *n, *seed, *mtbf, *mttr, *leaseT)
+		return
 	}
 
 	times := borgmoea.Times{TF: *tf, TA: *ta, TC: *tc}
@@ -70,6 +88,47 @@ func main() {
 		fmt.Printf("%6d | %10.2f %8.1f %6.2f %7.2f | %10.2f %6.2f\n",
 			p, mean, ts/mean, ts/(float64(p)*mean), one.MeanQueueLength,
 			ana, borgmoea.AsyncEfficiency(p, times))
+	}
+}
+
+// faultSweep runs the fault-tolerant asynchronous driver (real Borg
+// MOEA, DTLZ2 with 5 objectives, constant TA) under crash-recover
+// worker failures and prints efficiency plus fault accounting per P.
+func faultSweep(ps []int, tf, tfcv, ta, tc float64, n, seed uint64, mtbf, mttr, leaseT float64) {
+	failedFraction := mttr / (mtbf + mttr)
+	fmt.Printf("fault sweep: TF=%g (CV %g)  TA=%g  TC=%g  N=%d  MTBF=%gs MTTR=%gs (%.2f%% workers down)\n\n",
+		tf, tfcv, ta, tc, n, mtbf, mttr, 100*failedFraction)
+	fmt.Printf("%6s | %10s %6s %6s | %8s %8s %8s %8s %6s\n",
+		"P", "T_P", "eff", "done", "crashes", "recover", "resub", "lost", "dup")
+	fmt.Println(strings.Repeat("-", 84))
+	problem := borgmoea.NewDTLZ2(5)
+	for _, p := range ps {
+		res, err := borgmoea.RunAsync(borgmoea.ParallelConfig{
+			Problem: problem,
+			Algorithm: borgmoea.Config{
+				Epsilons: borgmoea.UniformEpsilons(problem.NumObjs(), 0.15),
+			},
+			Processors:   p,
+			Evaluations:  n,
+			TF:           borgmoea.GammaFromMeanCV(tf, tfcv),
+			TA:           borgmoea.ConstantDist(ta),
+			TC:           borgmoea.ConstantDist(tc),
+			Seed:         seed + uint64(p),
+			LeaseTimeout: leaseT,
+			Fault:        borgmoea.FailedFractionPlan(failedFraction, mttr, seed+uint64(p)),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		done := "yes"
+		if !res.Completed {
+			done = "NO"
+		}
+		fmt.Printf("%6d | %10.2f %6.2f %6s | %8d %8d %8d %8d %6d\n",
+			p, res.ElapsedTime, res.Efficiency(), done,
+			res.WorkerCrashes, res.WorkerRecoveries,
+			res.Resubmissions, res.LostEvaluations, res.DuplicateResults)
 	}
 }
 

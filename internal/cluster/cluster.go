@@ -52,6 +52,8 @@ type Cluster struct {
 	rng     *rng.Source
 
 	messagesSent uint64
+	messagesLost uint64
+	dropFn       func(*Message) bool
 }
 
 // New builds a cluster on the engine. It panics if cfg.Nodes < 1.
@@ -85,6 +87,15 @@ func (c *Cluster) Node(rank int) *Node {
 // MessagesSent returns the number of messages sent so far.
 func (c *Cluster) MessagesSent() uint64 { return c.messagesSent }
 
+// MessagesLost returns the number of messages discarded by the drop
+// hook or by delivery to a failed node.
+func (c *Cluster) MessagesLost() uint64 { return c.messagesLost }
+
+// SetDropFn installs a per-message loss hook consulted at delivery
+// time: returning true discards the message. Used by internal/fault to
+// model lossy links. A nil fn disables loss.
+func (c *Cluster) SetDropFn(fn func(*Message) bool) { c.dropFn = fn }
+
 // Node is one machine in the cluster. At most one process should
 // receive on a node at a time (each node runs a single rank process,
 // as in the paper's one-solution-per-worker setup).
@@ -95,6 +106,8 @@ type Node struct {
 	inbox   []*Message
 	waiting *des.Process
 	failed  bool
+	epoch   uint64
+	suspend des.Time
 
 	busyIntegral float64
 	busySince    des.Time
@@ -106,14 +119,56 @@ type Node struct {
 // Rank returns the node's rank (0 is the master by convention).
 func (n *Node) Rank() int { return n.rank }
 
-// Failed reports whether the node has been failed via Fail.
+// Failed reports whether the node is currently failed.
 func (n *Node) Failed() bool { return n.failed }
 
-// Fail marks the node dead: subsequent messages to it are dropped and
-// never delivered. Used for failure-injection experiments. A process
-// already running on the node is not interrupted; callers model death
-// by having the process stop responding (e.g. park forever).
-func (n *Node) Fail() { n.failed = true }
+// Fail marks the node dead: its inbox is discarded (in-flight state is
+// lost with the crash) and subsequent messages to it are dropped until
+// Recover. The node's process is not interrupted; drivers model lost
+// work by comparing Epoch before and after an evaluation — a crash
+// during the interval bumps the epoch, so the stale result is never
+// sent (see internal/parallel).
+func (n *Node) Fail() {
+	if n.failed {
+		return
+	}
+	n.failed = true
+	n.epoch++
+	n.c.messagesLost += uint64(len(n.inbox))
+	n.inbox = n.inbox[:0]
+	n.c.eng.Emit("fail", n.label(), "")
+}
+
+// Recover marks a failed node alive again. Work it held before the
+// failure stays lost (the epoch advanced); it simply becomes able to
+// receive messages.
+func (n *Node) Recover() {
+	if !n.failed {
+		return
+	}
+	n.failed = false
+	n.c.eng.Emit("recover", n.label(), "")
+}
+
+// Epoch returns the node's incarnation counter: the number of failures
+// it has suffered. Processes snapshot it before starting work and
+// discard results if it changed, modeling work lost in a crash.
+func (n *Node) Epoch() uint64 { return n.epoch }
+
+// Suspend hangs the node until the given absolute virtual time:
+// messages still arrive and queue, but a well-behaved node process
+// defers responses past the suspension (via SuspendedUntil). Repeated
+// suspensions extend, never shorten, the hang.
+func (n *Node) Suspend(until des.Time) {
+	if until > n.suspend {
+		n.suspend = until
+		n.c.eng.Emit("hang", n.label(), fmt.Sprintf("until=%g", until))
+	}
+}
+
+// SuspendedUntil returns the end of the current hang (0, or a past
+// time, when the node is responsive).
+func (n *Node) SuspendedUntil() des.Time { return n.suspend }
 
 // Send transmits a message from this node to rank dst. Delivery is
 // after the cluster's transit latency (zero when unset). Sending does
@@ -122,6 +177,12 @@ func (n *Node) Fail() { n.failed = true }
 func (n *Node) Send(dst, tag int, payload any) {
 	if dst < 0 || dst >= len(n.c.nodes) {
 		panic(fmt.Sprintf("cluster: Send to invalid rank %d", dst))
+	}
+	if n.failed {
+		// A dead node cannot transmit; the message vanishes.
+		n.c.messagesLost++
+		n.c.eng.Emit("drop", n.label(), fmt.Sprintf("dead sender, to=%d tag=%d", dst, tag))
+		return
 	}
 	lat := 0.0
 	if n.c.transit != nil {
@@ -146,7 +207,13 @@ func (n *Node) Send(dst, tag int, payload any) {
 func (c *Cluster) deliver(msg *Message) {
 	dst := c.nodes[msg.To]
 	if dst.failed {
+		c.messagesLost++
 		c.eng.Emit("drop", dst.label(), fmt.Sprintf("from=%d tag=%d", msg.From, msg.Tag))
+		return
+	}
+	if c.dropFn != nil && c.dropFn(msg) {
+		c.messagesLost++
+		c.eng.Emit("loss", dst.label(), fmt.Sprintf("from=%d tag=%d", msg.From, msg.Tag))
 		return
 	}
 	msg.ArriveAt = c.eng.Now()

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+
+	"borgmoea/internal/des"
+)
+
+// Tests for the failure hooks used by internal/fault: Fail/Recover,
+// epochs, suspensions, dead-sender drops and the message-loss hook.
+
+func TestFailFlushesInboxAndBumpsEpoch(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Config{Nodes: 2, Seed: 1})
+	eng.Go("driver", func(p *des.Process) {
+		c.Node(0).Send(1, 7, "a")
+		c.Node(0).Send(1, 7, "b")
+		p.Hold(1) // let deliveries land
+		if got := c.Node(1).InboxLen(); got != 2 {
+			t.Errorf("inbox = %d before failure, want 2", got)
+		}
+		c.Node(1).Fail()
+		if got := c.Node(1).InboxLen(); got != 0 {
+			t.Errorf("inbox = %d after failure, want 0 (flushed)", got)
+		}
+		if !c.Node(1).Failed() {
+			t.Error("node not failed")
+		}
+		if e := c.Node(1).Epoch(); e != 1 {
+			t.Errorf("epoch = %d, want 1", e)
+		}
+		c.Node(1).Fail() // idempotent
+		if e := c.Node(1).Epoch(); e != 1 {
+			t.Errorf("epoch = %d after double Fail, want 1", e)
+		}
+		if lost := c.MessagesLost(); lost != 2 {
+			t.Errorf("messages lost = %d, want 2 (flushed inbox)", lost)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestDeliveryToFailedNodeDrops(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Config{Nodes: 2, Seed: 1})
+	eng.Go("driver", func(p *des.Process) {
+		c.Node(1).Fail()
+		c.Node(0).Send(1, 7, "x")
+		p.Hold(1)
+		if got := c.Node(1).InboxLen(); got != 0 {
+			t.Errorf("failed node received a message")
+		}
+		if lost := c.MessagesLost(); lost != 1 {
+			t.Errorf("messages lost = %d, want 1", lost)
+		}
+		c.Node(1).Recover()
+		if c.Node(1).Failed() {
+			t.Error("node still failed after Recover")
+		}
+		c.Node(1).Recover() // idempotent
+		c.Node(0).Send(1, 7, "y")
+		p.Hold(1)
+		if got := c.Node(1).InboxLen(); got != 1 {
+			t.Errorf("recovered node did not receive; inbox = %d", got)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestDeadSenderDrops(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Config{Nodes: 2, Seed: 1})
+	eng.Go("driver", func(p *des.Process) {
+		c.Node(0).Fail()
+		sentBefore := c.MessagesSent()
+		c.Node(0).Send(1, 7, "x")
+		p.Hold(1)
+		if c.MessagesSent() != sentBefore {
+			t.Error("dead sender's message counted as sent")
+		}
+		if lost := c.MessagesLost(); lost != 1 {
+			t.Errorf("messages lost = %d, want 1", lost)
+		}
+		if c.Node(1).InboxLen() != 0 {
+			t.Error("dead sender's message was delivered")
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}
+
+func TestSuspendIsMonotone(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Config{Nodes: 1, Seed: 1})
+	n := c.Node(0)
+	n.Suspend(5)
+	if n.SuspendedUntil() != 5 {
+		t.Fatalf("suspended until %v, want 5", n.SuspendedUntil())
+	}
+	n.Suspend(3) // must not shorten
+	if n.SuspendedUntil() != 5 {
+		t.Fatalf("suspension shortened to %v", n.SuspendedUntil())
+	}
+	n.Suspend(9)
+	if n.SuspendedUntil() != 9 {
+		t.Fatalf("suspension not extended: %v", n.SuspendedUntil())
+	}
+}
+
+func TestSetDropFn(t *testing.T) {
+	eng := des.New()
+	c := New(eng, Config{Nodes: 2, Seed: 1})
+	drops := 0
+	c.SetDropFn(func(m *Message) bool {
+		drops++
+		return m.Tag == 13 // drop unlucky tags only
+	})
+	eng.Go("driver", func(p *des.Process) {
+		c.Node(0).Send(1, 13, "lost")
+		c.Node(0).Send(1, 7, "kept")
+		p.Hold(1)
+		if got := c.Node(1).InboxLen(); got != 1 {
+			t.Errorf("inbox = %d, want 1 (selective drop)", got)
+		}
+		if drops != 2 {
+			t.Errorf("drop fn consulted %d times, want 2", drops)
+		}
+		if lost := c.MessagesLost(); lost != 1 {
+			t.Errorf("messages lost = %d, want 1", lost)
+		}
+	})
+	eng.Run()
+	eng.Shutdown()
+}

@@ -1,0 +1,55 @@
+package des
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	eng := New()
+	fired := -1.0
+	tm := eng.NewTimer(func() { fired = eng.Now() })
+	tm.Reset(5)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	eng.Run()
+	if fired != 5 {
+		t.Fatalf("fired at %v, want 5", fired)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTimerStopCancels(t *testing.T) {
+	eng := New()
+	fired := false
+	tm := eng.NewTimer(func() { fired = true })
+	tm.Reset(5)
+	tm.Stop()
+	if tm.Armed() {
+		t.Fatal("timer armed after Stop")
+	}
+	tm.Stop() // idempotent
+	eng.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerResetReschedules(t *testing.T) {
+	eng := New()
+	var fires []Time
+	tm := eng.NewTimer(nil)
+	tm.fn = func() { fires = append(fires, eng.Now()) }
+	tm.Reset(5)
+	tm.Reset(9) // supersedes the first deadline
+	eng.Run()
+	if len(fires) != 1 || fires[0] != 9 {
+		t.Fatalf("fires = %v, want exactly [9]", fires)
+	}
+	// Rearming after a firing works from scratch.
+	tm.Reset(3)
+	eng.Run()
+	if len(fires) != 2 || fires[1] != 12 {
+		t.Fatalf("fires = %v, want second firing at 12", fires)
+	}
+}

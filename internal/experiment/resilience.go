@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/fault"
+	"borgmoea/internal/parallel"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/stats"
+)
+
+// ResilienceConfig parameterizes the efficiency-vs-failure-rate table:
+// for each problem and steady-state failed-worker fraction, the sync
+// and async drivers run the same budget under a crash-recover fault
+// plan and report efficiency, resubmissions and losses. It extends the
+// paper's §VI discussion — asynchrony is claimed to degrade gracefully
+// as workers disappear, while the generational barrier pays the full
+// price of each missing worker — with a measurable experiment.
+type ResilienceConfig struct {
+	// Problems under test (default DTLZ2 with 5 objectives, UF11).
+	Problems []problems.Problem
+	// FailedFractions are the steady-state fractions of workers down
+	// at any instant (default 0, 0.01, 0.05, 0.10). 0 is the
+	// fault-free baseline row.
+	FailedFractions []float64
+	// MTTR is the mean repair time in virtual seconds (default 0.5).
+	MTTR float64
+	// Processors is P for every cell (default 64).
+	Processors int
+	// Evaluations is N (default 20000).
+	Evaluations uint64
+	// TFMean and TFCV describe the controlled evaluation delay
+	// (default 0.01s Gamma with CV 0.1, like the paper's mid-range).
+	TFMean float64
+	TFCV   float64
+	// TAOverride fixes the master algorithm time; defaults to the
+	// paper's measured constant 29 µs so cells are deterministic.
+	TAOverride stats.Distribution
+	// LeaseTimeout and BarrierTimeout pass through to the drivers
+	// (0 uses their fault defaults).
+	LeaseTimeout, BarrierTimeout float64
+	// Replicates per cell (default 3), averaged.
+	Replicates int
+	// Seed seeds the experiment.
+	Seed uint64
+	// Progress, when non-nil, receives one line per cell.
+	Progress func(string)
+}
+
+func (c *ResilienceConfig) normalize() error {
+	if len(c.Problems) == 0 {
+		c.Problems = []problems.Problem{problems.NewDTLZ2(5), problems.NewUF11()}
+	}
+	if len(c.FailedFractions) == 0 {
+		c.FailedFractions = []float64{0, 0.01, 0.05, 0.10}
+	}
+	for _, f := range c.FailedFractions {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("experiment: failed fraction %v outside [0,1)", f)
+		}
+	}
+	if c.MTTR == 0 {
+		c.MTTR = 0.5
+	}
+	if c.MTTR < 0 {
+		return fmt.Errorf("experiment: negative MTTR")
+	}
+	if c.Processors == 0 {
+		c.Processors = 64
+	}
+	if c.Processors < 2 {
+		return fmt.Errorf("experiment: need at least 2 processors")
+	}
+	if c.Evaluations == 0 {
+		c.Evaluations = 20000
+	}
+	if c.TFMean == 0 {
+		c.TFMean = 0.01
+	}
+	if c.TFMean < 0 {
+		return fmt.Errorf("experiment: negative TFMean")
+	}
+	if c.TFCV == 0 {
+		c.TFCV = 0.1
+	}
+	if c.TAOverride == nil {
+		c.TAOverride = stats.NewConstant(29e-6)
+	}
+	if c.Replicates == 0 {
+		c.Replicates = 3
+	}
+	return nil
+}
+
+// ResilienceCell is one (problem, failed fraction) row: replicate-mean
+// metrics for both drivers under the same failure process.
+type ResilienceCell struct {
+	Problem        string
+	FailedFraction float64
+
+	AsyncElapsed, SyncElapsed       float64
+	AsyncEfficiency, SyncEfficiency float64
+	// Replicate-mean resubmission / presumed-loss counts.
+	AsyncResubmissions, SyncResubmissions float64
+	AsyncLost, SyncLost                   float64
+	// Completed is false if any replicate failed to finish its budget.
+	AsyncCompleted, SyncCompleted bool
+}
+
+// ResilienceResult is the full table.
+type ResilienceResult struct {
+	Processors  int
+	Evaluations uint64
+	TFMean      float64
+	MTTR        float64
+	Cells       []ResilienceCell
+}
+
+// RunResilience runs the efficiency-vs-failure-rate sweep.
+func RunResilience(cfg ResilienceConfig) (*ResilienceResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	res := &ResilienceResult{
+		Processors:  cfg.Processors,
+		Evaluations: cfg.Evaluations,
+		TFMean:      cfg.TFMean,
+		MTTR:        cfg.MTTR,
+	}
+	for _, prob := range cfg.Problems {
+		for _, f := range cfg.FailedFractions {
+			cell := ResilienceCell{
+				Problem:        prob.Name(),
+				FailedFraction: f,
+				AsyncCompleted: true,
+				SyncCompleted:  true,
+			}
+			for r := 0; r < cfg.Replicates; r++ {
+				seed := cfg.Seed + uint64(r)*104729
+				base := parallel.Config{
+					Problem: prob,
+					Algorithm: core.Config{
+						Epsilons: core.UniformEpsilons(prob.NumObjs(), 0.15),
+					},
+					Processors:     cfg.Processors,
+					Evaluations:    cfg.Evaluations,
+					TF:             stats.GammaFromMeanCV(cfg.TFMean, cfg.TFCV),
+					TA:             cfg.TAOverride,
+					Seed:           seed,
+					LeaseTimeout:   cfg.LeaseTimeout,
+					BarrierTimeout: cfg.BarrierTimeout,
+				}
+				if f > 0 {
+					// The same failure schedule hits both drivers.
+					base.Fault = fault.FailedFractionPlan(f, cfg.MTTR, seed^0xf417)
+				}
+				ar, err := parallel.RunAsync(base)
+				if err != nil {
+					return nil, err
+				}
+				sr, err := parallel.RunSync(base)
+				if err != nil {
+					return nil, err
+				}
+				cell.AsyncElapsed += ar.ElapsedTime
+				cell.SyncElapsed += sr.ElapsedTime
+				cell.AsyncEfficiency += ar.Efficiency()
+				cell.SyncEfficiency += sr.Efficiency()
+				cell.AsyncResubmissions += float64(ar.Resubmissions)
+				cell.SyncResubmissions += float64(sr.Resubmissions)
+				cell.AsyncLost += float64(ar.LostEvaluations)
+				cell.SyncLost += float64(sr.LostEvaluations)
+				cell.AsyncCompleted = cell.AsyncCompleted && ar.Completed
+				cell.SyncCompleted = cell.SyncCompleted && sr.Completed
+			}
+			k := float64(cfg.Replicates)
+			cell.AsyncElapsed /= k
+			cell.SyncElapsed /= k
+			cell.AsyncEfficiency /= k
+			cell.SyncEfficiency /= k
+			cell.AsyncResubmissions /= k
+			cell.SyncResubmissions /= k
+			cell.AsyncLost /= k
+			cell.SyncLost /= k
+			res.Cells = append(res.Cells, cell)
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("%s f=%.2f async eff=%.3f sync eff=%.3f (resub %g/%g)",
+					cell.Problem, f, cell.AsyncEfficiency, cell.SyncEfficiency,
+					cell.AsyncResubmissions, cell.SyncResubmissions))
+			}
+		}
+	}
+	return res, nil
+}
+
+// WriteResilience renders the table as aligned text.
+func WriteResilience(w io.Writer, r *ResilienceResult) error {
+	_, err := fmt.Fprintf(w, "Resilience: P=%d N=%d TF=%g MTTR=%g (crash-recover, exponential)\n",
+		r.Processors, r.Evaluations, r.TFMean, r.MTTR)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%-9s %7s | %9s %6s %7s %6s | %9s %6s %7s %6s\n",
+		"Problem", "Failed",
+		"AsyncT", "Eff", "Resub", "Done",
+		"SyncT", "Eff", "Resub", "Done")
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", 92)); err != nil {
+		return err
+	}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "NO"
+	}
+	prev := ""
+	for _, c := range r.Cells {
+		if prev != "" && prev != c.Problem {
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", 92)); err != nil {
+				return err
+			}
+		}
+		prev = c.Problem
+		_, err := fmt.Fprintf(w, "%-9s %6.1f%% | %9.2f %6.3f %7.1f %6s | %9.2f %6.3f %7.1f %6s\n",
+			c.Problem, 100*c.FailedFraction,
+			c.AsyncElapsed, c.AsyncEfficiency, c.AsyncResubmissions, yn(c.AsyncCompleted),
+			c.SyncElapsed, c.SyncEfficiency, c.SyncResubmissions, yn(c.SyncCompleted))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

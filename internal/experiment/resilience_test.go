@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"borgmoea/internal/problems"
+)
+
+func TestResilienceSmall(t *testing.T) {
+	cfg := ResilienceConfig{
+		Problems:        []problems.Problem{problems.NewDTLZ2(5)},
+		FailedFractions: []float64{0, 0.05},
+		MTTR:            0.02,
+		Processors:      8,
+		Evaluations:     2000,
+		TFMean:          0.001,
+		Replicates:      2,
+		Seed:            1,
+	}
+	res, err := RunResilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	clean, faulty := res.Cells[0], res.Cells[1]
+	if clean.FailedFraction != 0 || faulty.FailedFraction != 0.05 {
+		t.Fatalf("cell order wrong: %+v", res.Cells)
+	}
+	if !clean.AsyncCompleted || !clean.SyncCompleted ||
+		!faulty.AsyncCompleted || !faulty.SyncCompleted {
+		t.Fatalf("incomplete cells: %+v", res.Cells)
+	}
+	if clean.AsyncResubmissions != 0 || clean.SyncResubmissions != 0 {
+		t.Fatalf("fault-free baseline resubmitted work: %+v", clean)
+	}
+	if faulty.AsyncResubmissions == 0 {
+		t.Fatalf("faulty cell shows no async resubmissions: %+v", faulty)
+	}
+	if clean.AsyncEfficiency <= 0 || clean.SyncEfficiency <= 0 {
+		t.Fatalf("nonpositive efficiency: %+v", clean)
+	}
+	// The async driver must not fall behind sync under failures any
+	// worse than it does fault-free (the graceful-degradation claim,
+	// with slack for a small sample).
+	if faulty.AsyncEfficiency < 0.5*faulty.SyncEfficiency {
+		t.Fatalf("async efficiency %.3f collapsed vs sync %.3f under faults",
+			faulty.AsyncEfficiency, faulty.SyncEfficiency)
+	}
+
+	var sb strings.Builder
+	if err := WriteResilience(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Resilience:", "DTLZ2", "0.0%", "5.0%", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResilienceValidation(t *testing.T) {
+	for _, cfg := range []ResilienceConfig{
+		{FailedFractions: []float64{-0.1}},
+		{FailedFractions: []float64{1}},
+		{MTTR: -1},
+		{Processors: 1},
+		{TFMean: -1},
+	} {
+		if _, err := RunResilience(cfg); err == nil {
+			t.Errorf("invalid config accepted: %+v", cfg)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package fault injects composable failure models into the virtual
+// cluster, driven by the discrete-event clock. It makes the paper's
+// §VI graceful-degradation claim testable: the related master-slave
+// systems this reproduction targets (enterprise clouds, lossy
+// distributed islands) lose workers mid-run, and the drivers in
+// internal/parallel must finish the evaluation budget anyway.
+//
+// A Plan is a set of Rules, each applying one failure Model to a set
+// of node ranks, plus an optional message-loss probability. Attach
+// compiles the plan into engine events on the cluster's clock:
+//
+//	plan := &fault.Plan{
+//		Rules: []fault.Rule{{
+//			Fraction: 0.25, // first quarter of the workers
+//			Model:    fault.CrashRecover{MTBF: mtbf, MTTR: mttr},
+//		}},
+//		MessageLoss: 0.001,
+//		Seed:        7,
+//	}
+//	inj := fault.Attach(cl, plan)
+//	... run ...
+//	inj.Stats() // crashes, recoveries, hangs injected
+//
+// All fault processes draw from a dedicated RNG stream seeded by
+// Plan.Seed, so fault timelines are deterministic and independent of
+// the algorithm's random streams: attaching an empty plan leaves a
+// run bit-for-bit unchanged, and the same plan replays the same
+// failure schedule across experiments.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"borgmoea/internal/cluster"
+	"borgmoea/internal/des"
+	"borgmoea/internal/rng"
+	"borgmoea/internal/stats"
+)
+
+// Model is one failure process applied to a single node. Implementations
+// schedule their fault transitions on the injector's engine.
+type Model interface {
+	// Name identifies the model ("crash-stop", "crash-recover", ...).
+	Name() string
+	// install schedules the model's events for the node.
+	install(inj *Injector, node *cluster.Node)
+}
+
+// CrashStop kills the node once, at a time sampled from At, and never
+// recovers it. In-flight work and queued messages are lost.
+type CrashStop struct {
+	// At is the failure-time distribution (required).
+	At stats.Distribution
+}
+
+// Name implements Model.
+func (m CrashStop) Name() string { return "crash-stop" }
+
+func (m CrashStop) install(inj *Injector, node *cluster.Node) {
+	inj.eng.Schedule(nonNeg(m.At.Sample(inj.rng)), func() {
+		inj.crash(node)
+	})
+}
+
+// CrashRecover alternates the node between up and down states: up
+// intervals are drawn from MTBF (mean time between failures), down
+// intervals from MTTR (mean time to repair). With exponential
+// distributions the steady-state failed fraction of affected nodes is
+// MTTR.Mean() / (MTBF.Mean() + MTTR.Mean()).
+type CrashRecover struct {
+	// MTBF is the up-interval distribution (required).
+	MTBF stats.Distribution
+	// MTTR is the down-interval distribution (required).
+	MTTR stats.Distribution
+}
+
+// Name implements Model.
+func (m CrashRecover) Name() string { return "crash-recover" }
+
+func (m CrashRecover) install(inj *Injector, node *cluster.Node) {
+	var up func()
+	up = func() {
+		if inj.stopped {
+			return
+		}
+		inj.eng.Schedule(nonNeg(m.MTBF.Sample(inj.rng)), func() {
+			if inj.stopped {
+				return
+			}
+			inj.crash(node)
+			inj.eng.Schedule(nonNeg(m.MTTR.Sample(inj.rng)), func() {
+				inj.recover(node)
+				up()
+			})
+		})
+	}
+	up()
+}
+
+// TransientHang freezes the node for a bounded interval: it keeps its
+// state and queued messages but stops responding until the hang ends.
+// Hangs repeat with up intervals drawn from Every and hang lengths
+// from Duration.
+type TransientHang struct {
+	// Every is the distribution of responsive intervals between hangs
+	// (required).
+	Every stats.Distribution
+	// Duration is the hang-length distribution (required).
+	Duration stats.Distribution
+}
+
+// Name implements Model.
+func (m TransientHang) Name() string { return "transient-hang" }
+
+func (m TransientHang) install(inj *Injector, node *cluster.Node) {
+	var up func()
+	up = func() {
+		if inj.stopped {
+			return
+		}
+		inj.eng.Schedule(nonNeg(m.Every.Sample(inj.rng)), func() {
+			if inj.stopped {
+				return
+			}
+			d := nonNeg(m.Duration.Sample(inj.rng))
+			inj.hang(node, d)
+			inj.eng.Schedule(d, up)
+		})
+	}
+	up()
+}
+
+// Rule applies one Model to a set of node ranks.
+type Rule struct {
+	// Ranks are the explicit node ranks the model applies to. When
+	// nil, Fraction selects ranks instead.
+	Ranks []int
+	// Fraction, used when Ranks is nil, applies the model to the first
+	// ⌈Fraction·(P−1)⌉ worker ranks (1..P−1; rank 0, the master, is
+	// never selected by Fraction — master failure is not part of the
+	// paper's model).
+	Fraction float64
+	// Model is the failure process (required).
+	Model Model
+}
+
+// Plan is a composable fault-injection schedule for one cluster run.
+// The zero value (and nil) is the empty plan: attaching it is a no-op
+// and leaves the run unchanged.
+type Plan struct {
+	// Rules lists the (ranks, model) pairs to install.
+	Rules []Rule
+	// MessageLoss drops each delivered message independently with this
+	// probability (0 disables).
+	MessageLoss float64
+	// Seed seeds the dedicated fault RNG stream. Distinct from the
+	// run's algorithm seed so fault timelines replay independently.
+	Seed uint64
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Rules) == 0 && p.MessageLoss == 0)
+}
+
+// Validate checks distributions and parameters before a run.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.MessageLoss < 0 || p.MessageLoss >= 1 {
+		return fmt.Errorf("fault: MessageLoss %v outside [0,1)", p.MessageLoss)
+	}
+	for i, r := range p.Rules {
+		if r.Model == nil {
+			return fmt.Errorf("fault: rule %d has no model", i)
+		}
+		if r.Ranks == nil && (r.Fraction <= 0 || r.Fraction > 1) {
+			return fmt.Errorf("fault: rule %d fraction %v outside (0,1]", i, r.Fraction)
+		}
+		switch m := r.Model.(type) {
+		case CrashStop:
+			if m.At == nil {
+				return fmt.Errorf("fault: rule %d crash-stop needs At", i)
+			}
+		case CrashRecover:
+			if m.MTBF == nil || m.MTTR == nil {
+				return fmt.Errorf("fault: rule %d crash-recover needs MTBF and MTTR", i)
+			}
+		case TransientHang:
+			if m.Every == nil || m.Duration == nil {
+				return fmt.Errorf("fault: rule %d transient-hang needs Every and Duration", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats counts the fault events an Injector has delivered.
+type Stats struct {
+	// Crashes and Recoveries count node state transitions.
+	Crashes, Recoveries uint64
+	// Hangs counts transient-hang injections.
+	Hangs uint64
+	// MessagesDropped counts deliveries discarded by the loss hook.
+	MessagesDropped uint64
+}
+
+// Injector is a plan attached to a cluster. It owns the fault RNG
+// stream and the event counters.
+type Injector struct {
+	eng     *des.Engine
+	rng     *rng.Source
+	stats   Stats
+	stopped bool
+	onTrans func(rank int, up bool)
+}
+
+// Stats returns the fault events injected so far.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// SetTransitionHook registers a callback invoked after every node state
+// transition (up=false on crash, up=true on recovery). The drivers use
+// it to push re-registration messages from recovered workers. Must be
+// set before Engine.Run.
+func (inj *Injector) SetTransitionHook(fn func(rank int, up bool)) { inj.onTrans = fn }
+
+// Stop deactivates the injector: recurring fault chains (crash-recover,
+// transient-hang) stop rescheduling and pending fault events become
+// no-ops. Drivers call it at teardown so an otherwise-infinite fault
+// schedule cannot keep the simulation alive after the run finished.
+func (inj *Injector) Stop() { inj.stopped = true }
+
+func (inj *Injector) crash(n *cluster.Node) {
+	if inj.stopped || n.Failed() {
+		return
+	}
+	n.Fail()
+	inj.stats.Crashes++
+	if inj.onTrans != nil {
+		inj.onTrans(n.Rank(), false)
+	}
+}
+
+func (inj *Injector) recover(n *cluster.Node) {
+	if inj.stopped || !n.Failed() {
+		return
+	}
+	n.Recover()
+	inj.stats.Recoveries++
+	if inj.onTrans != nil {
+		inj.onTrans(n.Rank(), true)
+	}
+}
+
+func (inj *Injector) hang(n *cluster.Node, d des.Time) {
+	if inj.stopped {
+		return
+	}
+	n.Suspend(inj.eng.Now() + d)
+	inj.stats.Hangs++
+}
+
+// Attach compiles the plan into fault events on the cluster's engine
+// and returns the Injector tracking them. It must be called before
+// Engine.Run, at cluster-construction time. Attaching a nil or empty
+// plan returns a usable zero-stat Injector without touching the
+// cluster. Attach panics on an invalid plan (use Validate first for
+// error returns).
+func Attach(cl *cluster.Cluster, p *Plan) *Injector {
+	inj := &Injector{eng: cl.Engine()}
+	if p.Empty() {
+		return inj
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	inj.rng = rng.New(p.Seed ^ 0x6661756c74) // "fault"
+	for _, r := range p.Rules {
+		for _, rank := range r.ranks(cl.Size()) {
+			if rank < 0 || rank >= cl.Size() {
+				panic(fmt.Sprintf("fault: rule targets invalid rank %d", rank))
+			}
+			r.Model.install(inj, cl.Node(rank))
+		}
+	}
+	if p.MessageLoss > 0 {
+		loss := p.MessageLoss
+		cl.SetDropFn(func(*cluster.Message) bool {
+			if inj.rng.Float64() < loss {
+				inj.stats.MessagesDropped++
+				return true
+			}
+			return false
+		})
+	}
+	return inj
+}
+
+// ranks resolves the rule's target ranks for a cluster of size p.
+func (r Rule) ranks(p int) []int {
+	if r.Ranks != nil {
+		return r.Ranks
+	}
+	workers := p - 1
+	n := int(math.Ceil(r.Fraction * float64(workers)))
+	if n > workers {
+		n = workers
+	}
+	out := make([]int, 0, n)
+	for w := 1; w <= n; w++ {
+		out = append(out, w)
+	}
+	return out
+}
+
+// nonNeg clamps sampled delays at zero (distributions such as Normal
+// can go negative).
+func nonNeg(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+// FailedFractionPlan is a convenience constructor for the resilience
+// experiments: a crash-recover plan over all workers with exponential
+// MTBF/MTTR chosen so the expected fraction of workers down at any
+// instant is failedFraction, with mean repair time mttr seconds.
+// failedFraction must lie in (0, 1).
+func FailedFractionPlan(failedFraction, mttr float64, seed uint64) *Plan {
+	if failedFraction <= 0 || failedFraction >= 1 {
+		panic(fmt.Sprintf("fault: failed fraction %v outside (0,1)", failedFraction))
+	}
+	if mttr <= 0 {
+		panic("fault: MTTR must be positive")
+	}
+	// f = MTTR/(MTBF+MTTR)  ⇒  MTBF = MTTR·(1−f)/f.
+	mtbf := mttr * (1 - failedFraction) / failedFraction
+	return &Plan{
+		Rules: []Rule{{
+			Fraction: 1,
+			Model: CrashRecover{
+				MTBF: stats.NewExponential(1 / mtbf),
+				MTTR: stats.NewExponential(1 / mttr),
+			},
+		}},
+		Seed: seed,
+	}
+}

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"borgmoea/internal/cluster"
+	"borgmoea/internal/des"
+	"borgmoea/internal/stats"
+)
+
+func newCluster(nodes int) (*des.Engine, *cluster.Cluster) {
+	eng := des.New()
+	return eng, cluster.New(eng, cluster.Config{Nodes: nodes, Seed: 1})
+}
+
+func TestEmptyPlanIsNoOp(t *testing.T) {
+	_, cl := newCluster(4)
+	for _, p := range []*Plan{nil, {}} {
+		inj := Attach(cl, p)
+		if inj == nil {
+			t.Fatal("Attach returned nil injector")
+		}
+		if s := inj.Stats(); s != (Stats{}) {
+			t.Fatalf("empty plan produced stats %+v", s)
+		}
+	}
+}
+
+func TestCrashStop(t *testing.T) {
+	eng, cl := newCluster(3)
+	inj := Attach(cl, &Plan{
+		Rules: []Rule{{Ranks: []int{1}, Model: CrashStop{At: stats.NewConstant(5)}}},
+		Seed:  1,
+	})
+	eng.RunUntil(10)
+	if !cl.Node(1).Failed() {
+		t.Fatal("node 1 did not crash")
+	}
+	if cl.Node(2).Failed() {
+		t.Fatal("node 2 crashed but was not targeted")
+	}
+	st := inj.Stats()
+	if st.Crashes != 1 || st.Recoveries != 0 {
+		t.Fatalf("stats = %+v, want 1 crash, 0 recoveries", st)
+	}
+	if e := cl.Node(1).Epoch(); e != 1 {
+		t.Fatalf("epoch = %d after one crash, want 1", e)
+	}
+}
+
+func TestCrashRecoverAlternates(t *testing.T) {
+	eng, cl := newCluster(2)
+	inj := Attach(cl, &Plan{
+		Rules: []Rule{{Ranks: []int{1}, Model: CrashRecover{
+			MTBF: stats.NewConstant(2),
+			MTTR: stats.NewConstant(1),
+		}}},
+		Seed: 1,
+	})
+	// Cycle is 3s: down during [2,3), [5,6), ... Run 10s → 3 full
+	// cycles plus a crash at t=8 (recovery at 9 fires before 10).
+	eng.RunUntil(10)
+	st := inj.Stats()
+	if st.Crashes < 3 || st.Recoveries < 2 {
+		t.Fatalf("stats = %+v, want >=3 crashes and >=2 recoveries over 10s", st)
+	}
+	if st.Recoveries != st.Crashes && st.Recoveries != st.Crashes-1 {
+		t.Fatalf("recoveries %d inconsistent with crashes %d", st.Recoveries, st.Crashes)
+	}
+}
+
+func TestTransientHangSuspends(t *testing.T) {
+	eng, cl := newCluster(2)
+	inj := Attach(cl, &Plan{
+		Rules: []Rule{{Ranks: []int{1}, Model: TransientHang{
+			Every:    stats.NewConstant(4),
+			Duration: stats.NewConstant(1),
+		}}},
+		Seed: 1,
+	})
+	eng.RunUntil(4.5)
+	if until := cl.Node(1).SuspendedUntil(); until != 5 {
+		t.Fatalf("suspended until %v, want 5", until)
+	}
+	if cl.Node(1).Failed() {
+		t.Fatal("hang must not mark the node failed")
+	}
+	if inj.Stats().Hangs != 1 {
+		t.Fatalf("hangs = %d, want 1", inj.Stats().Hangs)
+	}
+}
+
+func TestStopHaltsChains(t *testing.T) {
+	eng, cl := newCluster(2)
+	inj := Attach(cl, &Plan{
+		Rules: []Rule{{Ranks: []int{1}, Model: CrashRecover{
+			MTBF: stats.NewConstant(1),
+			MTTR: stats.NewConstant(1),
+		}}},
+		Seed: 1,
+	})
+	eng.RunUntil(10)
+	frozen := inj.Stats()
+	inj.Stop()
+	// With the injector stopped the recurring chain must not generate
+	// unbounded further events: the engine drains and Run returns.
+	eng.Run()
+	if inj.Stats() != frozen {
+		t.Fatalf("stats advanced after Stop: %+v -> %+v", frozen, inj.Stats())
+	}
+}
+
+func TestTransitionHook(t *testing.T) {
+	eng, cl := newCluster(2)
+	inj := Attach(cl, &Plan{
+		Rules: []Rule{{Ranks: []int{1}, Model: CrashRecover{
+			MTBF: stats.NewConstant(2),
+			MTTR: stats.NewConstant(1),
+		}}},
+		Seed: 1,
+	})
+	var events []bool
+	inj.SetTransitionHook(func(rank int, up bool) {
+		if rank != 1 {
+			t.Fatalf("hook fired for rank %d", rank)
+		}
+		events = append(events, up)
+	})
+	eng.RunUntil(4) // crash at 2, recover at 3
+	if len(events) < 2 || events[0] != false || events[1] != true {
+		t.Fatalf("transition events = %v, want [down, up, ...]", events)
+	}
+}
+
+func TestMessageLossDropsFraction(t *testing.T) {
+	eng, cl := newCluster(2)
+	inj := Attach(cl, &Plan{MessageLoss: 0.5, Seed: 1})
+	const sends = 2000
+	eng.Go("sender", func(p *des.Process) {
+		for i := 0; i < sends; i++ {
+			cl.Node(0).Send(1, 0, i)
+			p.Hold(1)
+		}
+	})
+	eng.Go("receiver", func(p *des.Process) {
+		for {
+			cl.Node(1).Recv(p)
+		}
+	})
+	eng.RunUntil(float64(sends + 1))
+	eng.Shutdown()
+	dropped := inj.Stats().MessagesDropped
+	if dropped < sends/3 || dropped > 2*sends/3 {
+		t.Fatalf("dropped %d of %d at p=0.5", dropped, sends)
+	}
+	if cl.MessagesLost() != dropped {
+		t.Fatalf("cluster lost %d, injector dropped %d", cl.MessagesLost(), dropped)
+	}
+}
+
+func TestFractionSelectsWorkersOnly(t *testing.T) {
+	r := Rule{Fraction: 0.5}
+	got := r.ranks(9) // 8 workers → first 4
+	if len(got) != 4 {
+		t.Fatalf("ranks = %v, want 4 ranks", got)
+	}
+	for _, w := range got {
+		if w == 0 {
+			t.Fatal("fraction selected the master")
+		}
+	}
+	if all := (Rule{Fraction: 1}).ranks(5); len(all) != 4 {
+		t.Fatalf("fraction 1 selected %v, want all 4 workers", all)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Plan{
+		{MessageLoss: -0.1},
+		{MessageLoss: 1},
+		{Rules: []Rule{{Fraction: 0.5}}}, // no model
+		{Rules: []Rule{{Model: CrashStop{At: stats.NewConstant(1)}}}}, // no ranks, no fraction
+		{Rules: []Rule{{Fraction: 0.5, Model: CrashStop{}}}},
+		{Rules: []Rule{{Fraction: 0.5, Model: CrashRecover{}}}},
+		{Rules: []Rule{{Fraction: 0.5, Model: TransientHang{}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated but is invalid", i)
+		}
+	}
+	if err := (*Plan)(nil).Validate(); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+}
+
+func TestFailedFractionPlan(t *testing.T) {
+	p := FailedFractionPlan(0.01, 0.5, 7)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Rules[0].Model.(CrashRecover)
+	mtbf, mttr := m.MTBF.Mean(), m.MTTR.Mean()
+	if f := mttr / (mtbf + mttr); f < 0.009 || f > 0.011 {
+		t.Fatalf("steady-state failed fraction = %v, want 0.01", f)
+	}
+	if !strings.Contains(p.Rules[0].Model.Name(), "crash-recover") {
+		t.Fatalf("unexpected model %q", p.Rules[0].Model.Name())
+	}
+}

@@ -1,13 +1,30 @@
 package parallel
 
 import (
-	"fmt"
-
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
 	"borgmoea/internal/rng"
 )
+
+// Worker states tracked by the asynchronous master's lease table.
+const (
+	wsIdle int8 = iota
+	wsBusy
+	wsDead
+)
+
+// lease is one outstanding evaluation: the dispatched work item, the
+// worker it was granted to, and the virtual-time deadline after which
+// the master presumes the work lost and resubmits a clone. done marks
+// leases settled (result accepted, or expired and reissued) so stale
+// entries in the deadline queue are skipped.
+type lease struct {
+	item     *workItem
+	worker   int
+	deadline des.Time
+	done     bool
+}
 
 // RunAsync executes the asynchronous, master-slave Borg MOEA on the
 // virtual cluster and returns its timing and search results.
@@ -19,6 +36,18 @@ import (
 // receives new work. Workers evaluate (T_F) and send back. The run
 // ends when N evaluations have been accepted; T_P is the virtual time
 // of the N-th acceptance.
+//
+// Fault tolerance: every dispatched evaluation is tracked as a lease.
+// When a lease outlives Config.LeaseTimeout the master presumes the
+// worker dead, clones the unevaluated solution and re-enqueues it for
+// the next live worker; the late original — if the worker was merely
+// slow, hung, or its result got lost and resent — is recognized by its
+// lease id and discarded as a duplicate, so each work chain is accepted
+// at most once. Recovered workers re-register via tagHello (pushed by
+// the fault injector's transition hook) and rejoin the pool. With a
+// nil/empty fault plan and LeaseTimeout 0 the run is bit-for-bit
+// identical to the original non-fault-tolerant driver: the lease table
+// consumes no randomness and adds no virtual-time charges.
 func RunAsync(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -30,6 +59,7 @@ func RunAsync(cfg Config) (*Result, error) {
 		})
 	}
 	cl := cluster.New(eng, cluster.Config{Nodes: cfg.Processors, Seed: cfg.Seed})
+	inj := attachFaults(cl, &cfg)
 
 	algCfg := cfg.Algorithm
 	algCfg.Seed = cfg.Seed
@@ -52,56 +82,178 @@ func RunAsync(cfg Config) (*Result, error) {
 	var elapsedAtN float64
 	completed := uint64(0)
 
-	// Worker processes: evaluate, hold T_F, return.
-	tfSum, tfN := 0.0, uint64(0)
-	for w := 1; w < cfg.Processors; w++ {
-		w := w
-		node := cl.Node(w)
-		wRng := rng.New(cfg.Seed ^ (uint64(w) * 0x9e3779b97f4a7c15))
-		straggler := cfg.StragglerFraction > 0 &&
-			float64(w-1) < cfg.StragglerFraction*float64(cfg.Processors-1)
-		eng.Go(fmt.Sprintf("worker%d", w), func(p *des.Process) {
-			for {
-				msg := node.Recv(p)
-				if msg.Tag == tagStop {
-					return
-				}
-				s := msg.Payload.(*core.Solution)
-				core.EvaluateSolution(cfg.Problem, s)
-				tf := cfg.TF.Sample(wRng)
-				if straggler {
-					tf *= cfg.StragglerFactor
-				}
-				tfSum += tf
-				tfN++
-				if cfg.CaptureTimings {
-					res.TFSamples = append(res.TFSamples, tf)
-				}
-				node.HoldBusy(p, tf, "eval")
-				node.Send(0, tagResult, s)
-			}
-		})
-	}
+	recs := newRecorders(&cfg)
+	startWorkers(eng, cl, &cfg, recs)
 
 	// Master process.
 	master := cl.Node(0)
 	eng.Go("master", func(p *des.Process) {
+		// Lease table. Workers cycle idle → busy (one outstanding lease
+		// each) → idle; a worker whose lease expires is presumed dead
+		// until it shows a sign of life (a result, or a tagHello after
+		// recovery). pending holds work awaiting a live worker; leaseQ
+		// is FIFO with nondecreasing deadlines (the timeout is constant
+		// and grants are time-ordered), so the front is always the next
+		// expiry — no heap needed.
+		state := make([]int8, cfg.Processors)
+		leaseOf := make([]*lease, cfg.Processors)
+		probes := make([]int8, cfg.Processors)
+		var idleQ []int
+		var pending []*workItem
+		var leaseQ []*lease
+		outstanding := make(map[uint64]*lease)
+		var nextID uint64
+		busyCount := 0
+		// maxProbes bounds last-resort sends to presumed-dead workers
+		// (below), so a run with permanently dead workers still
+		// terminates instead of probing forever.
+		const maxProbes = 2
+
+		newItem := func(s *core.Solution) *workItem {
+			nextID++
+			return &workItem{id: nextID, s: s}
+		}
+		grant := func(w int, item *workItem) {
+			master.HoldBusy(p, sampleTC(), "comm")
+			master.Send(w, tagEvaluate, item)
+			l := &lease{item: item, worker: w}
+			leaseOf[w] = l
+			state[w] = wsBusy
+			outstanding[item.id] = l
+			busyCount++
+			if cfg.LeaseTimeout > 0 {
+				l.deadline = p.Now() + cfg.LeaseTimeout
+				leaseQ = append(leaseQ, l)
+			}
+		}
+		release := func(l *lease) {
+			if l.done {
+				return
+			}
+			l.done = true
+			delete(outstanding, l.item.id)
+			if leaseOf[l.worker] == l {
+				leaseOf[l.worker] = nil
+			}
+			busyCount--
+		}
+		// lose presumes a leased evaluation dead and re-enqueues a
+		// clone under a fresh id. Removing the old id from outstanding
+		// before the clone is granted is what makes double-accept
+		// impossible: at most one id per work chain is ever live.
+		lose := func(l *lease) {
+			release(l)
+			res.LostEvaluations++
+			res.Resubmissions++
+			pending = append(pending, newItem(l.item.s.Clone()))
+		}
+		markIdle := func(w int) {
+			probes[w] = 0
+			if state[w] == wsIdle {
+				return
+			}
+			state[w] = wsIdle
+			idleQ = append(idleQ, w)
+		}
+		dispatch := func() {
+			for len(pending) > 0 && len(idleQ) > 0 {
+				w := idleQ[0]
+				idleQ = idleQ[1:]
+				if state[w] != wsIdle {
+					continue
+				}
+				item := pending[0]
+				pending = pending[1:]
+				grant(w, item)
+			}
+			// Last resort: work remains but every worker is presumed
+			// dead. Probe them (bounded per death episode) in case a
+			// recovery hello was lost to a lossy link.
+			if cfg.LeaseTimeout > 0 && busyCount == 0 {
+				for w := 1; w < cfg.Processors && len(pending) > 0; w++ {
+					if state[w] == wsDead && probes[w] < maxProbes {
+						probes[w]++
+						item := pending[0]
+						pending = pending[1:]
+						grant(w, item)
+					}
+				}
+			}
+		}
+		expireDue := func(now des.Time) {
+			for len(leaseQ) > 0 {
+				l := leaseQ[0]
+				if l.done {
+					leaseQ = leaseQ[1:]
+					continue
+				}
+				if l.deadline > now {
+					break
+				}
+				leaseQ = leaseQ[1:]
+				w := l.worker
+				lose(l)
+				state[w] = wsDead
+			}
+		}
+		// receive blocks for the next message, expiring leases whose
+		// deadlines pass while waiting. With no active leases (or lease
+		// expiry disabled) it degenerates to a plain blocking Recv.
+		receive := func() *cluster.Message {
+			for {
+				for len(leaseQ) > 0 && leaseQ[0].done {
+					leaseQ = leaseQ[1:]
+				}
+				if cfg.LeaseTimeout <= 0 || len(leaseQ) == 0 {
+					return master.Recv(p)
+				}
+				if dl := leaseQ[0].deadline; dl > p.Now() {
+					if msg, ok := master.RecvTimeout(p, dl-p.Now()); ok {
+						return msg
+					}
+				}
+				expireDue(p.Now())
+				dispatch()
+			}
+		}
+
 		// Seed every worker with an initial solution.
 		for w := 1; w < cfg.Processors; w++ {
 			var s *core.Solution
 			ta := meter.measure(func() { s = b.Suggest() })
 			master.HoldBusy(p, ta, "algo")
-			master.HoldBusy(p, sampleTC(), "comm")
-			master.Send(w, tagEvaluate, s)
+			grant(w, newItem(s))
 		}
 		// Steady state: receive, process, resend.
 		for completed < cfg.Evaluations {
-			msg := master.Recv(p)
+			msg := receive()
 			master.HoldBusy(p, sampleTC(), "comm")
-			s := msg.Payload.(*core.Solution)
+			if msg.Tag == tagHello {
+				// A recovered worker re-registered: whatever it held
+				// died with the crash.
+				if l := leaseOf[msg.From]; l != nil && !l.done {
+					lose(l)
+				}
+				markIdle(msg.From)
+				dispatch()
+				continue
+			}
+			item := msg.Payload.(*workItem)
+			l, ok := outstanding[item.id]
+			if !ok || l.worker != msg.From {
+				// Late result of an expired (already reissued) lease.
+				res.DuplicateResults++
+				if state[msg.From] != wsBusy {
+					markIdle(msg.From)
+				}
+				dispatch()
+				continue
+			}
+			release(l)
+			probes[msg.From] = 0
 			var next *core.Solution
 			ta := meter.measure(func() {
-				b.Accept(s)
+				b.Accept(item.s)
 				next = b.Suggest()
 			})
 			master.HoldBusy(p, ta, "algo")
@@ -113,8 +265,13 @@ func RunAsync(cfg Config) (*Result, error) {
 				elapsedAtN = p.Now()
 				break
 			}
-			master.HoldBusy(p, sampleTC(), "comm")
-			master.Send(msg.From, tagEvaluate, next)
+			// Fault-free, pending holds exactly the fresh offspring and
+			// this reduces to the original "send next to msg.From".
+			pending = append(pending, newItem(next))
+			item2 := pending[0]
+			pending = pending[1:]
+			grant(msg.From, item2)
+			dispatch()
 		}
 		// Tear down: stop every worker. Workers mid-evaluation will
 		// see the stop after returning their (discarded) result.
@@ -128,13 +285,14 @@ func RunAsync(cfg Config) (*Result, error) {
 			}
 			master.Recv(p)
 		}
+		inj.Stop()
 	})
 
-	eng.Run()
-	eng.Shutdown()
+	runEngine(eng, cl, inj, &cfg, res)
 
 	res.ElapsedTime = elapsedAtN
 	res.Evaluations = completed
+	res.Completed = completed >= cfg.Evaluations
 	res.MasterBusy = master.BusyTime()
 	if elapsedAtN > 0 {
 		res.MasterUtilization = res.MasterBusy / elapsedAtN
@@ -146,9 +304,7 @@ func RunAsync(cfg Config) (*Result, error) {
 	}
 	res.MeanTA = meter.mean()
 	res.TASamples = meter.samples
-	if tfN > 0 {
-		res.MeanTF = tfSum / float64(tfN)
-	}
+	mergeTF(res, recs...)
 	if tcN > 0 {
 		res.MeanTC = tcSum / float64(tcN)
 	}

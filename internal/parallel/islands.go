@@ -17,8 +17,10 @@ import (
 // small relative to 2·T_C + T_A (Eq. 3).
 type IslandsConfig struct {
 	// Base configures each island (Processors is the per-island P,
-	// Evaluations the per-island budget). Checkpoint hooks, timing
-	// capture and stragglers are not supported at the island level.
+	// Evaluations the per-island budget). Checkpoint hooks, stragglers
+	// and fault plans are not supported at the island level;
+	// CaptureTimings is, and aggregates every island's T_A/T_F samples
+	// into the merged result.
 	Base Config
 	// Islands is the number of concurrent instances (>= 1).
 	Islands int
@@ -44,6 +46,12 @@ type IslandsResult struct {
 	// MergedFront is the ε-nondominated union of all island
 	// archives (objective vectors).
 	MergedFront [][]float64
+
+	// MeanTA and MeanTF are the observed timing means across all
+	// islands; TASamples and TFSamples hold the raw samples (island-
+	// major, then worker-rank order) when Base.CaptureTimings was set.
+	MeanTA, MeanTF       float64
+	TASamples, TFSamples []float64
 }
 
 // Efficiency returns T_S / (P_total · T_P) treating the union of
@@ -73,8 +81,11 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 	if base.TA == nil {
 		return nil, fmt.Errorf("parallel: RunIslands requires an explicit TA distribution (measured TA is ambiguous across concurrent masters)")
 	}
-	if base.CheckpointEvery != 0 || base.CaptureTimings || base.StragglerFraction != 0 {
-		return nil, fmt.Errorf("parallel: RunIslands does not support checkpoints, timing capture or stragglers")
+	if base.CheckpointEvery != 0 || base.StragglerFraction != 0 {
+		return nil, fmt.Errorf("parallel: RunIslands does not support checkpoints or stragglers")
+	}
+	if !base.Fault.Empty() {
+		return nil, fmt.Errorf("parallel: RunIslands does not support fault injection; use RunAsync or RunSync")
 	}
 
 	k := cfg.Islands
@@ -89,6 +100,13 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 
 	const tagMigrant = 100
 
+	// Per-process timing recorders: one T_A recorder per island master,
+	// one T_F recorder per worker, merged in deterministic (island-
+	// major, rank) order after the run — no shared counters are touched
+	// from inside process closures.
+	taRecs := make([]*tfRecorder, k)
+	tfRecs := make([][]*tfRecorder, k)
+
 	for isl := 0; isl < k; isl++ {
 		isl := isl
 		masterRank := isl * perP
@@ -101,13 +119,22 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		res.Islands[isl] = b
 
 		mRng := rng.New(base.Seed ^ (uint64(isl+1) * 0x6d61)) // per-island master stream
+		taRec := &tfRecorder{capture: base.CaptureTimings}
+		taRecs[isl] = taRec
 		sampleTC := func() float64 { return base.TC.Sample(mRng) }
-		sampleTA := func() float64 { return base.TA.Sample(mRng) }
+		sampleTA := func() float64 {
+			ta := base.TA.Sample(mRng)
+			taRec.record(ta)
+			return ta
+		}
 
 		// Island workers.
+		tfRecs[isl] = make([]*tfRecorder, perP-1)
 		for w := 1; w < perP; w++ {
 			rank := masterRank + w
 			node := cl.Node(rank)
+			tfRec := &tfRecorder{capture: base.CaptureTimings}
+			tfRecs[isl][w-1] = tfRec
 			wRng := rng.New(base.Seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15))
 			eng.Go(fmt.Sprintf("i%dworker%d", isl, w), func(p *des.Process) {
 				for {
@@ -117,7 +144,9 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 					}
 					s := msg.Payload.(*core.Solution)
 					core.EvaluateSolution(base.Problem, s)
-					node.HoldBusy(p, base.TF.Sample(wRng), "eval")
+					tf := base.TF.Sample(wRng)
+					tfRec.record(tf)
+					node.HoldBusy(p, tf, "eval")
 					node.Send(masterRank, tagResult, s)
 				}
 			})
@@ -181,6 +210,26 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		if res.IslandElapsed[isl] > res.ElapsedTime {
 			res.ElapsedTime = res.IslandElapsed[isl]
 		}
+	}
+
+	// Aggregate per-island timing observations (island-major order).
+	taSum, taN := 0.0, uint64(0)
+	tfSum, tfN := 0.0, uint64(0)
+	for isl := 0; isl < k; isl++ {
+		taSum += taRecs[isl].sum
+		taN += taRecs[isl].n
+		res.TASamples = append(res.TASamples, taRecs[isl].samples...)
+		for _, r := range tfRecs[isl] {
+			tfSum += r.sum
+			tfN += r.n
+			res.TFSamples = append(res.TFSamples, r.samples...)
+		}
+	}
+	if taN > 0 {
+		res.MeanTA = taSum / float64(taN)
+	}
+	if tfN > 0 {
+		res.MeanTF = tfSum / float64(tfN)
 	}
 
 	// Merge: ε-nondominated union of all island archives.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"borgmoea/internal/core"
+	"borgmoea/internal/fault"
 	"borgmoea/internal/metrics"
 	"borgmoea/internal/problems"
 	"borgmoea/internal/stats"
@@ -34,9 +35,40 @@ func TestIslandsValidation(t *testing.T) {
 		t.Error("measured TA accepted for islands")
 	}
 	cfg = IslandsConfig{Base: islandBase(8, 100), Islands: 2}
-	cfg.Base.CaptureTimings = true
+	cfg.Base.Fault = fault.FailedFractionPlan(0.1, 0.5, 1)
 	if _, err := RunIslands(cfg); err == nil {
-		t.Error("timing capture accepted for islands")
+		t.Error("fault plan accepted for islands")
+	}
+}
+
+// TestIslandsCaptureTimings verifies the aggregated per-island timing
+// capture: every island's T_A samples and every worker's T_F samples
+// land in the merged result.
+func TestIslandsCaptureTimings(t *testing.T) {
+	cfg := IslandsConfig{Base: islandBase(8, 500), Islands: 2}
+	cfg.Base.CaptureTimings = true
+	res, err := RunIslands(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each island records 7 seeding TAs plus one per accepted
+	// evaluation (migration disabled → no migrant TAs).
+	wantTA := 2 * (7 + 500)
+	if len(res.TASamples) != wantTA {
+		t.Fatalf("TA samples = %d, want %d", len(res.TASamples), wantTA)
+	}
+	// Every budgeted evaluation ran on some worker (the island master
+	// does not evaluate in the async protocol); seeded solutions whose
+	// results arrive after the budget are still sampled, so the count
+	// is at least the total budget.
+	if len(res.TFSamples) < 1000 {
+		t.Fatalf("TF samples = %d, want >= 1000", len(res.TFSamples))
+	}
+	if res.MeanTA <= 0 || res.MeanTF <= 0 {
+		t.Fatalf("mean timings not aggregated: TA=%v TF=%v", res.MeanTA, res.MeanTF)
+	}
+	if math.Abs(res.MeanTF-0.001) > 1e-12 || math.Abs(res.MeanTA-0.000029) > 1e-12 {
+		t.Fatalf("constant-distribution means drifted: TA=%v TF=%v", res.MeanTA, res.MeanTF)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"borgmoea/internal/core"
+	"borgmoea/internal/fault"
 	"borgmoea/internal/problems"
 	"borgmoea/internal/rng"
 	"borgmoea/internal/stats"
@@ -31,6 +32,10 @@ const (
 	tagEvaluate = iota
 	tagResult
 	tagStop
+	// tagHello is a worker's (re-)registration: sent on behalf of a
+	// node that recovers from a crash, telling the master it is alive,
+	// idle, and that any work it held died with the crash.
+	tagHello
 )
 
 // Config describes one parallel run.
@@ -78,6 +83,34 @@ type Config struct {
 	// (default 1, i.e. no effect).
 	StragglerFactor float64
 
+	// Fault attaches a fault-injection plan (crash-stop,
+	// crash-recover, transient hangs, message loss — see
+	// internal/fault) to the virtual cluster. Rank 0 (the master) must
+	// not be a target. A nil or empty plan leaves the run bit-for-bit
+	// identical to a fault-free run. Virtual-time drivers only.
+	Fault *fault.Plan
+	// LeaseTimeout bounds how long the asynchronous master waits for a
+	// dispatched evaluation before presuming it lost: the expired work
+	// is cloned and resubmitted to a live worker, and the late
+	// original (if it ever arrives) is discarded as a duplicate.
+	// 0 disables lease expiry unless Fault is non-empty, in which case
+	// it defaults to 10× the mean evaluation time (scaled by
+	// StragglerFactor).
+	LeaseTimeout float64
+	// BarrierTimeout bounds the synchronous master's per-generation
+	// gather, so one dead worker no longer stalls the generation
+	// forever: workers that miss the barrier are presumed dead and
+	// their offspring are re-scattered next generation. Defaults like
+	// LeaseTimeout.
+	BarrierTimeout float64
+	// SimTimeLimit aborts the run at this virtual time (0 = no limit
+	// when fault-free). With a fault plan attached a generous default
+	// is applied so that pathological schedules (e.g. every worker
+	// crash-stopped while a recurring fault process keeps generating
+	// events) cannot run the simulation forever; a run that hits the
+	// limit ends with Result.Completed == false.
+	SimTimeLimit float64
+
 	// TraceHook, when set, receives every simulation trace event
 	// (sends, receives, and the start/end of eval/comm/algo busy
 	// intervals per node). Used to render Figure 1/2-style
@@ -107,6 +140,35 @@ func (c *Config) normalize() error {
 	}
 	if c.StragglerFraction < 0 || c.StragglerFraction > 1 {
 		return fmt.Errorf("parallel: straggler fraction %v outside [0,1]", c.StragglerFraction)
+	}
+	if c.LeaseTimeout < 0 || c.BarrierTimeout < 0 || c.SimTimeLimit < 0 {
+		return fmt.Errorf("parallel: negative timeout")
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if !c.Fault.Empty() {
+		for i, r := range c.Fault.Rules {
+			for _, rank := range r.Ranks {
+				if rank == 0 {
+					return fmt.Errorf("parallel: fault rule %d targets rank 0; the master cannot be a fault target", i)
+				}
+			}
+		}
+		// Defaults that make an attached plan survivable: leases and
+		// barriers expire after ~10 (straggler-scaled) evaluations,
+		// and the simulation cannot outlive a generous serial bound.
+		horizon := 10 * c.TF.Mean() * c.StragglerFactor
+		if c.LeaseTimeout == 0 {
+			c.LeaseTimeout = horizon
+		}
+		if c.BarrierTimeout == 0 {
+			c.BarrierTimeout = horizon
+		}
+		if c.SimTimeLimit == 0 {
+			c.SimTimeLimit = 10*float64(c.Evaluations)*c.TF.Mean()*c.StragglerFactor +
+				100*c.LeaseTimeout
+		}
 	}
 	return nil
 }
@@ -143,6 +205,29 @@ type Result struct {
 	// Generations is the number of synchronization barriers
 	// (synchronous driver only).
 	Generations uint64
+
+	// Completed reports whether the full evaluation budget was
+	// reached. A run whose workers all died permanently (or that hit
+	// SimTimeLimit) ends early with Evaluations below the budget.
+	Completed bool
+
+	// Fault-tolerance accounting. Resubmissions counts work items
+	// re-enqueued after a presumed loss (an expired lease, a missed
+	// barrier, or a worker re-registration implying its work died
+	// with it); LostEvaluations counts those presumed losses;
+	// DuplicateResults counts late results the master discarded
+	// because the work had already been reissued and deduplicated.
+	Resubmissions    uint64
+	LostEvaluations  uint64
+	DuplicateResults uint64
+	// WorkerCrashes, WorkerRecoveries and HangsInjected mirror the
+	// fault injector's statistics; MessagesLost counts every message
+	// the cluster discarded (dead senders, dead receivers, lossy
+	// links, crash-flushed inboxes).
+	WorkerCrashes    uint64
+	WorkerRecoveries uint64
+	HangsInjected    uint64
+	MessagesLost     uint64
 }
 
 // SerialTime estimates T_S = N·(T̄F + T̄A) (Eq. 1) from this run's

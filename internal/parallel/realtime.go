@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"time"
 
 	"borgmoea/internal/core"
@@ -19,6 +20,9 @@ import (
 func RunAsyncRealtime(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if !cfg.Fault.Empty() {
+		return nil, fmt.Errorf("parallel: fault injection requires the virtual-time drivers (RunAsync/RunSync); RunAsyncRealtime has no simulated cluster to fail")
 	}
 	algCfg := cfg.Algorithm
 	algCfg.Seed = cfg.Seed
@@ -79,6 +83,7 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	close(tasks)
 
 	res.Evaluations = cfg.Evaluations
+	res.Completed = true
 	res.MeanTA = taSum / float64(taN)
 	res.MeanTF = cfg.TF.Mean()
 	res.MeanTC = 0 // channel transfers; not separately measurable here

@@ -1,8 +1,6 @@
 package parallel
 
 import (
-	"fmt"
-
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
@@ -21,6 +19,19 @@ import (
 // receive) before starting the next generation. The barrier makes the
 // generation as slow as its slowest evaluation — the effect the
 // asynchronous design removes.
+//
+// Fault tolerance: the gather barrier is bounded by
+// Config.BarrierTimeout, so a dead worker no longer stalls its
+// generation forever. Workers that miss the barrier are presumed dead:
+// their unevaluated offspring are cloned into a backlog that fills the
+// next generations' batches ahead of fresh Suggest calls, and they are
+// excluded from scatter until a sign of life (a recovery tagHello or a
+// late result). Results are stamped with their generation so stale
+// stragglers are discarded as duplicates, and each generation accepts
+// results in batch order — fault-free the trajectory is bit-for-bit
+// the original driver's. With every worker dead the master degrades to
+// evaluating one offspring per generation itself, so the run still
+// completes.
 func RunSync(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -32,6 +43,7 @@ func RunSync(cfg Config) (*Result, error) {
 		})
 	}
 	cl := cluster.New(eng, cluster.Config{Nodes: cfg.Processors, Seed: cfg.Seed})
+	inj := attachFaults(cl, &cfg)
 
 	algCfg := cfg.Algorithm
 	algCfg.Seed = cfg.Seed
@@ -51,70 +63,120 @@ func RunSync(cfg Config) (*Result, error) {
 		return tc
 	}
 
-	tfSum, tfN := 0.0, uint64(0)
-	sampleTF := func(r *rng.Source, straggler bool) float64 {
-		tf := cfg.TF.Sample(r)
-		if straggler {
-			tf *= cfg.StragglerFactor
-		}
-		tfSum += tf
-		tfN++
-		if cfg.CaptureTimings {
-			res.TFSamples = append(res.TFSamples, tf)
-		}
-		return tf
-	}
-
-	// Workers: evaluate exactly one solution per generation.
-	for w := 1; w < cfg.Processors; w++ {
-		w := w
-		node := cl.Node(w)
-		wRng := rng.New(cfg.Seed ^ (uint64(w) * 0x9e3779b97f4a7c15))
-		straggler := cfg.StragglerFraction > 0 &&
-			float64(w-1) < cfg.StragglerFraction*float64(cfg.Processors-1)
-		eng.Go(fmt.Sprintf("worker%d", w), func(p *des.Process) {
-			for {
-				msg := node.Recv(p)
-				if msg.Tag == tagStop {
-					return
-				}
-				s := msg.Payload.(*core.Solution)
-				core.EvaluateSolution(cfg.Problem, s)
-				node.HoldBusy(p, sampleTF(wRng, straggler), "eval")
-				node.Send(0, tagResult, s)
-			}
-		})
-	}
+	recs := newRecorders(&cfg)
+	startWorkers(eng, cl, &cfg, recs)
 
 	master := cl.Node(0)
+	masterRec := &tfRecorder{capture: cfg.CaptureTimings}
 	masterTFRng := rng.New(cfg.Seed ^ 0x6d746600)
 	completed := uint64(0)
 	var elapsedAtN float64
 	eng.Go("master", func(p *des.Process) {
-		batch := make([]*core.Solution, cfg.Processors)
+		dead := make([]bool, cfg.Processors)
+		got := make([]bool, cfg.Processors)
+		var backlog []*core.Solution
+		var gen uint64
 		for completed < cfg.Evaluations {
-			// Generate the generation's P offspring.
+			gen++
+			alive := make([]int, 0, cfg.Processors-1)
+			for w := 1; w < cfg.Processors; w++ {
+				if !dead[w] {
+					alive = append(alive, w)
+				}
+			}
+			// Build the generation's batch: resubmitted backlog first,
+			// fresh offspring (T_A each) for the rest.
+			batch := make([]*core.Solution, 1+len(alive))
 			for i := range batch {
+				if len(backlog) > 0 {
+					batch[i] = backlog[0]
+					backlog = backlog[1:]
+					res.Resubmissions++
+					continue
+				}
 				var s *core.Solution
 				ta := meter.measure(func() { s = b.Suggest() })
 				master.HoldBusy(p, ta, "algo")
 				batch[i] = s
 			}
-			// Scatter: one offspring per worker.
-			for w := 1; w < cfg.Processors; w++ {
+			// Scatter: one offspring per live worker.
+			for i, w := range alive {
 				master.HoldBusy(p, sampleTC(), "comm")
-				master.Send(w, tagEvaluate, batch[w])
+				master.Send(w, tagEvaluate, &workItem{gen: gen, s: batch[i+1]})
 			}
 			// The master evaluates one offspring itself.
 			core.EvaluateSolution(cfg.Problem, batch[0])
-			master.HoldBusy(p, sampleTF(masterTFRng, false), "eval")
-			// Gather: the synchronization barrier.
-			for w := 1; w < cfg.Processors; w++ {
-				master.Recv(p)
-				master.HoldBusy(p, sampleTC(), "comm")
+			tf := cfg.TF.Sample(masterTFRng)
+			masterRec.record(tf)
+			master.HoldBusy(p, tf, "eval")
+			// Gather: the synchronization barrier, bounded by
+			// BarrierTimeout when set.
+			for w := range got {
+				got[w] = false
 			}
-			// Fold the full generation back in.
-			for _, s := range batch {
+			count, need := 0, len(alive)
+			gatherMsg := func(msg *cluster.Message) {
+				switch msg.Tag {
+				case tagHello:
+					// A recovered worker re-registered; it rejoins the
+					// scatter next generation.
+					dead[msg.From] = false
+				case tagResult:
+					item := msg.Payload.(*workItem)
+					if item.gen != gen || got[msg.From] {
+						// Stale straggler from a generation that already
+						// backlogged this work — but its sender is alive.
+						res.DuplicateResults++
+						dead[msg.From] = false
+						return
+					}
+					got[msg.From] = true
+					count++
+				}
+			}
+			deadline := p.Now() + cfg.BarrierTimeout
+			for count < need {
+				var msg *cluster.Message
+				if cfg.BarrierTimeout > 0 {
+					remaining := deadline - p.Now()
+					if remaining <= 0 {
+						break
+					}
+					m, ok := master.RecvTimeout(p, remaining)
+					if !ok {
+						break
+					}
+					msg = m
+				} else {
+					msg = master.Recv(p)
+				}
+				master.HoldBusy(p, sampleTC(), "comm")
+				gatherMsg(msg)
+			}
+			// Drain messages already delivered (recovery hellos, late
+			// results that beat the timeout) so they don't leak into
+			// the next generation's barrier.
+			for master.InboxLen() > 0 {
+				msg := master.Recv(p)
+				master.HoldBusy(p, sampleTC(), "comm")
+				gatherMsg(msg)
+			}
+			// Workers that missed the barrier are presumed dead; their
+			// offspring go to the backlog for re-scatter.
+			for i, w := range alive {
+				if !got[w] {
+					dead[w] = true
+					res.LostEvaluations++
+					backlog = append(backlog, batch[i+1].Clone())
+				}
+			}
+			// Fold the evaluated part of the generation back in, in
+			// batch order (fault-free: the whole batch, the original
+			// fold order).
+			for i, s := range batch {
+				if i > 0 && !got[alive[i-1]] {
+					continue
+				}
 				ta := meter.measure(func() { b.Accept(s) })
 				master.HoldBusy(p, ta, "algo")
 				completed++
@@ -131,13 +193,14 @@ func RunSync(cfg Config) (*Result, error) {
 		for w := 1; w < cfg.Processors; w++ {
 			master.Send(w, tagStop, nil)
 		}
+		inj.Stop()
 	})
 
-	eng.Run()
-	eng.Shutdown()
+	runEngine(eng, cl, inj, &cfg, res)
 
 	res.ElapsedTime = elapsedAtN
 	res.Evaluations = completed
+	res.Completed = completed >= cfg.Evaluations
 	res.MasterBusy = master.BusyTime()
 	if elapsedAtN > 0 {
 		res.MasterUtilization = res.MasterBusy / elapsedAtN
@@ -149,9 +212,7 @@ func RunSync(cfg Config) (*Result, error) {
 	}
 	res.MeanTA = meter.mean()
 	res.TASamples = meter.samples
-	if tfN > 0 {
-		res.MeanTF = tfSum / float64(tfN)
-	}
+	mergeTF(res, append([]*tfRecorder{masterRec}, recs...)...)
 	if tcN > 0 {
 		res.MeanTC = tcSum / float64(tcN)
 	}

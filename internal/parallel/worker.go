@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"fmt"
+
+	"borgmoea/internal/cluster"
+	"borgmoea/internal/core"
+	"borgmoea/internal/des"
+	"borgmoea/internal/fault"
+	"borgmoea/internal/rng"
+)
+
+// workItem is the master↔worker protocol payload: a solution plus the
+// bookkeeping identifiers that make loss detectable. The asynchronous
+// master stamps id (a lease identifier, unique per dispatch, used to
+// deduplicate late results of expired leases); the synchronous master
+// stamps gen (the barrier it belongs to, used to recognize stale
+// stragglers). Workers echo the item untouched.
+type workItem struct {
+	id  uint64
+	gen uint64
+	s   *core.Solution
+}
+
+// tfRecorder accumulates one process's evaluation-time observations.
+// Each worker process owns its recorder exclusively and the drivers
+// merge them in rank order at teardown, so no shared counters are
+// mutated from inside worker closures — the drivers stay clean under
+// the race detector even if the DES engine's lock-step execution model
+// ever changed.
+type tfRecorder struct {
+	sum     float64
+	n       uint64
+	capture bool
+	samples []float64
+}
+
+func (r *tfRecorder) record(tf float64) {
+	r.sum += tf
+	r.n++
+	if r.capture {
+		r.samples = append(r.samples, tf)
+	}
+}
+
+// newRecorders returns one recorder per worker rank 1..P−1.
+func newRecorders(cfg *Config) []*tfRecorder {
+	recs := make([]*tfRecorder, cfg.Processors-1)
+	for i := range recs {
+		recs[i] = &tfRecorder{capture: cfg.CaptureTimings}
+	}
+	return recs
+}
+
+// mergeTF folds recorders into the result in the caller's (rank)
+// order, making TFSamples deterministic.
+func mergeTF(res *Result, recs ...*tfRecorder) {
+	sum, n := 0.0, uint64(0)
+	for _, r := range recs {
+		sum += r.sum
+		n += r.n
+		res.TFSamples = append(res.TFSamples, r.samples...)
+	}
+	if n > 0 {
+		res.MeanTF = sum / float64(n)
+	}
+}
+
+// startWorkers launches the P−1 worker processes shared by the async
+// and sync virtual-time drivers: receive a work item, evaluate it,
+// hold T_F, echo the item to the master. Fault semantics: a crash
+// during the evaluation bumps the node's epoch, so the result is never
+// sent (the work died with the node); a transient hang defers the
+// response until the node is responsive again.
+func startWorkers(eng *des.Engine, cl *cluster.Cluster, cfg *Config, recs []*tfRecorder) {
+	for w := 1; w < cfg.Processors; w++ {
+		w := w
+		node := cl.Node(w)
+		rec := recs[w-1]
+		wRng := rng.New(cfg.Seed ^ (uint64(w) * 0x9e3779b97f4a7c15))
+		straggler := cfg.StragglerFraction > 0 &&
+			float64(w-1) < cfg.StragglerFraction*float64(cfg.Processors-1)
+		eng.Go(fmt.Sprintf("worker%d", w), func(p *des.Process) {
+			for {
+				msg := node.Recv(p)
+				if msg.Tag == tagStop {
+					return
+				}
+				item := msg.Payload.(*workItem)
+				epoch := node.Epoch()
+				core.EvaluateSolution(cfg.Problem, item.s)
+				tf := cfg.TF.Sample(wRng)
+				if straggler {
+					tf *= cfg.StragglerFactor
+				}
+				rec.record(tf)
+				node.HoldBusy(p, tf, "eval")
+				if node.Failed() || node.Epoch() != epoch {
+					continue // crashed mid-evaluation: the work is lost
+				}
+				if until := node.SuspendedUntil(); until > p.Now() {
+					p.Hold(until - p.Now()) // hang delays the response
+				}
+				node.Send(0, tagResult, item)
+			}
+		})
+	}
+}
+
+// attachFaults installs the run's fault plan on the cluster and wires
+// the recovery protocol: when a worker node comes back from a crash it
+// re-registers with the master via tagHello (its previous work and
+// queued messages died with the crash). Returns the injector for
+// statistics and teardown.
+func attachFaults(cl *cluster.Cluster, cfg *Config) *fault.Injector {
+	inj := fault.Attach(cl, cfg.Fault)
+	inj.SetTransitionHook(func(rank int, up bool) {
+		if up && rank != 0 {
+			cl.Node(rank).Send(0, tagHello, rank)
+		}
+	})
+	return inj
+}
+
+// runEngine drives the simulation to completion, honoring the optional
+// virtual-time limit, and folds cluster/injector fault statistics into
+// the result.
+func runEngine(eng *des.Engine, cl *cluster.Cluster, inj *fault.Injector, cfg *Config, res *Result) {
+	if cfg.SimTimeLimit > 0 {
+		eng.RunUntil(cfg.SimTimeLimit)
+	} else {
+		eng.Run()
+	}
+	eng.Shutdown()
+	st := inj.Stats()
+	res.WorkerCrashes = st.Crashes
+	res.WorkerRecoveries = st.Recoveries
+	res.HangsInjected = st.Hangs
+	res.MessagesLost = cl.MessagesLost()
+}

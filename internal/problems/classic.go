@@ -147,12 +147,12 @@ func NewRotated(base Problem, seed uint64) *Rotated {
 	return r
 }
 
-func (r *Rotated) Name() string                { return r.base.Name() + "_rot" }
-func (r *Rotated) NumVars() int                { return r.base.NumVars() }
-func (r *Rotated) NumObjs() int                { return r.base.NumObjs() }
-func (r *Rotated) Bounds() (lo, hi []float64)  { return r.lo, r.hi }
-func (r *Rotated) Unwrap() Problem             { return r.base }
-func (r *Rotated) Rotation() [][]float64       { return r.rot }
+func (r *Rotated) Name() string               { return r.base.Name() + "_rot" }
+func (r *Rotated) NumVars() int               { return r.base.NumVars() }
+func (r *Rotated) NumObjs() int               { return r.base.NumObjs() }
+func (r *Rotated) Bounds() (lo, hi []float64) { return r.lo, r.hi }
+func (r *Rotated) Unwrap() Problem            { return r.base }
+func (r *Rotated) Rotation() [][]float64      { return r.rot }
 
 // Evaluate maps through the rotation (clamping into the base box) and
 // evaluates the base problem.
