@@ -10,8 +10,10 @@
 //     operator ensemble, adaptive restarts): NewBorg / Algorithm.
 //   - The asynchronous master-slave parallel algorithm on a
 //     discrete-event virtual cluster (RunAsync), the synchronous
-//     generational baseline (RunSync), and a wall-clock goroutine
-//     executor (RunAsyncRealtime). Both virtual-time drivers are
+//     generational baseline (RunSync), a wall-clock goroutine
+//     executor (RunAsyncRealtime), and a real TCP transport where
+//     borgd worker daemons dial a listening master
+//     (RunAsyncDistributed / RunWorker). Both virtual-time drivers are
 //     fault-tolerant: a FaultPlan injects crashes, hangs and message
 //     loss, and lease/barrier-timeout protocols recover lost work
 //     (RunResilience measures the efficiency cost).
@@ -48,6 +50,7 @@ import (
 	"borgmoea/internal/problems"
 	"borgmoea/internal/rng"
 	"borgmoea/internal/stats"
+	"borgmoea/internal/wire"
 )
 
 // Core algorithm types.
@@ -118,6 +121,14 @@ type (
 	IslandsConfig = parallel.IslandsConfig
 	// IslandsResult summarizes a multi-island run.
 	IslandsResult = parallel.IslandsResult
+	// DistributedConfig describes the network side of a distributed
+	// TCP master-slave run (RunAsyncDistributed).
+	DistributedConfig = parallel.DistributedConfig
+	// WorkerConfig parameterizes one distributed worker (RunWorker /
+	// the borgd daemon).
+	WorkerConfig = wire.WorkerConfig
+	// WireOptions tunes a wire connection's heartbeat and timeouts.
+	WireOptions = wire.Options
 )
 
 // Fault-injection types (see internal/fault): a FaultPlan attached to
@@ -267,6 +278,24 @@ var (
 	// RunIslands executes several concurrent master-slave instances
 	// (the hierarchical topology of the paper's Section VI).
 	RunIslands = parallel.RunIslands
+	// RunAsyncDistributed executes the asynchronous master-slave
+	// algorithm over real TCP: the master listens and borgd workers
+	// dial in (see internal/wire).
+	RunAsyncDistributed = parallel.RunAsyncDistributed
+	// RunWorker runs one distributed worker until the master stops it
+	// (the in-process equivalent of the borgd daemon).
+	RunWorker = wire.RunWorker
+)
+
+// Problem resolution shared by the CLI tools and the distributed
+// worker runtime.
+var (
+	// LookupProblem resolves a CLI-style problem name plus an
+	// objective count ("DTLZ2" with m=5, "UF11", "ZDT3", ...).
+	LookupProblem = problems.Lookup
+	// LookupProblemByName resolves a canonical Problem.Name() string —
+	// the form the distributed master announces in its handshake.
+	LookupProblemByName = problems.ByName
 )
 
 // Archive persistence.

@@ -1,18 +1,19 @@
-// Command borg runs the Borg MOEA (serial or asynchronous
-// master-slave on the virtual cluster) on a named test problem and
-// prints the resulting Pareto approximation and quality metrics.
+// Command borg runs the Borg MOEA (serial, asynchronous master-slave
+// on the virtual cluster, or distributed over real TCP with borgd
+// workers) on a named test problem and prints the resulting Pareto
+// approximation and quality metrics.
 //
 // Usage:
 //
 //	borg -problem DTLZ2 -objectives 5 -evals 100000
 //	borg -problem UF11 -parallel 64 -tf 0.01 -evals 100000
+//	borg -problem DTLZ2 -transport tcp -listen :7070 -evals 100000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"borgmoea"
@@ -27,6 +28,9 @@ func main() {
 		epsilon     = flag.Float64("epsilon", 0.1, "archive epsilon (uniform)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		parallelP   = flag.Int("parallel", 0, "processor count P for the async master-slave run (0 = serial)")
+		transport   = flag.String("transport", "virtual", "parallel transport: virtual (DES cluster), realtime (goroutines) or tcp (borgd workers)")
+		listen      = flag.String("listen", "", "master listen address for -transport tcp (e.g. :7070)")
+		wallLimit   = flag.Duration("wall-limit", 0, "abort a tcp run after this wall time (0 = none)")
 		tf          = flag.Float64("tf", 0.01, "mean evaluation delay in seconds (parallel mode)")
 		tfcv        = flag.Float64("tfcv", 0.1, "evaluation delay coefficient of variation")
 		mtbf        = flag.Float64("mtbf", 0, "worker mean time between failures in seconds (0 = no faults; parallel mode)")
@@ -38,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 
-	problem, err := lookupProblem(*problemName, *objectives)
+	problem, err := borgmoea.LookupProblem(*problemName, *objectives)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -49,7 +53,42 @@ func main() {
 	}
 
 	var alg *borgmoea.Algorithm
-	if *parallelP > 0 {
+	if *transport == "tcp" {
+		if *listen == "" {
+			fmt.Fprintln(os.Stderr, "-transport tcp needs -listen host:port")
+			os.Exit(2)
+		}
+		if *mtbf > 0 {
+			fmt.Fprintln(os.Stderr, "-mtbf needs a virtual-time transport; tcp workers fail for real")
+			os.Exit(2)
+		}
+		pcfg := borgmoea.ParallelConfig{
+			Problem:      problem,
+			Algorithm:    cfg,
+			Evaluations:  *evals,
+			Seed:         *seed,
+			LeaseTimeout: *leaseT,
+		}
+		fmt.Printf("listening on %s; start workers with: borgd -connect host:port\n", *listen)
+		res, err := borgmoea.RunAsyncDistributed(pcfg, borgmoea.DistributedConfig{
+			Listen:    *listen,
+			WallLimit: *wallLimit,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		alg = res.Final
+		fmt.Printf("distributed master-slave: workers=%d  T_P=%.2fs  completed=%v  mean-TF=%.4fs  master-util=%.2f\n",
+			res.Processors-1, res.ElapsedTime, res.Completed, res.MeanTF, res.MasterUtilization)
+		if res.Resubmissions > 0 || res.DuplicateResults > 0 {
+			fmt.Printf("recovery: resubmitted=%d lost=%d duplicates=%d\n",
+				res.Resubmissions, res.LostEvaluations, res.DuplicateResults)
+		}
+	} else if *parallelP > 0 {
 		pcfg := borgmoea.ParallelConfig{
 			Problem:      problem,
 			Algorithm:    cfg,
@@ -69,20 +108,33 @@ func main() {
 			f := *mttr / (*mtbf + *mttr)
 			pcfg.Fault = borgmoea.FailedFractionPlan(f, *mttr, *seed)
 		}
-		res, err := borgmoea.RunAsync(pcfg)
+		run := borgmoea.RunAsync
+		switch *transport {
+		case "virtual":
+		case "realtime":
+			run = borgmoea.RunAsyncRealtime
+		default:
+			fmt.Fprintf(os.Stderr, "unknown transport %q (want virtual, realtime or tcp)\n", *transport)
+			os.Exit(2)
+		}
+		res, err := run(pcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		alg = res.Final
-		fmt.Printf("async master-slave: P=%d  T_P=%.2fs  speedup=%.1f  efficiency=%.2f  master-util=%.2f\n",
-			*parallelP, res.ElapsedTime, res.Speedup(), res.Efficiency(), res.MasterUtilization)
+		fmt.Printf("async master-slave (%s): P=%d  T_P=%.2fs  speedup=%.1f  efficiency=%.2f  master-util=%.2f\n",
+			*transport, *parallelP, res.ElapsedTime, res.Speedup(), res.Efficiency(), res.MasterUtilization)
 		if *mtbf > 0 {
 			fmt.Printf("faults: completed=%v crashes=%d recoveries=%d resubmitted=%d lost=%d duplicates=%d messages-lost=%d\n",
 				res.Completed, res.WorkerCrashes, res.WorkerRecoveries,
 				res.Resubmissions, res.LostEvaluations, res.DuplicateResults, res.MessagesLost)
 		}
 	} else {
+		if *transport != "virtual" {
+			fmt.Fprintf(os.Stderr, "-transport %s needs -parallel (or -listen for tcp)\n", *transport)
+			os.Exit(2)
+		}
 		alg = borgmoea.MustNewBorg(problem, cfg)
 		alg.Run(*evals, nil)
 		fmt.Printf("serial run: N=%d\n", *evals)
@@ -143,31 +195,4 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "archive saved to %s\n", *outPath)
 	}
-}
-
-func lookupProblem(name string, m int) (borgmoea.Problem, error) {
-	u := strings.ToUpper(name)
-	switch {
-	case u == "UF11":
-		return borgmoea.NewUF11(), nil
-	case strings.HasPrefix(u, "UF"):
-		v, err := strconv.Atoi(u[2:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewUF(v, 30), nil
-	case strings.HasPrefix(u, "DTLZ"):
-		v, err := strconv.Atoi(u[4:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewDTLZ(v, m), nil
-	case strings.HasPrefix(u, "ZDT"):
-		v, err := strconv.Atoi(u[3:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewZDT(v), nil
-	}
-	return nil, fmt.Errorf("unknown problem %q (want DTLZ1-7, ZDT1-4/6 or UF1-11)", name)
 }

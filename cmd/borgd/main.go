@@ -1,0 +1,66 @@
+// Command borgd is the distributed Borg worker daemon. It dials a
+// listening master (borg -transport tcp -listen ...), resolves the
+// problem the master announces in its handshake, and evaluates
+// solutions until the master says stop. A lost connection is retried
+// with backoff under the same worker identity, so the master's lease
+// protocol resubmits any evaluation that was in flight.
+//
+// Usage:
+//
+//	borgd -connect master:7070
+//	borgd -connect master:7070 -delay 0.05 -delay-cv 0.5   # synthetic T_F
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"borgmoea"
+)
+
+func main() {
+	var (
+		connect = flag.String("connect", "", "master address host:port (required)")
+		seed    = flag.Uint64("seed", 1, "random seed for the synthetic delay stream")
+		delay   = flag.Float64("delay", 0, "mean synthetic per-evaluation delay in seconds (0 = none)")
+		delayCV = flag.Float64("delay-cv", 0.1, "synthetic delay coefficient of variation (with -delay)")
+		hb      = flag.Duration("heartbeat", 0, "heartbeat interval (0 = follow the master's handshake)")
+		idle    = flag.Duration("idle", 0, "idle timeout before redialing (0 = 4x heartbeat)")
+		quiet   = flag.Bool("quiet", false, "suppress connection lifecycle messages")
+	)
+	flag.Parse()
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "borgd: -connect host:port is required")
+		os.Exit(2)
+	}
+
+	cfg := borgmoea.WorkerConfig{
+		Addr: *connect,
+		Seed: *seed,
+		Conn: borgmoea.WireOptions{Heartbeat: *hb, IdleTimeout: *idle},
+	}
+	if *delay > 0 {
+		cfg.Delay = borgmoea.GammaFromMeanCV(*delay, *delayCV)
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "%s "+format+"\n",
+				append([]any{time.Now().Format("15:04:05")}, args...)...)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the context; RunWorker then abandons its
+	// current evaluation and the master's lease recovers it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := borgmoea.RunWorker(ctx, cfg); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "borgd:", err)
+		os.Exit(1)
+	}
+}

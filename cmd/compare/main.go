@@ -30,7 +30,7 @@ func main() {
 	)
 	flag.Parse()
 
-	problem, err := lookupProblem(*problemName, *objectives)
+	problem, err := borgmoea.LookupProblem(*problemName, *objectives)
 	if err != nil {
 		fatal(err)
 	}
@@ -103,33 +103,6 @@ func referenceSet(p borgmoea.Problem, m int) [][]float64 {
 		return borgmoea.ZDTFront(v, 1000)
 	}
 	return nil
-}
-
-func lookupProblem(name string, m int) (borgmoea.Problem, error) {
-	u := strings.ToUpper(name)
-	switch {
-	case u == "UF11":
-		return borgmoea.NewUF11(), nil
-	case strings.HasPrefix(u, "UF"):
-		v, err := strconv.Atoi(u[2:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewUF(v, 30), nil
-	case strings.HasPrefix(u, "DTLZ"):
-		v, err := strconv.Atoi(u[4:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewDTLZ(v, m), nil
-	case strings.HasPrefix(u, "ZDT"):
-		v, err := strconv.Atoi(u[3:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewZDT(v), nil
-	}
-	return nil, fmt.Errorf("unknown problem %q", name)
 }
 
 func fatal(err error) {

@@ -37,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	if *collect {
-		p, err := lookupProblem(*problem, *objs)
+		p, err := borgmoea.LookupProblem(*problem, *objs)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,27 +96,6 @@ func readSamples(r io.Reader) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, sc.Err()
-}
-
-func lookupProblem(name string, m int) (borgmoea.Problem, error) {
-	u := strings.ToUpper(name)
-	switch {
-	case u == "UF11":
-		return borgmoea.NewUF11(), nil
-	case strings.HasPrefix(u, "UF"):
-		v, err := strconv.Atoi(u[2:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewUF(v, 30), nil
-	case strings.HasPrefix(u, "DTLZ"):
-		v, err := strconv.Atoi(u[4:])
-		if err != nil {
-			return nil, fmt.Errorf("unknown problem %q", name)
-		}
-		return borgmoea.NewDTLZ(v, m), nil
-	}
-	return nil, fmt.Errorf("unknown problem %q", name)
 }
 
 func fatal(err error) {

@@ -1,0 +1,443 @@
+package parallel
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/rng"
+	"borgmoea/internal/wire"
+)
+
+// DistributedConfig parameterizes the network side of a distributed
+// master-slave run (the algorithm side stays in Config).
+type DistributedConfig struct {
+	// Listen is the TCP address the master binds ("":7070", or
+	// "127.0.0.1:0" to pick a free port). Ignored when Listener is
+	// set.
+	Listen string
+	// Listener, when non-nil, is a pre-bound listener the master
+	// adopts (tests and in-process examples bind port 0 themselves to
+	// learn the address before starting workers). The master closes
+	// it at the end of the run either way.
+	Listener net.Listener
+	// LeaseTimeout bounds how long the master waits for a dispatched
+	// evaluation before presuming it lost and resubmitting a clone —
+	// the wall-clock analogue of Config.LeaseTimeout. 0 falls back to
+	// Config.LeaseTimeout (seconds) and then to 30s; < 0 disables
+	// lease expiry (a dead connection still resubmits immediately).
+	LeaseTimeout time.Duration
+	// Conn tunes handshake, heartbeat, idle and write timeouts shared
+	// by every accepted connection.
+	Conn wire.Options
+	// WallLimit aborts an unfinishable run (e.g. every worker gone
+	// for good) after this much wall time; 0 means no limit. A run
+	// that hits it returns Completed == false.
+	WallLimit time.Duration
+	// Logf, when set, receives worker lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (d *DistributedConfig) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// distSession is one live worker connection as the master sees it.
+type distSession struct {
+	id    uint64
+	conn  *wire.Conn
+	state int8 // wsIdle / wsBusy / wsDead (suspect: lease expired)
+	lease *distLease
+	gone  bool // connection declared dead; terminal
+}
+
+// distLease is one outstanding evaluation on the wall clock — the
+// same invariants as the virtual-time lease table: at most one live
+// lease id per work chain, FIFO nondecreasing deadlines, results
+// accepted only from the leased worker.
+type distLease struct {
+	item     *workItem
+	sess     *distSession
+	deadline time.Time
+	done     bool
+}
+
+type distEventKind uint8
+
+const (
+	distJoin distEventKind = iota
+	distMsg
+	distDead
+)
+
+type distEvent struct {
+	kind distEventKind
+	sess *distSession
+	msg  wire.Message
+	err  error
+}
+
+// RunAsyncDistributed executes the asynchronous master-slave Borg MOEA
+// over real TCP: the master listens, borgd workers dial in, and the
+// existing lease/resubmission protocol recovers evaluations lost to
+// killed or partitioned workers. The master remains a single event
+// loop — the paper's property that the algorithm's critical section is
+// serial — while the network layer feeds it joins, results and deaths.
+//
+// Differences from the virtual-time drivers: the worker pool is
+// dynamic (Config.Processors is ignored; Result.Processors reports
+// 1 + the peak concurrent worker count), T_F is whatever the workers
+// actually take (plus any artificial delay configured worker-side),
+// and faults are not injected — real workers fail for real. A worker
+// that reconnects re-registers via its handshake Hello, which retires
+// its old lease exactly like the virtual drivers' tagHello path.
+func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
+	if !cfg.Fault.Empty() {
+		return nil, fmt.Errorf("parallel: fault injection requires a virtual-time driver (RunAsync/RunSync); distributed workers fail for real")
+	}
+	if cfg.Problem == nil {
+		return nil, fmt.Errorf("parallel: Problem is required")
+	}
+	if cfg.Evaluations == 0 {
+		return nil, fmt.Errorf("parallel: Evaluations must be positive")
+	}
+	leaseTimeout := dcfg.LeaseTimeout
+	if leaseTimeout == 0 && cfg.LeaseTimeout > 0 {
+		leaseTimeout = time.Duration(cfg.LeaseTimeout * float64(time.Second))
+	}
+	if leaseTimeout == 0 {
+		leaseTimeout = 30 * time.Second
+	}
+
+	algCfg := cfg.Algorithm
+	algCfg.Seed = cfg.Seed
+	b, err := core.New(cfg.Problem, algCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	listener := dcfg.Listener
+	if listener == nil {
+		if dcfg.Listen == "" {
+			return nil, fmt.Errorf("parallel: distributed run needs a Listen address or a Listener")
+		}
+		listener, err = net.Listen("tcp", dcfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: listen: %w", err)
+		}
+	}
+	defer listener.Close()
+
+	welcome := wire.Welcome{
+		Problem:         cfg.Problem.Name(),
+		NumVars:         uint32(cfg.Problem.NumVars()),
+		NumObjs:         uint32(cfg.Problem.NumObjs()),
+		HeartbeatMillis: uint32(dcfg.Conn.Heartbeat.Milliseconds()),
+	}
+
+	events := make(chan distEvent, 256)
+	done := make(chan struct{})
+	defer close(done)
+	push := func(e distEvent) {
+		select {
+		case events <- e:
+		case <-done:
+		}
+	}
+
+	// Accept loop: handshake each connection off the main loop, then
+	// feed its messages to the master as events.
+	var nextWorkerID atomic.Uint64
+	go func() {
+		for {
+			nc, err := listener.Accept()
+			if err != nil {
+				return // listener closed: run over
+			}
+			go func() {
+				var id uint64
+				conn, _, err := wire.ServerHandshake(nc, dcfg.Conn, func(h wire.Hello) (*wire.Welcome, error) {
+					w := welcome
+					if h.WorkerID != 0 {
+						w.WorkerID = h.WorkerID // reconnect keeps its identity
+					} else {
+						w.WorkerID = nextWorkerID.Add(1)
+					}
+					id = w.WorkerID
+					return &w, nil
+				})
+				if err != nil {
+					return
+				}
+				conn.StartHeartbeat(0)
+				// Born busy: markIdle on the join event is what enters
+				// the session into the idle queue (wsIdle is the zero
+				// state, so it cannot be the initial one).
+				s := &distSession{id: id, conn: conn, state: wsBusy}
+				push(distEvent{kind: distJoin, sess: s})
+				for {
+					m, err := conn.Recv()
+					if err != nil {
+						push(distEvent{kind: distDead, sess: s, err: err})
+						return
+					}
+					push(distEvent{kind: distMsg, sess: s, msg: m})
+				}
+			}()
+		}
+	}()
+
+	// Master state: the wall-clock twin of RunAsync's lease table.
+	res := &Result{Final: b}
+	meter := &taMeter{dist: cfg.TA, rng: rng.New(cfg.Seed ^ 0x6d617374), capture: cfg.CaptureTimings}
+	outstanding := make(map[uint64]*distLease)
+	byID := make(map[uint64]*distSession)
+	var leaseQ []*distLease
+	var pending []*workItem
+	var idleQ []*distSession
+	var nextItemID uint64
+	completed := uint64(0)
+	tfSum, tfN := 0.0, uint64(0)
+	live, peak := 0, 0
+	start := time.Now()
+	var elapsedAtN float64
+
+	newItem := func(s *core.Solution) *workItem {
+		nextItemID++
+		return &workItem{id: nextItemID, s: s}
+	}
+	release := func(l *distLease) {
+		if l.done {
+			return
+		}
+		l.done = true
+		delete(outstanding, l.item.id)
+		if l.sess.lease == l {
+			l.sess.lease = nil
+		}
+	}
+	// lose retires the lease id before re-enqueuing the clone, so a
+	// late result and its resubmission can never both be accepted.
+	lose := func(l *distLease) {
+		if l.done {
+			return
+		}
+		release(l)
+		res.LostEvaluations++
+		res.Resubmissions++
+		pending = append(pending, newItem(l.item.s.Clone()))
+	}
+	kill := func(s *distSession, why error) {
+		if s.gone {
+			return
+		}
+		s.gone = true
+		s.state = wsDead
+		live--
+		s.conn.Close()
+		if s.lease != nil {
+			lose(s.lease)
+		}
+		if byID[s.id] == s {
+			delete(byID, s.id)
+		}
+		dcfg.logf("parallel: worker %d gone: %v", s.id, why)
+	}
+	markIdle := func(s *distSession) {
+		if s.gone || s.state == wsIdle {
+			return
+		}
+		s.state = wsIdle
+		idleQ = append(idleQ, s)
+	}
+	grant := func(s *distSession, item *workItem) {
+		l := &distLease{item: item, sess: s}
+		s.lease = l
+		s.state = wsBusy
+		outstanding[item.id] = l
+		if leaseTimeout > 0 {
+			l.deadline = time.Now().Add(leaseTimeout)
+			leaseQ = append(leaseQ, l)
+		}
+		ev := &wire.Evaluate{
+			Lease:    item.id,
+			SolID:    item.s.ID,
+			Operator: int32(item.s.Operator),
+			Vars:     item.s.Vars,
+		}
+		if err := s.conn.Send(ev); err != nil {
+			kill(s, err)
+		}
+	}
+	// dispatch pairs idle workers with work: resubmitted clones first,
+	// then fresh offspring as long as live work chains stay within the
+	// remaining budget (so the run never over-issues evaluations).
+	dispatch := func() {
+		for len(idleQ) > 0 {
+			s := idleQ[0]
+			if s.gone || s.state != wsIdle {
+				idleQ = idleQ[1:]
+				continue
+			}
+			var item *workItem
+			if len(pending) > 0 {
+				item = pending[0]
+				pending = pending[1:]
+			} else if completed+uint64(len(outstanding))+uint64(len(pending)) < cfg.Evaluations {
+				var next *core.Solution
+				meter.measure(func() { next = b.Suggest() })
+				item = newItem(next)
+			} else {
+				break
+			}
+			idleQ = idleQ[1:]
+			grant(s, item)
+		}
+	}
+	expireDue := func(now time.Time) {
+		for len(leaseQ) > 0 {
+			l := leaseQ[0]
+			if l.done {
+				leaseQ = leaseQ[1:]
+				continue
+			}
+			if l.deadline.After(now) {
+				break
+			}
+			leaseQ = leaseQ[1:]
+			s := l.sess
+			lose(l)
+			if !s.gone {
+				// Suspect, not gone: a late result still marks it
+				// idle again, exactly like the virtual-time master.
+				s.state = wsDead
+			}
+		}
+	}
+
+	var tickC <-chan time.Time
+	if leaseTimeout > 0 {
+		interval := leaseTimeout / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	var wallC <-chan time.Time
+	if dcfg.WallLimit > 0 {
+		wall := time.NewTimer(dcfg.WallLimit)
+		defer wall.Stop()
+		wallC = wall.C
+	}
+
+loop:
+	for completed < cfg.Evaluations {
+		select {
+		case e := <-events:
+			switch e.kind {
+			case distJoin:
+				if old := byID[e.sess.id]; old != nil && old != e.sess {
+					// Reconnect-with-hello: the old incarnation's work
+					// died with it, same as the virtual tagHello path.
+					kill(old, fmt.Errorf("replaced by reconnect"))
+				}
+				byID[e.sess.id] = e.sess
+				live++
+				if live > peak {
+					peak = live
+				}
+				dcfg.logf("parallel: worker %d joined from %s (%d live)", e.sess.id, e.sess.conn.RemoteAddr(), live)
+				markIdle(e.sess)
+				dispatch()
+			case distDead:
+				kill(e.sess, e.err)
+				dispatch()
+			case distMsg:
+				s := e.sess
+				if s.gone {
+					break
+				}
+				m, ok := e.msg.(*wire.Result)
+				if !ok {
+					break // nothing else is expected after the handshake
+				}
+				l, known := outstanding[m.Lease]
+				if !known || l.sess != s {
+					// Late result of an expired, already-reissued
+					// lease: discard, but the worker proved alive.
+					res.DuplicateResults++
+					if s.lease == nil {
+						markIdle(s)
+					}
+					dispatch()
+					break
+				}
+				if len(m.Objs) != cfg.Problem.NumObjs() {
+					kill(s, fmt.Errorf("result with %d objectives, want %d", len(m.Objs), cfg.Problem.NumObjs()))
+					dispatch()
+					break
+				}
+				release(l)
+				sol := l.item.s
+				sol.Objs = m.Objs
+				sol.Constrs = m.Constrs
+				tfSum += float64(m.EvalNanos) / 1e9
+				tfN++
+				meter.measure(func() { b.Accept(sol) })
+				completed++
+				if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+					cfg.OnCheckpoint(time.Since(start).Seconds(), b)
+				}
+				if completed >= cfg.Evaluations {
+					elapsedAtN = time.Since(start).Seconds()
+					break loop
+				}
+				markIdle(s)
+				dispatch()
+			}
+		case <-tickC:
+			expireDue(time.Now())
+			dispatch()
+		case <-wallC:
+			dcfg.logf("parallel: wall limit %v reached with %d/%d evaluations", dcfg.WallLimit, completed, cfg.Evaluations)
+			break loop
+		}
+	}
+
+	// Tear down: stop accepting, stop every worker. Stop is written
+	// before the close, so a healthy worker reads it ahead of the FIN
+	// and exits cleanly instead of reconnecting.
+	listener.Close()
+	for _, s := range byID {
+		_ = s.conn.Send(wire.Stop{})
+		s.conn.Close()
+	}
+
+	res.ElapsedTime = elapsedAtN
+	if res.ElapsedTime == 0 {
+		res.ElapsedTime = time.Since(start).Seconds()
+	}
+	res.Evaluations = completed
+	res.Completed = completed >= cfg.Evaluations
+	res.Processors = peak + 1
+	res.MasterBusy = meter.sum
+	if res.ElapsedTime > 0 {
+		res.MasterUtilization = res.MasterBusy / res.ElapsedTime
+	}
+	if completed > 0 {
+		// Accept and Suggest are metered separately here; per
+		// completed evaluation they sum to the paper's T_A.
+		res.MeanTA = meter.sum / float64(completed)
+	}
+	res.TASamples = meter.samples
+	if tfN > 0 {
+		res.MeanTF = tfSum / float64(tfN)
+	}
+	return res, nil
+}

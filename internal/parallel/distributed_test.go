@@ -1,0 +1,195 @@
+package parallel
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/fault"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/stats"
+	"borgmoea/internal/wire"
+)
+
+// distConfig is the acceptance scenario: 5-objective DTLZ2 to N
+// evaluations.
+func distConfig(n uint64) Config {
+	return Config{
+		Problem:     problems.NewDTLZ2(5),
+		Algorithm:   core.Config{Epsilons: core.UniformEpsilons(5, 0.15)},
+		Evaluations: n,
+		Seed:        42,
+	}
+}
+
+// fastConn keeps handshakes and failure detection snappy in tests.
+var fastConn = wire.Options{Heartbeat: 50 * time.Millisecond, IdleTimeout: 10 * time.Second}
+
+// startWorker launches one in-process borgd-equivalent worker and
+// returns its error channel.
+func startWorker(ctx context.Context, addr string, seed uint64, delay stats.Distribution) chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- wire.RunWorker(ctx, wire.WorkerConfig{
+			Addr:  addr,
+			Seed:  seed,
+			Delay: delay,
+			Conn:  fastConn,
+		})
+	}()
+	return errc
+}
+
+// TestDistributedLoopback: a master and three real-TCP workers run
+// DTLZ2 (M=5) to N=2,000 evaluations and complete with a non-empty
+// archive and no loss accounting.
+func TestDistributedLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network integration test skipped in -short mode")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		startWorker(ctx, l.Addr().String(), uint64(i+1), nil)
+	}
+
+	res, err := RunAsyncDistributed(distConfig(2000), DistributedConfig{
+		Listener:     l,
+		LeaseTimeout: 10 * time.Second,
+		Conn:         fastConn,
+		WallLimit:    2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Evaluations != 2000 {
+		t.Fatalf("Completed=%v Evaluations=%d, want full budget", res.Completed, res.Evaluations)
+	}
+	if res.Final.Archive().Size() == 0 {
+		t.Fatal("distributed run produced an empty archive")
+	}
+	if res.Processors < 4 {
+		t.Fatalf("Processors=%d, want 1 master + >=3 workers observed", res.Processors)
+	}
+	if res.Resubmissions != 0 || res.DuplicateResults != 0 {
+		t.Fatalf("healthy run recorded resubmissions=%d duplicates=%d", res.Resubmissions, res.DuplicateResults)
+	}
+	if res.ElapsedTime <= 0 || res.MasterBusy <= 0 {
+		t.Fatalf("timing accounting missing: elapsed=%v busy=%v", res.ElapsedTime, res.MasterBusy)
+	}
+}
+
+// TestDistributedWorkerKillResubmits hard-kills one worker mid-
+// evaluation: its in-flight lease must be resubmitted to the surviving
+// workers and the run must still complete the full budget.
+func TestDistributedWorkerKillResubmits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network integration test skipped in -short mode")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Two healthy fast workers…
+	startWorker(ctx, l.Addr().String(), 1, nil)
+	startWorker(ctx, l.Addr().String(), 2, nil)
+	// …and a victim whose evaluations take far longer than the run, so
+	// it is guaranteed to hold an unfinished lease when killed.
+	victimCtx, killVictim := context.WithCancel(ctx)
+	victimErr := startWorker(victimCtx, l.Addr().String(), 3, stats.NewConstant(30))
+	kill := time.AfterFunc(500*time.Millisecond, killVictim)
+	defer kill.Stop()
+
+	res, err := RunAsyncDistributed(distConfig(2000), DistributedConfig{
+		Listener:     l,
+		LeaseTimeout: 10 * time.Second,
+		Conn:         fastConn,
+		WallLimit:    2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Evaluations != 2000 {
+		t.Fatalf("Completed=%v Evaluations=%d, want full budget despite the kill", res.Completed, res.Evaluations)
+	}
+	if res.Resubmissions == 0 || res.LostEvaluations == 0 {
+		t.Fatalf("killed worker's lease was never resubmitted: resubmissions=%d lost=%d",
+			res.Resubmissions, res.LostEvaluations)
+	}
+	if res.Final.Archive().Size() == 0 {
+		t.Fatal("run with a killed worker produced an empty archive")
+	}
+	if err := <-victimErr; err != context.Canceled {
+		t.Fatalf("victim exited with %v, want context.Canceled", err)
+	}
+}
+
+// TestDistributedLeaseExpiryRecovers: with a short lease timeout and a
+// worker that never answers (but keeps its connection alive via
+// heartbeats), the deadline queue alone must recover the work.
+func TestDistributedLeaseExpiryRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network integration test skipped in -short mode")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorker(ctx, l.Addr().String(), 1, nil)
+	startWorker(ctx, l.Addr().String(), 2, nil)
+	// The hung worker heartbeats (live TCP) but sleeps through the
+	// whole run, so only lease expiry can reclaim its work.
+	startWorker(ctx, l.Addr().String(), 3, stats.NewConstant(30))
+
+	res, err := RunAsyncDistributed(distConfig(500), DistributedConfig{
+		Listener:     l,
+		LeaseTimeout: 300 * time.Millisecond,
+		Conn:         fastConn,
+		WallLimit:    2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %d/%d", res.Evaluations, 500)
+	}
+	if res.Resubmissions == 0 {
+		t.Fatal("expired lease was never resubmitted")
+	}
+}
+
+// TestDistributedValidation mirrors the virtual drivers' error style.
+func TestDistributedValidation(t *testing.T) {
+	cfg := distConfig(100)
+	cfg.Fault = &fault.Plan{Rules: []fault.Rule{{Ranks: []int{1}, Model: fault.CrashStop{At: stats.NewConstant(1)}}}}
+	_, err := RunAsyncDistributed(cfg, DistributedConfig{Listen: "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "virtual-time driver") {
+		t.Fatalf("fault plan accepted by distributed driver: %v", err)
+	}
+
+	cfg = distConfig(100)
+	cfg.Problem = nil
+	if _, err := RunAsyncDistributed(cfg, DistributedConfig{Listen: "127.0.0.1:0"}); err == nil {
+		t.Error("nil problem accepted")
+	}
+
+	cfg = distConfig(0)
+	if _, err := RunAsyncDistributed(cfg, DistributedConfig{Listen: "127.0.0.1:0"}); err == nil {
+		t.Error("zero evaluations accepted")
+	}
+
+	if _, err := RunAsyncDistributed(distConfig(100), DistributedConfig{}); err == nil {
+		t.Error("missing listen address accepted")
+	}
+}

@@ -18,11 +18,14 @@ import (
 // that the algorithm's critical section is serial; workers communicate
 // over channels (the MPI substitution — see DESIGN.md §2).
 func RunAsyncRealtime(cfg Config) (*Result, error) {
+	// Cheap validation first: reject configurations this driver can
+	// never run before normalize touches distributions and long before
+	// core.New allocates a full algorithm state.
+	if !cfg.Fault.Empty() {
+		return nil, fmt.Errorf("parallel: fault injection requires a virtual-time driver (RunAsync/RunSync); RunAsyncRealtime has no simulated cluster to fail")
+	}
 	if err := cfg.normalize(); err != nil {
 		return nil, err
-	}
-	if !cfg.Fault.Empty() {
-		return nil, fmt.Errorf("parallel: fault injection requires the virtual-time drivers (RunAsync/RunSync); RunAsyncRealtime has no simulated cluster to fail")
 	}
 	algCfg := cfg.Algorithm
 	algCfg.Seed = cfg.Seed
@@ -36,8 +39,9 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	results := make(chan *core.Solution, workers)
 	done := make(chan struct{})
 
+	streams := workerStreams(cfg.Seed, workers)
 	for w := 0; w < workers; w++ {
-		wRng := rng.New(cfg.Seed ^ (uint64(w+1) * 0x9e3779b97f4a7c15))
+		wRng := streams[w]
 		straggler := cfg.StragglerFraction > 0 &&
 			float64(w) < cfg.StragglerFraction*float64(workers)
 		go func() {
@@ -88,4 +92,18 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	res.MeanTF = cfg.TF.Mean()
 	res.MeanTC = 0 // channel transfers; not separately measurable here
 	return res, nil
+}
+
+// workerStreams derives one timing-RNG stream per wall-clock worker by
+// splitting a dedicated root, so worker streams are decorrelated by
+// construction (each split reseeds through splitmix64) instead of by
+// xor-scrambling the run seed. The root is offset from cfg.Seed so the
+// streams are also independent of the master's algorithm randomness.
+func workerStreams(seed uint64, n int) []*rng.Source {
+	root := rng.New(seed ^ 0x7265616c74696d65) // "realtime"
+	streams := make([]*rng.Source, n)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	return streams
 }

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"borgmoea/internal/fault"
+	"borgmoea/internal/stats"
+)
+
+// TestWorkerStreamsDecorrelated: every wall-clock worker's timing
+// stream must open with a distinct draw (split streams, not
+// xor-scrambled copies of one seed), and reconstructing the streams
+// from the same seed must reproduce them exactly.
+func TestWorkerStreamsDecorrelated(t *testing.T) {
+	const n = 16
+	streams := workerStreams(1, n)
+	if len(streams) != n {
+		t.Fatalf("got %d streams, want %d", len(streams), n)
+	}
+	seen := make(map[uint64]int, n)
+	first := make([]uint64, n)
+	for i, s := range streams {
+		v := s.Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("workers %d and %d share their leading draw %#x", prev, i, v)
+		}
+		seen[v] = i
+		first[i] = v
+	}
+	for i, s := range workerStreams(1, n) {
+		if v := s.Uint64(); v != first[i] {
+			t.Fatalf("worker %d stream not reproducible: %#x vs %#x", i, v, first[i])
+		}
+	}
+	// A different run seed yields different streams.
+	if v := workerStreams(2, 1)[0].Uint64(); v == first[0] {
+		t.Fatal("seed 1 and seed 2 produced the same leading draw")
+	}
+}
+
+// TestRealtimeFaultCheckBeforeNormalize: the fault-plan rejection is
+// the cheap validation that runs first — a config that is *also*
+// invalid for normalize (nil TF) must still get the fault error, and
+// the message must point at the virtual-time drivers.
+func TestRealtimeFaultCheckBeforeNormalize(t *testing.T) {
+	cfg := testConfig(4, 100)
+	cfg.TF = nil // would fail normalize
+	cfg.Fault = &fault.Plan{Rules: []fault.Rule{{
+		Ranks: []int{1},
+		Model: fault.CrashStop{At: stats.NewConstant(1)},
+	}}}
+	_, err := RunAsyncRealtime(cfg)
+	if err == nil {
+		t.Fatal("fault plan accepted by realtime driver")
+	}
+	if !strings.Contains(err.Error(), "virtual-time driver") {
+		t.Fatalf("fault check did not run first: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package problems
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lookup resolves a problem from a CLI-style name plus an objective
+// count for the families that need one ("DTLZ2" with m=5), and also
+// accepts the canonical Name() forms with the dimensions embedded
+// ("DTLZ2_5", "UF11_6_40"). Matching is case-insensitive. It is the
+// single resolver shared by the CLI tools and the distributed worker
+// runtime.
+func Lookup(name string, m int) (Problem, error) {
+	u := strings.ToUpper(strings.TrimSpace(name))
+	switch {
+	case u == "UF11":
+		return NewUF11(), nil
+	case strings.HasPrefix(u, "UF11_"):
+		// Canonical custom form "UF11_<m>_<n>" (default spread/seed).
+		var mm, nn int
+		if _, err := fmt.Sscanf(u, "UF11_%d_%d", &mm, &nn); err != nil || mm < 2 || nn < mm {
+			return nil, fmt.Errorf("problems: malformed UF11 name %q (want UF11_<m>_<n>)", name)
+		}
+		return NewUF11Custom(mm, nn, 2, UF11Seed), nil
+	case strings.HasPrefix(u, "UF"):
+		v, err := strconv.Atoi(u[2:])
+		if err != nil || v < 1 || v > 10 {
+			return nil, unknownProblem(name)
+		}
+		return NewUF(v, 30), nil
+	case strings.HasPrefix(u, "DTLZ"):
+		rest := u[4:]
+		if i := strings.IndexByte(rest, '_'); i >= 0 {
+			v, err1 := strconv.Atoi(rest[:i])
+			mm, err2 := strconv.Atoi(rest[i+1:])
+			if err1 != nil || err2 != nil || v < 1 || v > 7 || mm < 2 {
+				return nil, unknownProblem(name)
+			}
+			return NewDTLZ(v, mm), nil
+		}
+		v, err := strconv.Atoi(rest)
+		if err != nil || v < 1 || v > 7 {
+			return nil, unknownProblem(name)
+		}
+		if m < 2 {
+			return nil, fmt.Errorf("problems: %q needs an objective count (got %d); use DTLZ%d_<m> or pass m", name, m, v)
+		}
+		return NewDTLZ(v, m), nil
+	case strings.HasPrefix(u, "ZDT"):
+		v, err := strconv.Atoi(u[3:])
+		if err != nil || v < 1 || v > 6 || v == 5 {
+			return nil, unknownProblem(name)
+		}
+		return NewZDT(v), nil
+	case u == "SCHAFFER":
+		return NewSchaffer(), nil
+	case u == "FONSECAFLEMING":
+		return NewFonsecaFleming(3), nil
+	case u == "KURSAWE":
+		return NewKursawe(3), nil
+	}
+	return nil, unknownProblem(name)
+}
+
+// ByName reconstructs a problem from its canonical Name() string —
+// the form the distributed master announces in its handshake and a
+// worker resolves locally ("DTLZ2_5", "UF11", "ZDT3", ...). Families
+// whose Name() omits a required dimension are rejected rather than
+// guessed.
+func ByName(name string) (Problem, error) {
+	return Lookup(name, 0)
+}
+
+func unknownProblem(name string) error {
+	return fmt.Errorf("problems: unknown problem %q (want DTLZ1-7, ZDT1-4/6, UF1-11, Schaffer, FonsecaFleming or Kursawe)", name)
+}

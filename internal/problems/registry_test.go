@@ -1,0 +1,92 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestByNameRoundTrip: every canonical Name() the distributed master
+// can announce must resolve back to a problem with identical name and
+// dimensions — the handshake contract of the wire transport.
+func TestByNameRoundTrip(t *testing.T) {
+	originals := []Problem{
+		NewDTLZ2(5),
+		NewDTLZ(1, 3),
+		NewDTLZ(7, 10),
+		NewZDT(3),
+		NewZDT(6),
+		NewUF(4, 30),
+		NewUF11(),
+		NewUF11Custom(6, 40, 2, UF11Seed),
+		NewSchaffer(),
+		NewFonsecaFleming(3),
+		NewKursawe(3),
+	}
+	for _, want := range originals {
+		got, err := ByName(want.Name())
+		if err != nil {
+			t.Errorf("ByName(%q): %v", want.Name(), err)
+			continue
+		}
+		if got.Name() != want.Name() {
+			t.Errorf("ByName(%q).Name() = %q", want.Name(), got.Name())
+		}
+		if got.NumVars() != want.NumVars() || got.NumObjs() != want.NumObjs() {
+			t.Errorf("ByName(%q) = %dv/%do, want %dv/%do",
+				want.Name(), got.NumVars(), got.NumObjs(), want.NumVars(), want.NumObjs())
+		}
+	}
+}
+
+// TestLookupVariants covers the CLI-side conveniences: case folding,
+// the separate m argument, and the DTLZ<v>_<m> embedded form.
+func TestLookupVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		m    int
+		want string
+	}{
+		{"dtlz2", 5, "DTLZ2_5"},
+		{"DTLZ2_5", 0, "DTLZ2_5"},
+		{"dtlz2_5", 3, "DTLZ2_5"}, // embedded m wins over the argument
+		{"uf9", 0, "UF9"},
+		{"zdt1", 0, "ZDT1"},
+		{"  UF11 ", 0, "UF11"},
+		{"schaffer", 0, "Schaffer"},
+		{"kursawe", 0, "Kursawe"},
+		{"fonsecafleming", 0, "FonsecaFleming"},
+	}
+	for _, c := range cases {
+		p, err := Lookup(c.name, c.m)
+		if err != nil {
+			t.Errorf("Lookup(%q, %d): %v", c.name, c.m, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("Lookup(%q, %d).Name() = %q, want %q", c.name, c.m, p.Name(), c.want)
+		}
+	}
+}
+
+// TestLookupRejectsBadNames: network-fed names must error, never panic
+// (the underlying constructors panic on out-of-range variants, so the
+// registry has to validate first).
+func TestLookupRejectsBadNames(t *testing.T) {
+	bad := []string{
+		"", "bogus", "DTLZ", "DTLZ0_3", "DTLZ8_3", "DTLZ2_1", "DTLZ2_",
+		"ZDT0", "ZDT5", "ZDT7", "ZDTx",
+		"UF0", "UF12", "UFx", "UF11_1_5", "UF11_5_2", "UF11_a_b",
+		"DTLZ2_5_9",
+	}
+	for _, name := range bad {
+		p, err := ByName(name)
+		if err == nil {
+			t.Errorf("ByName(%q) = %v, want error", name, p.Name())
+		}
+	}
+	// Bare DTLZ without an objective count anywhere is an error that
+	// says what is missing.
+	if _, err := Lookup("DTLZ2", 0); err == nil || !strings.Contains(err.Error(), "objective count") {
+		t.Errorf("Lookup(DTLZ2, 0): %v", err)
+	}
+}

@@ -1,0 +1,381 @@
+// Package wire carries the master/worker protocol of the parallel
+// Borg MOEA drivers over real TCP connections. It is the third
+// transport of the reproduction — next to the virtual-time DES cluster
+// (internal/cluster) and the in-process goroutine executor — and turns
+// the paper's MPI point-to-point messaging into something that runs
+// P>1 across processes and machines.
+//
+// The package has three layers:
+//
+//   - a compact binary codec (this file): length-prefixed frames, a
+//     version byte, and a CRC32 trailer, with one message type per
+//     protocol tag (Hello/Welcome/Evaluate/Result/Stop plus Ping/Pong
+//     heartbeats);
+//   - a connection layer (conn.go): dial/accept with a handshake,
+//     per-connection read/write with deadlines, background heartbeats,
+//     and idle timeouts;
+//   - a worker runtime (worker.go): the evaluate loop run by the borgd
+//     daemon, with reconnect-with-hello so a restarted worker
+//     re-registers exactly as the fault-tolerant master's
+//     crash-recover path expects.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the protocol version carried in every frame. A peer
+// speaking a different version is rejected at decode time.
+const Version = 1
+
+// MaxFrame bounds the payload (version + tag + body + CRC) of one
+// frame. It is far above any legitimate message — a 1 MiB frame holds
+// a 128k-variable solution — and exists so a corrupt or hostile length
+// prefix cannot make the reader allocate unbounded memory.
+const MaxFrame = 1 << 20
+
+// Tag identifies a message type on the wire. The first five mirror the
+// virtual-time drivers' protocol tags (tagEvaluate/tagResult/tagStop/
+// tagHello plus the Welcome reply that TCP needs and MPI ranks do
+// not); Ping/Pong are transport-level liveness.
+type Tag uint8
+
+const (
+	TagHello Tag = iota + 1
+	TagWelcome
+	TagEvaluate
+	TagResult
+	TagStop
+	TagPing
+	TagPong
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagHello:
+		return "hello"
+	case TagWelcome:
+		return "welcome"
+	case TagEvaluate:
+		return "evaluate"
+	case TagResult:
+		return "result"
+	case TagStop:
+		return "stop"
+	case TagPing:
+		return "ping"
+	case TagPong:
+		return "pong"
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+// Message is one protocol message. Implementations are the exported
+// structs below; Decode returns the concrete type for the frame's tag.
+type Message interface {
+	Tag() Tag
+	appendBody(dst []byte) []byte
+}
+
+// Hello is the worker's (re-)registration, the first message on every
+// connection. WorkerID is 0 on a first connect (the master assigns an
+// identity in its Welcome) and the previously assigned id on a
+// reconnect, which tells the master this is the crash-recover path:
+// whatever the worker held died with the old connection.
+type Hello struct {
+	WorkerID uint64
+}
+
+// Welcome is the master's handshake reply: the worker's (possibly
+// newly assigned) identity, the problem it must evaluate, the expected
+// dimensions for validation, and the heartbeat interval the master
+// wants the worker to honor (0 = worker's choice).
+type Welcome struct {
+	WorkerID        uint64
+	Problem         string
+	NumVars         uint32
+	NumObjs         uint32
+	HeartbeatMillis uint32
+}
+
+// Evaluate grants one evaluation lease to a worker. Lease is the
+// master's lease identifier (unique per dispatch — the dedup key of
+// the fault-tolerance protocol), SolID/Operator are the solution's
+// algorithm-level bookkeeping, echoed back in the Result.
+type Evaluate struct {
+	Lease    uint64
+	SolID    uint64
+	Operator int32
+	Vars     []float64
+}
+
+// Result returns an evaluated solution. EvalNanos is the worker-side
+// wall time of the evaluation (including any configured artificial
+// delay), the distributed run's T_F observation. Constrs is empty for
+// unconstrained problems.
+type Result struct {
+	Lease     uint64
+	SolID     uint64
+	Operator  int32
+	EvalNanos uint64
+	Objs      []float64
+	Constrs   []float64
+}
+
+// Stop tells a worker to shut down cleanly.
+type Stop struct{}
+
+// Ping and Pong are heartbeat probes exchanged by the connection layer
+// whenever a link is otherwise idle; they never surface from Recv.
+type (
+	Ping struct{}
+	Pong struct{}
+)
+
+func (*Hello) Tag() Tag    { return TagHello }
+func (*Welcome) Tag() Tag  { return TagWelcome }
+func (*Evaluate) Tag() Tag { return TagEvaluate }
+func (*Result) Tag() Tag   { return TagResult }
+func (Stop) Tag() Tag      { return TagStop }
+func (Ping) Tag() Tag      { return TagPing }
+func (Pong) Tag() Tag      { return TagPong }
+
+// --- encoding -------------------------------------------------------
+
+func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+
+func appendF64s(dst []byte, xs []float64) []byte {
+	dst = appendU32(dst, uint32(len(xs)))
+	for _, x := range xs {
+		dst = appendU64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func (m *Hello) appendBody(dst []byte) []byte { return appendU64(dst, m.WorkerID) }
+
+func (m *Welcome) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.WorkerID)
+	dst = appendString(dst, m.Problem)
+	dst = appendU32(dst, m.NumVars)
+	dst = appendU32(dst, m.NumObjs)
+	return appendU32(dst, m.HeartbeatMillis)
+}
+
+func (m *Evaluate) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Lease)
+	dst = appendU64(dst, m.SolID)
+	dst = appendU32(dst, uint32(m.Operator))
+	return appendF64s(dst, m.Vars)
+}
+
+func (m *Result) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Lease)
+	dst = appendU64(dst, m.SolID)
+	dst = appendU32(dst, uint32(m.Operator))
+	dst = appendU64(dst, m.EvalNanos)
+	dst = appendF64s(dst, m.Objs)
+	return appendF64s(dst, m.Constrs)
+}
+
+func (Stop) appendBody(dst []byte) []byte { return dst }
+func (Ping) appendBody(dst []byte) []byte { return dst }
+func (Pong) appendBody(dst []byte) []byte { return dst }
+
+// EncodeFrame serializes a message as one wire frame:
+//
+//	uint32 length | version(1) tag(1) body... crc32(4)
+//
+// where length counts everything after itself and the CRC (IEEE) is
+// computed over version+tag+body.
+func EncodeFrame(m Message) []byte {
+	payload := make([]byte, 4, 64)
+	payload = append(payload, Version, byte(m.Tag()))
+	payload = m.appendBody(payload)
+	crc := crc32.ChecksumIEEE(payload[4:])
+	payload = appendU32(payload, crc)
+	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
+	return payload
+}
+
+// --- decoding -------------------------------------------------------
+
+// bodyReader is a bounds-checked cursor over a frame body. All getters
+// are no-ops once an error is recorded, so decoders can read
+// straight-line and check the error once.
+type bodyReader struct {
+	b   []byte
+	err error
+}
+
+func (r *bodyReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (r *bodyReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail("truncated body: need %d bytes, have %d", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *bodyReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *bodyReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *bodyReader) f64s() []float64 {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n*8 > len(r.b) {
+		r.fail("float64 slice length %d exceeds remaining %d bytes", n, len(r.b))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(r.u64())
+	}
+	return xs
+}
+
+func (r *bodyReader) str() string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if n > len(r.b) {
+		r.fail("string length %d exceeds remaining %d bytes", n, len(r.b))
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// finish verifies the body was consumed exactly.
+func (r *bodyReader) finish(m Message) (Message, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %s body", len(r.b), m.Tag())
+	}
+	return m, nil
+}
+
+// DecodeFrame parses one frame payload (everything after the length
+// prefix: version, tag, body, CRC) back into a Message. It never
+// panics on malformed input; every defect — short payload, unknown
+// version or tag, CRC mismatch, truncated or oversized body fields,
+// trailing bytes — is a clean error.
+func DecodeFrame(payload []byte) (Message, error) {
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	if len(payload) < 6 { // version + tag + crc32
+		return nil, fmt.Errorf("wire: frame payload too short (%d bytes)", len(payload))
+	}
+	if payload[0] != Version {
+		return nil, fmt.Errorf("wire: protocol version %d, want %d", payload[0], Version)
+	}
+	content, trailer := payload[:len(payload)-4], payload[len(payload)-4:]
+	if got, want := crc32.ChecksumIEEE(content), binary.BigEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("wire: CRC mismatch (computed %08x, frame says %08x)", got, want)
+	}
+	tag := Tag(payload[1])
+	r := &bodyReader{b: content[2:]}
+	switch tag {
+	case TagHello:
+		m := &Hello{WorkerID: r.u64()}
+		return r.finish(m)
+	case TagWelcome:
+		m := &Welcome{
+			WorkerID:        r.u64(),
+			Problem:         r.str(),
+			NumVars:         r.u32(),
+			NumObjs:         r.u32(),
+			HeartbeatMillis: r.u32(),
+		}
+		return r.finish(m)
+	case TagEvaluate:
+		m := &Evaluate{
+			Lease:    r.u64(),
+			SolID:    r.u64(),
+			Operator: int32(r.u32()),
+			Vars:     r.f64s(),
+		}
+		return r.finish(m)
+	case TagResult:
+		m := &Result{
+			Lease:     r.u64(),
+			SolID:     r.u64(),
+			Operator:  int32(r.u32()),
+			EvalNanos: r.u64(),
+			Objs:      r.f64s(),
+			Constrs:   r.f64s(),
+		}
+		return r.finish(m)
+	case TagStop:
+		return r.finish(Stop{})
+	case TagPing:
+		return r.finish(Ping{})
+	case TagPong:
+		return r.finish(Pong{})
+	}
+	return nil, fmt.Errorf("wire: unknown message tag %d", uint8(tag))
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := w.Write(EncodeFrame(m))
+	return err
+}
+
+// ReadMessage reads one length-prefixed frame and decodes it.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return DecodeFrame(payload)
+}

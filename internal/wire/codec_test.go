@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"borgmoea/internal/rng"
+)
+
+// sampleMessages returns one representative of every message tag,
+// including edge contents (empty slices, NaN/Inf payloads, non-ASCII
+// names).
+func sampleMessages() []Message {
+	return []Message{
+		&Hello{},
+		&Hello{WorkerID: 42},
+		&Welcome{WorkerID: 7, Problem: "DTLZ2_5", NumVars: 14, NumObjs: 5, HeartbeatMillis: 2000},
+		&Welcome{Problem: ""},
+		&Evaluate{Lease: 1, SolID: 2, Operator: -1, Vars: []float64{0, 0.5, 1}},
+		&Evaluate{Lease: math.MaxUint64, Vars: nil},
+		&Result{Lease: 3, SolID: 4, Operator: 5, EvalNanos: 123456, Objs: []float64{1, 2}, Constrs: []float64{0.25}},
+		&Result{Objs: []float64{math.Inf(1), math.NaN(), -0}},
+		Stop{},
+		Ping{},
+		Pong{},
+	}
+}
+
+// TestRoundTripAllTags: encode → decode yields the original message
+// for every protocol tag (NaN compared bitwise via re-encode).
+func TestRoundTripAllTags(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame := EncodeFrame(m)
+		got, err := DecodeFrame(frame[4:])
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Tag(), err)
+		}
+		if got.Tag() != m.Tag() {
+			t.Fatalf("tag %s decoded as %s", m.Tag(), got.Tag())
+		}
+		if re := EncodeFrame(got); !bytes.Equal(re, frame) {
+			t.Errorf("%s: re-encode differs:\n  in  %x\n  out %x", m.Tag(), frame, re)
+		}
+	}
+}
+
+// TestRoundTripRandomized: property test — random message contents
+// survive the codec byte-identically and value-identically.
+func TestRoundTripRandomized(t *testing.T) {
+	r := rng.New(99)
+	randFloats := func() []float64 {
+		xs := make([]float64, r.Intn(20))
+		for i := range xs {
+			xs[i] = r.NormMS(0, 1e6)
+		}
+		if len(xs) == 0 {
+			return nil // codec canonicalizes empty to nil
+		}
+		return xs
+	}
+	for i := 0; i < 500; i++ {
+		msgs := []Message{
+			&Hello{WorkerID: r.Uint64()},
+			&Welcome{WorkerID: r.Uint64(), Problem: "UF11", NumVars: uint32(r.Intn(1000)), NumObjs: uint32(r.Intn(16))},
+			&Evaluate{Lease: r.Uint64(), SolID: r.Uint64(), Operator: int32(r.Intn(7) - 1), Vars: randFloats()},
+			&Result{Lease: r.Uint64(), EvalNanos: r.Uint64(), Objs: randFloats(), Constrs: randFloats()},
+		}
+		for _, m := range msgs {
+			frame := EncodeFrame(m)
+			got, err := DecodeFrame(frame[4:])
+			if err != nil {
+				t.Fatalf("decode %s: %v", m.Tag(), err)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Fatalf("%s round-trip mismatch:\n  in  %#v\n  out %#v", m.Tag(), m, got)
+			}
+		}
+	}
+}
+
+// TestReadWriteMessage exercises the stream framing end to end.
+func TestReadWriteMessage(t *testing.T) {
+	var buf bytes.Buffer
+	for _, m := range sampleMessages() {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range sampleMessages() {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Tag(), err)
+		}
+		if !bytes.Equal(EncodeFrame(got), EncodeFrame(want)) {
+			t.Fatalf("stream round-trip mismatch at %s", want.Tag())
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d leftover bytes", buf.Len())
+	}
+}
+
+// TestDecodeRejectsMalformed: every class of corruption is a clean
+// error, never a panic and never a bogus message.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := EncodeFrame(&Evaluate{Lease: 1, Vars: []float64{1, 2, 3}})[4:]
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"one byte":  {Version},
+		"short":     {Version, byte(TagStop), 0, 0, 0},
+		"bad crc":   flip(valid, len(valid)-1),
+		"bad body":  flip(valid, 10),
+		"version":   flip(valid, 0),
+		"trailing":  withCRC(append([]byte{Version, byte(TagStop)}, 0xff)),
+		"unknown":   withCRC([]byte{Version, 0x7f}),
+		"huge vars": withCRC(append([]byte{Version, byte(TagEvaluate)}, hugeCountBody()...)),
+	}
+	for name, payload := range cases {
+		m, err := DecodeFrame(payload)
+		if err == nil {
+			t.Errorf("%s: decoded %v, want error", name, m)
+		}
+		if m != nil {
+			t.Errorf("%s: non-nil message alongside error", name)
+		}
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeFrame(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestReadMessageLimits: a hostile length prefix is rejected before
+// allocation, and a short stream is an error.
+func TestReadMessageLimits(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadMessage(bytes.NewReader(hdr[:])); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized length accepted: %v", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := ReadMessage(bytes.NewReader(append(hdr[:], 1, 2, 3))); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+// flip returns a copy of b with one bit inverted at index i.
+func flip(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x01
+	return c
+}
+
+// withCRC appends a valid CRC trailer to a hand-built content prefix,
+// isolating body-level defects from checksum defects.
+func withCRC(content []byte) []byte {
+	frame := append([]byte(nil), content...)
+	return appendU32(frame, crc32.ChecksumIEEE(content))
+}
+
+// hugeCountBody builds an Evaluate body whose vars count claims more
+// floats than the body holds.
+func hugeCountBody() []byte {
+	var b []byte
+	b = appendU64(b, 1) // lease
+	b = appendU64(b, 2) // sol id
+	b = appendU32(b, 0) // operator
+	b = appendU32(b, 1<<30)
+	return b
+}

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options tunes a connection's liveness machinery. The zero value
+// gives sane defaults; a negative Heartbeat disables the background
+// pinger (useful in tests that exercise the idle timeout).
+type Options struct {
+	// Heartbeat is the interval between background Pings on an
+	// otherwise idle link. 0 means DefaultHeartbeat; < 0 disables.
+	Heartbeat time.Duration
+	// IdleTimeout is how long Recv waits without any inbound frame
+	// (heartbeats included) before declaring the peer dead. 0 means
+	// 4× the effective heartbeat, or DefaultIdleTimeout when
+	// heartbeats are disabled.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// DialTimeout bounds the TCP connect (default 5s).
+	DialTimeout time.Duration
+}
+
+// Defaults for the zero Options value.
+const (
+	DefaultHeartbeat   = 2 * time.Second
+	DefaultIdleTimeout = 30 * time.Second
+)
+
+func (o Options) heartbeat() time.Duration {
+	switch {
+	case o.Heartbeat < 0:
+		return 0
+	case o.Heartbeat == 0:
+		return DefaultHeartbeat
+	}
+	return o.Heartbeat
+}
+
+func (o Options) idleTimeout() time.Duration {
+	if o.IdleTimeout > 0 {
+		return o.IdleTimeout
+	}
+	if hb := o.heartbeat(); hb > 0 {
+		return 4 * hb
+	}
+	return DefaultIdleTimeout
+}
+
+func (o Options) writeTimeout() time.Duration {
+	if o.WriteTimeout > 0 {
+		return o.WriteTimeout
+	}
+	return 10 * time.Second
+}
+
+func (o Options) dialTimeout() time.Duration {
+	if o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// Conn is one protocol connection: framed sends under a write deadline,
+// framed receives under an idle deadline, and transparent Ping/Pong
+// handling. Send is safe for concurrent use (the heartbeat goroutine
+// shares it); Recv must be called from a single reader goroutine.
+type Conn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	opt  Options
+	wmu  sync.Mutex
+	done chan struct{}
+	once sync.Once
+}
+
+func newConn(nc net.Conn, opt Options) *Conn {
+	return &Conn{
+		nc:   nc,
+		br:   bufio.NewReader(nc),
+		opt:  opt,
+		done: make(chan struct{}),
+	}
+}
+
+// RemoteAddr reports the peer's address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Send frames and writes one message under the write deadline.
+func (c *Conn) Send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.opt.writeTimeout())); err != nil {
+		return err
+	}
+	return WriteMessage(c.nc, m)
+}
+
+// Recv returns the next protocol message. Heartbeats are consumed
+// internally: a Ping is answered with a Pong, and both refresh the
+// idle deadline without surfacing. An idle timeout, a peer close, or a
+// malformed frame all return an error — the connection is then dead.
+func (c *Conn) Recv() (Message, error) {
+	for {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.opt.idleTimeout())); err != nil {
+			return nil, err
+		}
+		m, err := ReadMessage(c.br)
+		if err != nil {
+			return nil, err
+		}
+		switch m.(type) {
+		case Ping:
+			if err := c.Send(Pong{}); err != nil {
+				return nil, err
+			}
+		case Pong:
+			// Liveness only; the deadline reset above did the work.
+		default:
+			return m, nil
+		}
+	}
+}
+
+// StartHeartbeat launches the background pinger at the given interval
+// (0 = the connection's configured/default interval; disabled options
+// make this a no-op). The pinger stops when the connection closes or a
+// ping fails.
+func (c *Conn) StartHeartbeat(interval time.Duration) {
+	if interval <= 0 {
+		interval = c.opt.heartbeat()
+	}
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-t.C:
+				if err := c.Send(Ping{}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Close tears the connection down; it is safe to call repeatedly and
+// from any goroutine (Recv/Send unblock with errors).
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return c.nc.Close()
+}
+
+// Dial connects to a master, performs the client side of the handshake
+// (send Hello, await Welcome), and returns the live connection. The
+// caller decides when to StartHeartbeat — typically right after
+// inspecting the Welcome.
+func Dial(addr string, hello Hello, opt Options) (*Conn, *Welcome, error) {
+	nc, err := net.DialTimeout("tcp", addr, opt.dialTimeout())
+	if err != nil {
+		return nil, nil, err
+	}
+	c := newConn(nc, opt)
+	if err := c.Send(&hello); err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	m, err := c.Recv()
+	if err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("wire: handshake recv: %w", err)
+	}
+	w, ok := m.(*Welcome)
+	if !ok {
+		c.Close()
+		return nil, nil, fmt.Errorf("wire: handshake: got %s, want welcome", m.Tag())
+	}
+	return c, w, nil
+}
+
+// ServerHandshake performs the master side of the handshake on a
+// freshly accepted connection: await the worker's Hello, let accept
+// mint the Welcome (assigning or echoing the worker id), and send it.
+// On any failure the connection is closed.
+func ServerHandshake(nc net.Conn, opt Options, accept func(Hello) (*Welcome, error)) (*Conn, *Welcome, error) {
+	c := newConn(nc, opt)
+	m, err := c.Recv()
+	if err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("wire: handshake recv: %w", err)
+	}
+	h, ok := m.(*Hello)
+	if !ok {
+		c.Close()
+		return nil, nil, fmt.Errorf("wire: handshake: got %s, want hello", m.Tag())
+	}
+	w, err := accept(*h)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	if err := c.Send(w); err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	return c, w, nil
+}

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame feeds arbitrary (and seeded malformed) payloads to
+// the frame decoder. Invariants: no panic ever; an error implies a nil
+// message; a successful decode implies the payload was canonical — re-
+// encoding the message reproduces it byte for byte (so there is exactly
+// one wire form per message and corrupted-but-accepted frames are
+// impossible).
+//
+// CI runs this as a short fuzz smoke (go test -fuzz=FuzzDecodeFrame
+// -fuzztime=10s ./internal/wire); without -fuzz the seed corpus still
+// executes as a regular test.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with every valid message…
+	for _, m := range sampleMessages() {
+		f.Add(EncodeFrame(m)[4:])
+	}
+	// …and hand-picked malformed shapes: truncations, bit flips,
+	// hostile counts, wrong versions.
+	valid := EncodeFrame(&Result{Lease: 9, Objs: []float64{1, 2, 3, 4, 5}})[4:]
+	for cut := 0; cut <= len(valid); cut += 3 {
+		f.Add(valid[:cut])
+	}
+	for i := 0; i < len(valid); i += 5 {
+		f.Add(flip(valid, i))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version + 1, byte(TagStop), 0, 0, 0, 0})
+	f.Add(withCRC([]byte{Version, 0xee}))
+	f.Add(withCRC(append([]byte{Version, byte(TagEvaluate)}, hugeCountBody()...)))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := DecodeFrame(payload)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("error %v returned alongside message %v", err, m)
+			}
+			return
+		}
+		re := EncodeFrame(m)
+		if !bytes.Equal(re[4:], payload) {
+			t.Fatalf("accepted non-canonical payload:\n  in  %x\n  out %x", payload, re[4:])
+		}
+	})
+}
