@@ -45,6 +45,7 @@ import (
 	"borgmoea/internal/metrics"
 	"borgmoea/internal/model"
 	"borgmoea/internal/nsga2"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/operators"
 	"borgmoea/internal/parallel"
 	"borgmoea/internal/problems"
@@ -156,6 +157,42 @@ type (
 // exponential MTBF/MTTR such that the given fraction of workers is
 // down at any instant.
 var FailedFractionPlan = fault.FailedFractionPlan
+
+// Observability types (see internal/obs): attach a MetricsRegistry
+// and/or TraceRecorder to ParallelConfig (or WireOptions) and every
+// driver journals protocol events and records T_A/T_F/T_C, lease and
+// transport telemetry.
+type (
+	// MetricsRegistry collects counters, gauges and timing histograms;
+	// nil disables telemetry at zero hot-path cost.
+	MetricsRegistry = obs.Registry
+	// TraceRecorder journals protocol events for JSONL export and
+	// Chrome trace_event rendering (chrome://tracing, Perfetto).
+	TraceRecorder = obs.Recorder
+	// ProtocolEvent is one journal entry.
+	ProtocolEvent = obs.Event
+	// DebugServer serves /healthz, /debug/vars and /debug/pprof for a
+	// running master or worker.
+	DebugServer = obs.DebugServer
+)
+
+// Observability constructors and helpers.
+var (
+	// NewMetrics returns an empty metrics registry.
+	NewMetrics = obs.NewRegistry
+	// NewTraceRecorder returns an event journal with the given
+	// retention limit (0 = default).
+	NewTraceRecorder = obs.NewRecorder
+	// ServeDebug starts the live debug HTTP listener.
+	ServeDebug = obs.ServeDebug
+	// NewLogger is the shared leveled CLI logger (log/slog).
+	NewLogger = obs.NewLogger
+	// LogfAdapter adapts a slog.Logger to printf-style Logf callbacks.
+	LogfAdapter = obs.Logf
+	// ValidateChromeTrace checks `-trace` output against the Chrome
+	// trace-event schema subset the exporter emits.
+	ValidateChromeTrace = obs.ValidateChromeTrace
+)
 
 // Model types.
 type (

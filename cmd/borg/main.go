@@ -8,11 +8,18 @@
 //	borg -problem DTLZ2 -objectives 5 -evals 100000
 //	borg -problem UF11 -parallel 64 -tf 0.01 -evals 100000
 //	borg -problem DTLZ2 -transport tcp -listen :7070 -evals 100000
+//
+// Observability (see README.md "Observing a run"):
+//
+//	borg -parallel 8 -trace run.trace.json        # Chrome/Perfetto timeline
+//	borg -parallel 8 -metrics-out metrics.json    # final metrics snapshot
+//	borg -transport tcp -listen :7070 -debug-addr localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,7 +27,10 @@ import (
 	"borgmoea/internal/ascii"
 )
 
-func main() {
+// run returns the process exit code so deferred cleanups still run.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		problemName = flag.String("problem", "DTLZ2", "problem: DTLZ1-7, ZDT1-4/6 or UF1-11")
 		objectives  = flag.Int("objectives", 5, "objective count (DTLZ problems)")
@@ -39,28 +49,55 @@ func main() {
 		printFront  = flag.Bool("front", false, "print the full Pareto approximation")
 		plot        = flag.Bool("plot", false, "render an ASCII scatter of the first two objectives")
 		outPath     = flag.String("out", "", "save the final archive as JSON to this path")
+		verbose     = flag.Bool("v", false, "verbose (debug-level) logging")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event timeline of the run to this path (open in chrome://tracing or Perfetto)")
+		metricsOut  = flag.String("metrics-out", "", "write the run's final metrics snapshot as JSON to this path")
+		debugAddr   = flag.String("debug-addr", "", "serve live /debug/vars and /debug/pprof on this address during the run (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	logger := borgmoea.NewLogger(os.Stderr, *verbose)
+	fail := func(code int, msg string, args ...any) int {
+		logger.Error(msg, args...)
+		return code
+	}
 
 	problem, err := borgmoea.LookupProblem(*problemName, *objectives)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fail(2, err.Error())
 	}
 	cfg := borgmoea.Config{
 		Epsilons: borgmoea.UniformEpsilons(problem.NumObjs(), *epsilon),
 		Seed:     *seed,
 	}
 
+	// Observability sinks, shared by every transport: a metrics
+	// registry when anything will read it, an event journal when a
+	// trace is requested.
+	var reg *borgmoea.MetricsRegistry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = borgmoea.NewMetrics()
+	}
+	var rec *borgmoea.TraceRecorder
+	if *tracePath != "" {
+		rec = borgmoea.NewTraceRecorder(0)
+	}
+	if *debugAddr != "" {
+		srv, err := borgmoea.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return fail(1, err.Error())
+		}
+		defer srv.Close()
+		logger.Info("debug listener up", "addr", srv.Addr(),
+			"vars", fmt.Sprintf("http://%s/debug/vars", srv.Addr()))
+	}
+
 	var alg *borgmoea.Algorithm
 	if *transport == "tcp" {
 		if *listen == "" {
-			fmt.Fprintln(os.Stderr, "-transport tcp needs -listen host:port")
-			os.Exit(2)
+			return fail(2, "-transport tcp needs -listen host:port")
 		}
 		if *mtbf > 0 {
-			fmt.Fprintln(os.Stderr, "-mtbf needs a virtual-time transport; tcp workers fail for real")
-			os.Exit(2)
+			return fail(2, "-mtbf needs a virtual-time transport; tcp workers fail for real")
 		}
 		pcfg := borgmoea.ParallelConfig{
 			Problem:      problem,
@@ -68,18 +105,17 @@ func main() {
 			Evaluations:  *evals,
 			Seed:         *seed,
 			LeaseTimeout: *leaseT,
+			Metrics:      reg,
+			Events:       rec,
 		}
-		fmt.Printf("listening on %s; start workers with: borgd -connect host:port\n", *listen)
+		logger.Info("listening for workers", "addr", *listen, "hint", "start workers with: borgd -connect host:port")
 		res, err := borgmoea.RunAsyncDistributed(pcfg, borgmoea.DistributedConfig{
 			Listen:    *listen,
 			WallLimit: *wallLimit,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
-			},
+			Logf:      borgmoea.LogfAdapter(logger),
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail(1, err.Error())
 		}
 		alg = res.Final
 		fmt.Printf("distributed master-slave: workers=%d  T_P=%.2fs  completed=%v  mean-TF=%.4fs  master-util=%.2f\n",
@@ -97,11 +133,12 @@ func main() {
 			TF:           borgmoea.GammaFromMeanCV(*tf, *tfcv),
 			Seed:         *seed,
 			LeaseTimeout: *leaseT,
+			Metrics:      reg,
+			Events:       rec,
 		}
 		if *mtbf > 0 {
 			if *mttr <= 0 {
-				fmt.Fprintln(os.Stderr, "-mttr must be positive when -mtbf is set")
-				os.Exit(2)
+				return fail(2, "-mttr must be positive when -mtbf is set")
 			}
 			// Crash-recover faults on every worker at the requested
 			// MTBF/MTTR; the lease protocol resubmits lost work.
@@ -114,13 +151,11 @@ func main() {
 		case "realtime":
 			run = borgmoea.RunAsyncRealtime
 		default:
-			fmt.Fprintf(os.Stderr, "unknown transport %q (want virtual, realtime or tcp)\n", *transport)
-			os.Exit(2)
+			return fail(2, "unknown transport (want virtual, realtime or tcp)", "transport", *transport)
 		}
 		res, err := run(pcfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return fail(1, err.Error())
 		}
 		alg = res.Final
 		fmt.Printf("async master-slave (%s): P=%d  T_P=%.2fs  speedup=%.1f  efficiency=%.2f  master-util=%.2f\n",
@@ -132,12 +167,27 @@ func main() {
 		}
 	} else {
 		if *transport != "virtual" {
-			fmt.Fprintf(os.Stderr, "-transport %s needs -parallel (or -listen for tcp)\n", *transport)
-			os.Exit(2)
+			return fail(2, "-transport needs -parallel (or -listen for tcp)", "transport", *transport)
+		}
+		if *tracePath != "" || *metricsOut != "" {
+			logger.Warn("-trace/-metrics-out instrument the parallel drivers; the serial run records nothing")
 		}
 		alg = borgmoea.MustNewBorg(problem, cfg)
 		alg.Run(*evals, nil)
 		fmt.Printf("serial run: N=%d\n", *evals)
+	}
+
+	if *tracePath != "" {
+		if err := writeFileWith(*tracePath, rec.WriteChromeTrace); err != nil {
+			return fail(1, "writing trace", "err", err)
+		}
+		logger.Info("trace written", "path", *tracePath, "events", rec.Len(), "dropped", rec.Dropped())
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, reg.WriteJSON); err != nil {
+			return fail(1, "writing metrics", "err", err)
+		}
+		logger.Info("metrics written", "path", *metricsOut)
 	}
 
 	front := alg.Archive().Objectives()
@@ -183,16 +233,26 @@ func main() {
 		}
 	}
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeFileWith(*outPath, func(w io.Writer) error {
+			return borgmoea.SaveArchive(w, alg.Archive())
+		}); err != nil {
+			return fail(1, "saving archive", "err", err)
 		}
-		defer f.Close()
-		if err := borgmoea.SaveArchive(f, alg.Archive()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "archive saved to %s\n", *outPath)
+		logger.Info("archive saved", "path", *outPath)
 	}
+	return 0
+}
+
+// writeFileWith creates path and streams content into it via write,
+// reporting the first error from the write or the close.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

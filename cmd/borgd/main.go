@@ -9,6 +9,7 @@
 //
 //	borgd -connect master:7070
 //	borgd -connect master:7070 -delay 0.05 -delay-cv 0.5   # synthetic T_F
+//	borgd -connect master:7070 -debug-addr localhost:6061  # live metrics + pprof
 package main
 
 import (
@@ -18,25 +19,29 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"borgmoea"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		connect = flag.String("connect", "", "master address host:port (required)")
-		seed    = flag.Uint64("seed", 1, "random seed for the synthetic delay stream")
-		delay   = flag.Float64("delay", 0, "mean synthetic per-evaluation delay in seconds (0 = none)")
-		delayCV = flag.Float64("delay-cv", 0.1, "synthetic delay coefficient of variation (with -delay)")
-		hb      = flag.Duration("heartbeat", 0, "heartbeat interval (0 = follow the master's handshake)")
-		idle    = flag.Duration("idle", 0, "idle timeout before redialing (0 = 4x heartbeat)")
-		quiet   = flag.Bool("quiet", false, "suppress connection lifecycle messages")
+		connect   = flag.String("connect", "", "master address host:port (required)")
+		seed      = flag.Uint64("seed", 1, "random seed for the synthetic delay stream")
+		delay     = flag.Float64("delay", 0, "mean synthetic per-evaluation delay in seconds (0 = none)")
+		delayCV   = flag.Float64("delay-cv", 0.1, "synthetic delay coefficient of variation (with -delay)")
+		hb        = flag.Duration("heartbeat", 0, "heartbeat interval (0 = follow the master's handshake)")
+		idle      = flag.Duration("idle", 0, "idle timeout before redialing (0 = 4x heartbeat)")
+		quiet     = flag.Bool("quiet", false, "suppress connection lifecycle messages")
+		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
+		debugAddr = flag.String("debug-addr", "", "serve live /debug/vars and /debug/pprof on this address (e.g. localhost:6061)")
 	)
 	flag.Parse()
+	logger := borgmoea.NewLogger(os.Stderr, *verbose)
 	if *connect == "" {
-		fmt.Fprintln(os.Stderr, "borgd: -connect host:port is required")
-		os.Exit(2)
+		logger.Error("-connect host:port is required")
+		return 2
 	}
 
 	cfg := borgmoea.WorkerConfig{
@@ -48,10 +53,20 @@ func main() {
 		cfg.Delay = borgmoea.GammaFromMeanCV(*delay, *delayCV)
 	}
 	if !*quiet {
-		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "%s "+format+"\n",
-				append([]any{time.Now().Format("15:04:05")}, args...)...)
+		cfg.Logf = borgmoea.LogfAdapter(logger)
+	}
+	if *debugAddr != "" {
+		// The wire layer shares this registry: frames, bytes, redials
+		// and heartbeat RTT show up live on /debug/vars.
+		cfg.Conn.Metrics = borgmoea.NewMetrics()
+		srv, err := borgmoea.ServeDebug(*debugAddr, cfg.Conn.Metrics)
+		if err != nil {
+			logger.Error("debug listener failed", "err", err)
+			return 1
 		}
+		defer srv.Close()
+		logger.Info("debug listener up", "addr", srv.Addr(),
+			"vars", fmt.Sprintf("http://%s/debug/vars", srv.Addr()))
 	}
 
 	// SIGINT/SIGTERM cancel the context; RunWorker then abandons its
@@ -60,7 +75,8 @@ func main() {
 	defer stop()
 
 	if err := borgmoea.RunWorker(ctx, cfg); err != nil && err != context.Canceled {
-		fmt.Fprintln(os.Stderr, "borgd:", err)
-		os.Exit(1)
+		logger.Error("worker failed", "err", err)
+		return 1
 	}
+	return 0
 }

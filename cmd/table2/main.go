@@ -22,7 +22,9 @@ import (
 	"borgmoea"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		evals    = flag.Uint64("evals", 100000, "evaluation budget N per run")
 		reps     = flag.Int("reps", 5, "replicates per cell (paper: 50)")
@@ -32,8 +34,10 @@ func main() {
 		quick    = flag.Bool("quick", false, "small smoke configuration (N=10000, P up to 128)")
 		paper    = flag.Bool("paper", false, "full paper configuration (50 replicates)")
 		problems = flag.String("problems", "", "comma-separated problem subset: DTLZ2, UF11 (default both)")
+		verbose  = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
+	logger := borgmoea.NewLogger(os.Stderr, *verbose)
 
 	cfg := borgmoea.Table2Config{
 		Evaluations:   *evals,
@@ -41,7 +45,7 @@ func main() {
 		SimReplicates: *simReps,
 		Seed:          *seed,
 		Progress: func(line string) {
-			fmt.Fprintln(os.Stderr, line)
+			logger.Info(line)
 		},
 	}
 	if *quick {
@@ -61,32 +65,33 @@ func main() {
 			case "UF11":
 				cfg.Problems = append(cfg.Problems, borgmoea.NewUF11())
 			default:
-				fmt.Fprintf(os.Stderr, "unknown problem %q (want DTLZ2 or UF11)\n", name)
-				os.Exit(2)
+				logger.Error("unknown problem (want DTLZ2 or UF11)", "problem", name)
+				return 2
 			}
 		}
 	}
 
 	cells, err := borgmoea.RunTable2(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		logger.Error(err.Error())
+		return 1
 	}
 	if err := borgmoea.WriteTable2(os.Stdout, cells); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		logger.Error(err.Error())
+		return 1
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			logger.Error(err.Error())
+			return 1
 		}
 		defer f.Close()
 		if err := borgmoea.WriteTable2CSV(f, cells); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			logger.Error(err.Error())
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		logger.Info(fmt.Sprintf("wrote %s", *csvPath))
 	}
+	return 0
 }

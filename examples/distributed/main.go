@@ -25,17 +25,22 @@ func main() {
 		evaluations = 10000
 		workers     = 2
 	)
+	logger := borgmoea.NewLogger(os.Stderr, false)
 	problem := borgmoea.NewDTLZ2(objectives)
 
 	// Bind port 0 ourselves so the workers can learn the address
 	// before the master starts serving.
 	listener, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	addr := listener.Addr().String()
 	fmt.Printf("master listening on %s\n", addr)
+
+	// One registry observes both sides of the wire: the run attaches
+	// it to the master, and the workers' connections share it too.
+	metrics := borgmoea.NewMetrics()
 
 	// Start the workers. borgmoea.RunWorker is exactly what borgd
 	// runs after flag parsing: dial, resolve the announced problem,
@@ -51,9 +56,10 @@ func main() {
 				// A small synthetic delay stands in for an expensive
 				// simulation (the paper's controlled T_F).
 				Delay: borgmoea.GammaFromMeanCV(0.0005, 0.5),
+				Conn:  borgmoea.WireOptions{Metrics: metrics},
 			})
 			if err != nil && err != context.Canceled {
-				fmt.Fprintf(os.Stderr, "worker %d: %v\n", w, err)
+				logger.Error("worker failed", "worker", w, "err", err)
 			}
 		}()
 	}
@@ -63,11 +69,13 @@ func main() {
 		Algorithm:   borgmoea.Config{Epsilons: borgmoea.UniformEpsilons(objectives, 0.1)},
 		Evaluations: evaluations,
 		Seed:        1,
+		Metrics:     metrics,
 	}, borgmoea.DistributedConfig{
 		Listener: listener,
+		Logf:     borgmoea.LogfAdapter(logger),
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 
@@ -86,6 +94,14 @@ func main() {
 	hv := borgmoea.HypervolumeMC(front, ref, 100000, 12345)
 	fmt.Printf("  hypervolume:        %.4f (normalized %.3f)\n",
 		hv, hv/borgmoea.IdealSphereHypervolume(objectives, 1.1))
+
+	// The registry saw both ends of every connection: protocol frame
+	// and byte counts are the run's actual communication volume.
+	snap := metrics.Snapshot()
+	fmt.Printf("\nwire telemetry (both ends):\n")
+	for _, key := range []string{"wire.frames_sent", "wire.frames_recv", "wire.bytes_sent", "wire.bytes_recv"} {
+		fmt.Printf("  %-18s %v\n", key, snap[key])
+	}
 
 	fmt.Printf("\nthe same run across machines:\n")
 	fmt.Printf("  master$ borg -problem DTLZ2 -objectives 5 -evals %d -transport tcp -listen :7070\n", evaluations)

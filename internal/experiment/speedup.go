@@ -276,7 +276,7 @@ func runSerialTrajectory(cfg *SpeedupConfig, meter hvMeter, seed uint64) traject
 	if cfg.TAOverride != nil {
 		taMean = cfg.TAOverride.Mean()
 	}
-	taTimer := newCPUTimer()
+	taTimer := newWallTimer()
 	for b.Evaluations() < cfg.Evaluations {
 		taTimer.start()
 		s := b.Suggest()

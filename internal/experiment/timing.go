@@ -9,22 +9,25 @@ import (
 	"borgmoea/internal/stats"
 )
 
-// cpuTimer accumulates wall-clock time across start/pause intervals,
+// wallTimer accumulates wall-clock time across start/pause intervals,
 // used to derive a mean per-evaluation T_A for the serial baseline.
-type cpuTimer struct {
+// It deliberately measures elapsed wall time, not CPU time: the serial
+// baseline runs single-threaded and undisturbed, where the two agree,
+// and wall time is what the paper's T_P/T_S comparisons are built on.
+type wallTimer struct {
 	total   time.Duration
 	started time.Time
 	running bool
 }
 
-func newCPUTimer() *cpuTimer { return &cpuTimer{} }
+func newWallTimer() *wallTimer { return &wallTimer{} }
 
-func (t *cpuTimer) start() {
+func (t *wallTimer) start() {
 	t.started = time.Now()
 	t.running = true
 }
 
-func (t *cpuTimer) pause() {
+func (t *wallTimer) pause() {
 	if t.running {
 		t.total += time.Since(t.started)
 		t.running = false
@@ -32,7 +35,7 @@ func (t *cpuTimer) pause() {
 }
 
 // meanPer returns total accumulated seconds divided by n.
-func (t *cpuTimer) meanPer(n uint64) float64 {
+func (t *wallTimer) meanPer(n uint64) float64 {
 	if n == 0 {
 		return 0
 	}

@@ -77,12 +77,15 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 				// Request the master: initial task hand-out and every
 				// subsequent result-return + next-offspring exchange.
 				master.Acquire(p)
-				p.Hold(cfg.TC.Sample(wr) + cfg.TA.Sample(wr) + cfg.TC.Sample(wr))
+				// Fitted timing distributions (e.g. a normal selected
+				// for measured T_A) can sample below zero; durations
+				// are clamped so the virtual clock never runs backward.
+				p.Hold(max(0, cfg.TC.Sample(wr)+cfg.TA.Sample(wr)+cfg.TC.Sample(wr)))
 				master.Release(p)
 				if completed >= cfg.Evaluations {
 					return
 				}
-				p.Hold(cfg.TF.Sample(wr))
+				p.Hold(max(0, cfg.TF.Sample(wr)))
 				completed++
 				if completed >= cfg.Evaluations {
 					elapsed = p.Now()

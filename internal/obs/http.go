@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// writeJSONMap best-effort encodes m; a failed write mid-body leaves
+// the client with a truncated response, which is all HTTP offers.
+func writeJSONMap(w io.Writer, m map[string]any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m) //nolint:errcheck
+}
+
+// DebugServer is a live introspection endpoint for a running master or
+// worker daemon:
+//
+//	/healthz      — liveness probe ("ok")
+//	/debug/vars   — the attached Registry's metrics as JSON
+//	              (expvar-style), plus runtime goroutine/heap figures
+//	/debug/pprof/ — the standard Go profiling handlers
+//
+// It binds its own listener and mux, so importing this package never
+// touches http.DefaultServeMux.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (e.g. "localhost:6060", or
+// ":0" to pick a free port — see Addr). The registry may be nil, in
+// which case /debug/vars reports only runtime figures.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap := reg.Snapshot()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		snap["runtime.goroutines"] = runtime.NumGoroutine()
+		snap["runtime.heap_alloc_bytes"] = ms.HeapAlloc
+		snap["runtime.num_gc"] = ms.NumGC
+		writeJSONMap(w, snap)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases its port.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("wire.frames_sent").Add(7)
+	reg.Histogram("master.tf_seconds", nil).Observe(0.25)
+
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s", srv.Addr())
+
+	if code, body := get(t, base+"/healthz"); code != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if string(vars["wire.frames_sent"]) != "7" {
+		t.Fatalf("frames_sent = %s, want 7", vars["wire.frames_sent"])
+	}
+	for _, key := range []string{"master.tf_seconds", "runtime.goroutines", "runtime.heap_alloc_bytes"} {
+		if _, ok := vars[key]; !ok {
+			t.Fatalf("/debug/vars missing %q", key)
+		}
+	}
+
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (no index)", code)
+	}
+}
+
+func TestDebugServerNilRegistry(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, fmt.Sprintf("http://%s/debug/vars", srv.Addr()))
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vars["runtime.goroutines"]; !ok {
+		t.Fatal("runtime figures missing with nil registry")
+	}
+}

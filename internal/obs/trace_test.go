@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// sampleRun records a miniature master/worker protocol exchange: the
+// shapes every driver emits (paired .start/.end spans, complete spans
+// with Dur, instant sends/receives).
+func sampleRun(r *Recorder) {
+	r.Record(Event{TS: 0.000, Kind: "send", Actor: "master", Detail: "to=1 tag=0"})
+	r.Record(Event{TS: 0.000, Kind: "recv", Actor: "worker1", Detail: "from=0 tag=0"})
+	r.Record(Event{TS: 0.000, Kind: "eval.start", Actor: "worker1"})
+	r.Record(Event{TS: 0.010, Kind: "eval.end", Actor: "worker1"})
+	r.Record(Event{TS: 0.010, Kind: "send", Actor: "worker1", Detail: "to=0 tag=1"})
+	r.Record(Event{TS: 0.010, Kind: "recv", Actor: "master", Detail: "from=1 tag=1"})
+	r.Record(Event{TS: 0.010, Dur: 0.0001, Kind: "algo", Actor: "master"})
+}
+
+func TestRecorderJournal(t *testing.T) {
+	r := NewRecorder(0)
+	sampleRun(r)
+	if r.Len() != 7 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("journal line %d is not JSON: %v", lines, err)
+		}
+		if ev.Kind == "" || ev.Actor == "" {
+			t.Fatalf("journal line %d missing kind/actor: %s", lines, sc.Text())
+		}
+		lines++
+	}
+	if lines != 7 {
+		t.Fatalf("journal has %d lines, want 7", lines)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{TS: float64(i), Kind: "send", Actor: "master"})
+	}
+	if r.Len() != 3 || r.Dropped() != 7 {
+		t.Fatalf("len=%d dropped=%d, want 3/7", r.Len(), r.Dropped())
+	}
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: "send", Actor: "master"})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder retained state")
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	r := NewRecorder(0)
+	sampleRun(r)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exporter output fails its own schema: %v\n%s", err, buf.String())
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 2 thread_name metadata + 7 protocol events.
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("got %d trace events, want 9", len(doc.TraceEvents))
+	}
+	// The master thread is tid 0 and named via metadata.
+	meta := doc.TraceEvents[0]
+	if meta.Phase != "M" || meta.Name != "thread_name" || meta.TID != 0 || meta.Args["name"] != "master" {
+		t.Fatalf("first metadata event = %+v, want master thread_name on tid 0", meta)
+	}
+	// The worker's eval span becomes a B/E pair with µs timestamps.
+	var sawB, sawE, sawX bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Phase == "B" && ev.Name == "eval":
+			sawB = true
+		case ev.Phase == "E":
+			sawE = true
+			if ev.TS != 0.010*1e6 {
+				t.Fatalf("eval end ts = %v µs, want 10000", ev.TS)
+			}
+		case ev.Phase == "X" && ev.Name == "algo":
+			sawX = true
+			if ev.Dur != 0.0001*1e6 {
+				t.Fatalf("algo dur = %v µs, want 100", ev.Dur)
+			}
+		}
+	}
+	if !sawB || !sawE || !sawX {
+		t.Fatalf("missing span shapes: B=%v E=%v X=%v", sawB, sawE, sawX)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `[`,
+		"no traceEvents": `{}`,
+		"unknown phase":  `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":0}]}`,
+		"missing name":   `{"traceEvents":[{"ph":"B","ts":0,"pid":1,"tid":0}]}`,
+		"negative ts":    `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":0}]}`,
+		"negative dur":   `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-5,"pid":1,"tid":0}]}`,
+		"E without B":    `{"traceEvents":[{"name":"x","ph":"E","ts":0,"pid":1,"tid":0}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":0},{"ph":"E","ts":1,"pid":1,"tid":0}]}`
+	if err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	// An unclosed B is a legal mid-flight capture.
+	open := `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":0}]}`
+	if err := ValidateChromeTrace([]byte(open)); err != nil {
+		t.Errorf("trace with open span rejected: %v", err)
+	}
+}

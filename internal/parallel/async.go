@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"fmt"
+
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
@@ -53,11 +55,7 @@ func RunAsync(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	eng := des.New()
-	if cfg.TraceHook != nil {
-		eng.SetTrace(func(ev des.TraceEvent) {
-			cfg.TraceHook(ev.At, ev.Kind, ev.Actor, ev.Detail)
-		})
-	}
+	installTrace(eng, &cfg)
 	cl := cluster.New(eng, cluster.Config{Nodes: cfg.Processors, Seed: cfg.Seed})
 	inj := attachFaults(cl, &cfg)
 
@@ -69,13 +67,15 @@ func RunAsync(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Processors: cfg.Processors, Final: b}
+	meters := newRunMeters(cfg.Metrics)
 	masterRng := rng.New(cfg.Seed ^ 0x6d617374) // "mast"
-	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings}
+	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.ta}
 	tcSum, tcN := 0.0, uint64(0)
 	sampleTC := func() float64 {
 		tc := cfg.TC.Sample(masterRng)
 		tcSum += tc
 		tcN++
+		meters.tc.Observe(tc)
 		return tc
 	}
 
@@ -145,6 +145,7 @@ func RunAsync(cfg Config) (*Result, error) {
 			release(l)
 			res.LostEvaluations++
 			res.Resubmissions++
+			meters.resub.Inc()
 			pending = append(pending, newItem(l.item.s.Clone()))
 		}
 		markIdle := func(w int) {
@@ -192,6 +193,8 @@ func RunAsync(cfg Config) (*Result, error) {
 				}
 				leaseQ = leaseQ[1:]
 				w := l.worker
+				meters.leaseExp.Inc()
+				eng.Emit("lease.expire", "master", fmt.Sprintf("worker=%d id=%d", w, l.item.id))
 				lose(l)
 				state[w] = wsDead
 			}
@@ -227,8 +230,10 @@ func RunAsync(cfg Config) (*Result, error) {
 		// Steady state: receive, process, resend.
 		for completed < cfg.Evaluations {
 			msg := receive()
+			meters.queueWait.Observe(p.Now() - msg.ArriveAt)
 			master.HoldBusy(p, sampleTC(), "comm")
 			if msg.Tag == tagHello {
+				meters.hellos.Inc()
 				// A recovered worker re-registered: whatever it held
 				// died with the crash.
 				if l := leaseOf[msg.From]; l != nil && !l.done {
@@ -243,6 +248,7 @@ func RunAsync(cfg Config) (*Result, error) {
 			if !ok || l.worker != msg.From {
 				// Late result of an expired (already reissued) lease.
 				res.DuplicateResults++
+				meters.dups.Inc()
 				if state[msg.From] != wsBusy {
 					markIdle(msg.From)
 				}
@@ -258,7 +264,9 @@ func RunAsync(cfg Config) (*Result, error) {
 			})
 			master.HoldBusy(p, ta, "algo")
 			completed++
+			meters.evals.Inc()
 			if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+				meters.checkpoints.Inc()
 				cfg.OnCheckpoint(p.Now(), b)
 			}
 			if completed >= cfg.Evaluations {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"borgmoea/internal/core"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 	"borgmoea/internal/wire"
 )
@@ -105,6 +106,10 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	if cfg.Evaluations == 0 {
 		return nil, fmt.Errorf("parallel: Evaluations must be positive")
 	}
+	if dcfg.Conn.Metrics == nil {
+		// Connection telemetry lands in the run's registry by default.
+		dcfg.Conn.Metrics = cfg.Metrics
+	}
 	leaseTimeout := dcfg.LeaseTimeout
 	if leaseTimeout == 0 && cfg.LeaseTimeout > 0 {
 		leaseTimeout = time.Duration(cfg.LeaseTimeout * float64(time.Second))
@@ -193,7 +198,9 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 
 	// Master state: the wall-clock twin of RunAsync's lease table.
 	res := &Result{Final: b}
-	meter := &taMeter{dist: cfg.TA, rng: rng.New(cfg.Seed ^ 0x6d617374), capture: cfg.CaptureTimings}
+	meters := newRunMeters(cfg.Metrics)
+	journal := cfg.Events
+	meter := &taMeter{dist: cfg.TA, rng: rng.New(cfg.Seed ^ 0x6d617374), capture: cfg.CaptureTimings, hist: meters.ta}
 	outstanding := make(map[uint64]*distLease)
 	byID := make(map[uint64]*distSession)
 	var leaseQ []*distLease
@@ -205,6 +212,13 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	live, peak := 0, 0
 	start := time.Now()
 	var elapsedAtN float64
+	since := func() float64 { return time.Since(start).Seconds() }
+	record := func(ev obs.Event) {
+		if journal != nil {
+			ev.TS = since()
+			journal.Record(ev)
+		}
+	}
 
 	newItem := func(s *core.Solution) *workItem {
 		nextItemID++
@@ -229,6 +243,7 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 		release(l)
 		res.LostEvaluations++
 		res.Resubmissions++
+		meters.resub.Inc()
 		pending = append(pending, newItem(l.item.s.Clone()))
 	}
 	kill := func(s *distSession, why error) {
@@ -238,6 +253,9 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 		s.gone = true
 		s.state = wsDead
 		live--
+		meters.deaths.Inc()
+		meters.live.Set(float64(live))
+		record(obs.Event{Kind: "worker.dead", Actor: fmt.Sprintf("worker%d", s.id), Detail: fmt.Sprintf("%v", why)})
 		s.conn.Close()
 		if s.lease != nil {
 			lose(s.lease)
@@ -310,6 +328,8 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 			}
 			leaseQ = leaseQ[1:]
 			s := l.sess
+			meters.leaseExp.Inc()
+			record(obs.Event{Kind: "lease.expire", Actor: "master", Detail: fmt.Sprintf("worker=%d id=%d", s.id, l.item.id)})
 			lose(l)
 			if !s.gone {
 				// Suspect, not gone: a late result still marks it
@@ -352,6 +372,9 @@ loop:
 				if live > peak {
 					peak = live
 				}
+				meters.joins.Inc()
+				meters.live.Set(float64(live))
+				record(obs.Event{Kind: "worker.join", Actor: fmt.Sprintf("worker%d", e.sess.id), Detail: e.sess.conn.RemoteAddr().String()})
 				dcfg.logf("parallel: worker %d joined from %s (%d live)", e.sess.id, e.sess.conn.RemoteAddr(), live)
 				markIdle(e.sess)
 				dispatch()
@@ -372,6 +395,7 @@ loop:
 					// Late result of an expired, already-reissued
 					// lease: discard, but the worker proved alive.
 					res.DuplicateResults++
+					meters.dups.Inc()
 					if s.lease == nil {
 						markIdle(s)
 					}
@@ -387,11 +411,20 @@ loop:
 				sol := l.item.s
 				sol.Objs = m.Objs
 				sol.Constrs = m.Constrs
-				tfSum += float64(m.EvalNanos) / 1e9
+				evalSec := float64(m.EvalNanos) / 1e9
+				tfSum += evalSec
 				tfN++
+				meters.tf.Observe(evalSec)
+				if journal != nil {
+					// Reconstruct the worker's eval span master-side from
+					// the reported duration.
+					journal.Record(obs.Event{TS: since() - evalSec, Dur: evalSec, Kind: "eval", Actor: fmt.Sprintf("worker%d", s.id)})
+				}
 				meter.measure(func() { b.Accept(sol) })
 				completed++
+				meters.evals.Inc()
 				if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+					meters.checkpoints.Inc()
 					cfg.OnCheckpoint(time.Since(start).Seconds(), b)
 				}
 				if completed >= cfg.Evaluations {

@@ -91,6 +91,8 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 	k := cfg.Islands
 	perP := base.Processors
 	eng := des.New()
+	installTrace(eng, &base)
+	meters := newRunMeters(base.Metrics)
 	cl := cluster.New(eng, cluster.Config{Nodes: k * perP, Seed: base.Seed})
 
 	res := &IslandsResult{
@@ -119,9 +121,13 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		res.Islands[isl] = b
 
 		mRng := rng.New(base.Seed ^ (uint64(isl+1) * 0x6d61)) // per-island master stream
-		taRec := &tfRecorder{capture: base.CaptureTimings}
+		taRec := &tfRecorder{capture: base.CaptureTimings, hist: meters.ta}
 		taRecs[isl] = taRec
-		sampleTC := func() float64 { return base.TC.Sample(mRng) }
+		sampleTC := func() float64 {
+			tc := base.TC.Sample(mRng)
+			meters.tc.Observe(tc)
+			return tc
+		}
 		sampleTA := func() float64 {
 			ta := base.TA.Sample(mRng)
 			taRec.record(ta)
@@ -133,7 +139,7 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		for w := 1; w < perP; w++ {
 			rank := masterRank + w
 			node := cl.Node(rank)
-			tfRec := &tfRecorder{capture: base.CaptureTimings}
+			tfRec := &tfRecorder{capture: base.CaptureTimings, hist: meters.tf}
 			tfRecs[isl][w-1] = tfRec
 			wRng := rng.New(base.Seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15))
 			eng.Go(fmt.Sprintf("i%dworker%d", isl, w), func(p *des.Process) {
@@ -183,11 +189,13 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 				next := b.Suggest()
 				master.HoldBusy(p, sampleTA(), "algo")
 				completed++
+				meters.evals.Inc()
 				if cfg.MigrationEvery > 0 && k > 1 && completed%cfg.MigrationEvery == 0 && b.Archive().Size() > 0 {
 					emigrant := b.Archive().Members()[mRng.Intn(b.Archive().Size())].Clone()
 					master.HoldBusy(p, sampleTC(), "comm")
 					master.Send(nextMaster, tagMigrant, emigrant)
 					res.Migrants++
+					meters.migrants.Inc()
 				}
 				if completed >= base.Evaluations {
 					res.IslandElapsed[isl] = p.Now()

@@ -22,6 +22,7 @@ import (
 
 	"borgmoea/internal/core"
 	"borgmoea/internal/fault"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/problems"
 	"borgmoea/internal/rng"
 	"borgmoea/internal/stats"
@@ -116,6 +117,19 @@ type Config struct {
 	// intervals per node). Used to render Figure 1/2-style
 	// timelines; it adds overhead, so leave nil for experiments.
 	TraceHook func(at float64, kind, actor, detail string)
+
+	// Metrics, when set, receives the run's telemetry: counters
+	// (evaluations, resubmissions, lease expiries, duplicates),
+	// gauges (live workers) and timing histograms (T_A, T_F, T_C,
+	// master queue wait). All drivers honor it; nil (obs.Disabled)
+	// keeps the hot path free of telemetry work.
+	Metrics *obs.Registry
+	// Events, when set, journals the run's protocol events — the
+	// same stream TraceHook sees on the virtual-time drivers, plus
+	// driver-level events (lease expiries, joins, deaths) — for
+	// JSONL export and Chrome trace rendering (see internal/obs).
+	// Like TraceHook it adds overhead; leave nil for experiments.
+	Events *obs.Recorder
 }
 
 // normalize fills defaults and validates.
@@ -261,6 +275,7 @@ type taMeter struct {
 	samples []float64
 	sum     float64
 	n       uint64
+	hist    *obs.Histogram // optional telemetry sink (nil-safe)
 }
 
 // measure wraps the master critical section fn, returning the T_A
@@ -281,6 +296,7 @@ func (m *taMeter) measure(fn func()) float64 {
 	if m.capture {
 		m.samples = append(m.samples, ta)
 	}
+	m.hist.Observe(ta)
 	return ta
 }
 

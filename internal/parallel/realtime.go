@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"borgmoea/internal/core"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 )
 
@@ -39,19 +40,31 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	results := make(chan *core.Solution, workers)
 	done := make(chan struct{})
 
+	meters := newRunMeters(cfg.Metrics)
+	events := cfg.Events
+	start := time.Now()
+	since := func() float64 { return time.Since(start).Seconds() }
+
 	streams := workerStreams(cfg.Seed, workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		wRng := streams[w]
 		straggler := cfg.StragglerFraction > 0 &&
 			float64(w) < cfg.StragglerFraction*float64(workers)
+		actor := fmt.Sprintf("worker%d", w+1)
 		go func() {
 			for s := range tasks {
+				t0 := since()
 				core.EvaluateSolution(cfg.Problem, s)
 				tf := cfg.TF.Sample(wRng)
 				if straggler {
 					tf *= cfg.StragglerFactor
 				}
 				time.Sleep(time.Duration(tf * float64(time.Second)))
+				meters.tf.Observe(tf)
+				if events != nil {
+					events.Record(obs.Event{TS: t0, Dur: since() - t0, Kind: "eval", Actor: actor})
+				}
 				select {
 				case results <- s:
 				case <-done:
@@ -62,7 +75,6 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Processors: cfg.Processors, Final: b}
-	start := time.Now()
 	taSum := 0.0
 	var taN uint64
 	for w := 0; w < workers; w++ {
@@ -73,9 +85,16 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 		t0 := time.Now()
 		b.Accept(s)
 		next := b.Suggest()
-		taSum += time.Since(t0).Seconds()
+		ta := time.Since(t0).Seconds()
+		taSum += ta
 		taN++
+		meters.ta.Observe(ta)
+		meters.evals.Inc()
+		if events != nil {
+			events.Record(obs.Event{TS: since() - ta, Dur: ta, Kind: "algo", Actor: "master"})
+		}
 		if cfg.CheckpointEvery > 0 && (completed+1)%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+			meters.checkpoints.Inc()
 			cfg.OnCheckpoint(time.Since(start).Seconds(), b)
 		}
 		if completed+1 < cfg.Evaluations {

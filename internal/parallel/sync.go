@@ -37,11 +37,7 @@ func RunSync(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	eng := des.New()
-	if cfg.TraceHook != nil {
-		eng.SetTrace(func(ev des.TraceEvent) {
-			cfg.TraceHook(ev.At, ev.Kind, ev.Actor, ev.Detail)
-		})
-	}
+	installTrace(eng, &cfg)
 	cl := cluster.New(eng, cluster.Config{Nodes: cfg.Processors, Seed: cfg.Seed})
 	inj := attachFaults(cl, &cfg)
 
@@ -53,13 +49,15 @@ func RunSync(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Processors: cfg.Processors, Final: b}
+	meters := newRunMeters(cfg.Metrics)
 	masterRng := rng.New(cfg.Seed ^ 0x73796e63) // "sync"
-	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings}
+	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.ta}
 	tcSum, tcN := 0.0, uint64(0)
 	sampleTC := func() float64 {
 		tc := cfg.TC.Sample(masterRng)
 		tcSum += tc
 		tcN++
+		meters.tc.Observe(tc)
 		return tc
 	}
 
@@ -67,7 +65,7 @@ func RunSync(cfg Config) (*Result, error) {
 	startWorkers(eng, cl, &cfg, recs)
 
 	master := cl.Node(0)
-	masterRec := &tfRecorder{capture: cfg.CaptureTimings}
+	masterRec := &tfRecorder{capture: cfg.CaptureTimings, hist: meters.tf}
 	masterTFRng := rng.New(cfg.Seed ^ 0x6d746600)
 	completed := uint64(0)
 	var elapsedAtN float64
@@ -92,6 +90,7 @@ func RunSync(cfg Config) (*Result, error) {
 					batch[i] = backlog[0]
 					backlog = backlog[1:]
 					res.Resubmissions++
+					meters.resub.Inc()
 					continue
 				}
 				var s *core.Solution
@@ -120,6 +119,7 @@ func RunSync(cfg Config) (*Result, error) {
 				case tagHello:
 					// A recovered worker re-registered; it rejoins the
 					// scatter next generation.
+					meters.hellos.Inc()
 					dead[msg.From] = false
 				case tagResult:
 					item := msg.Payload.(*workItem)
@@ -127,6 +127,7 @@ func RunSync(cfg Config) (*Result, error) {
 						// Stale straggler from a generation that already
 						// backlogged this work — but its sender is alive.
 						res.DuplicateResults++
+						meters.dups.Inc()
 						dead[msg.From] = false
 						return
 					}
@@ -180,7 +181,9 @@ func RunSync(cfg Config) (*Result, error) {
 				ta := meter.measure(func() { b.Accept(s) })
 				master.HoldBusy(p, ta, "algo")
 				completed++
+				meters.evals.Inc()
 				if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+					meters.checkpoints.Inc()
 					cfg.OnCheckpoint(p.Now(), b)
 				}
 				if completed >= cfg.Evaluations {
@@ -188,6 +191,7 @@ func RunSync(cfg Config) (*Result, error) {
 				}
 			}
 			res.Generations++
+			meters.generations.Inc()
 		}
 		elapsedAtN = p.Now()
 		for w := 1; w < cfg.Processors; w++ {

@@ -7,6 +7,7 @@ import (
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
 	"borgmoea/internal/fault"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 )
 
@@ -33,6 +34,7 @@ type tfRecorder struct {
 	n       uint64
 	capture bool
 	samples []float64
+	hist    *obs.Histogram // optional shared telemetry sink (nil-safe, concurrent-safe)
 }
 
 func (r *tfRecorder) record(tf float64) {
@@ -41,13 +43,15 @@ func (r *tfRecorder) record(tf float64) {
 	if r.capture {
 		r.samples = append(r.samples, tf)
 	}
+	r.hist.Observe(tf)
 }
 
 // newRecorders returns one recorder per worker rank 1..P−1.
 func newRecorders(cfg *Config) []*tfRecorder {
+	hist := cfg.Metrics.Histogram(mTF, nil)
 	recs := make([]*tfRecorder, cfg.Processors-1)
 	for i := range recs {
-		recs[i] = &tfRecorder{capture: cfg.CaptureTimings}
+		recs[i] = &tfRecorder{capture: cfg.CaptureTimings, hist: hist}
 	}
 	return recs
 }

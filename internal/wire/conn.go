@@ -2,10 +2,15 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"borgmoea/internal/obs"
 )
 
 // Options tunes a connection's liveness machinery. The zero value
@@ -24,6 +29,57 @@ type Options struct {
 	WriteTimeout time.Duration
 	// DialTimeout bounds the TCP connect (default 5s).
 	DialTimeout time.Duration
+	// Metrics, when set, receives transport telemetry: frame and byte
+	// counters in both directions, frame decode errors, and a
+	// heartbeat round-trip-time histogram. Shared by every connection
+	// built from these options; nil disables (zero hot-path cost).
+	Metrics *obs.Registry
+}
+
+// Wire-level metric names registered on Options.Metrics.
+const (
+	MetricFramesSent  = "wire.frames_sent"
+	MetricFramesRecv  = "wire.frames_recv"
+	MetricBytesSent   = "wire.bytes_sent"
+	MetricBytesRecv   = "wire.bytes_recv"
+	MetricFrameErrors = "wire.frame_errors"
+	MetricRedials     = "wire.redials"
+	MetricRTT         = "wire.heartbeat_rtt_seconds"
+)
+
+// connMetrics is the resolved instrument set of one connection. The
+// zero value (from a nil registry) is fully inert.
+type connMetrics struct {
+	framesSent, framesRecv *obs.Counter
+	bytesSent, bytesRecv   *obs.Counter
+	frameErrors            *obs.Counter
+	rtt                    *obs.Histogram
+}
+
+func newConnMetrics(reg *obs.Registry) connMetrics {
+	return connMetrics{
+		framesSent:  reg.Counter(MetricFramesSent),
+		framesRecv:  reg.Counter(MetricFramesRecv),
+		bytesSent:   reg.Counter(MetricBytesSent),
+		bytesRecv:   reg.Counter(MetricBytesRecv),
+		frameErrors: reg.Counter(MetricFrameErrors),
+		rtt:         reg.Histogram(MetricRTT, nil),
+	}
+}
+
+// countingReader counts bytes as they leave the socket, beneath the
+// bufio layer, so read-ahead is attributed when it happens.
+type countingReader struct {
+	r io.Reader
+	n *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.n.Add(uint64(n))
+	}
+	return n, err
 }
 
 // Defaults for the zero Options value.
@@ -71,21 +127,25 @@ func (o Options) dialTimeout() time.Duration {
 // handling. Send is safe for concurrent use (the heartbeat goroutine
 // shares it); Recv must be called from a single reader goroutine.
 type Conn struct {
-	nc   net.Conn
-	br   *bufio.Reader
-	opt  Options
-	wmu  sync.Mutex
-	done chan struct{}
-	once sync.Once
+	nc       net.Conn
+	br       *bufio.Reader
+	opt      Options
+	met      connMetrics
+	pingNano atomic.Int64 // send time of the ping awaiting its pong
+	wmu      sync.Mutex
+	done     chan struct{}
+	once     sync.Once
 }
 
 func newConn(nc net.Conn, opt Options) *Conn {
-	return &Conn{
+	c := &Conn{
 		nc:   nc,
-		br:   bufio.NewReader(nc),
 		opt:  opt,
+		met:  newConnMetrics(opt.Metrics),
 		done: make(chan struct{}),
 	}
+	c.br = bufio.NewReader(&countingReader{r: nc, n: c.met.bytesRecv})
+	return c
 }
 
 // RemoteAddr reports the peer's address.
@@ -93,12 +153,18 @@ func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 
 // Send frames and writes one message under the write deadline.
 func (c *Conn) Send(m Message) error {
+	frame := EncodeFrame(m)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.opt.writeTimeout())); err != nil {
 		return err
 	}
-	return WriteMessage(c.nc, m)
+	if _, err := c.nc.Write(frame); err != nil {
+		return err
+	}
+	c.met.framesSent.Inc()
+	c.met.bytesSent.Add(uint64(len(frame)))
+	return nil
 }
 
 // Recv returns the next protocol message. Heartbeats are consumed
@@ -112,19 +178,38 @@ func (c *Conn) Recv() (Message, error) {
 		}
 		m, err := ReadMessage(c.br)
 		if err != nil {
+			if !isTransportErr(err) {
+				c.met.frameErrors.Inc()
+			}
 			return nil, err
 		}
+		c.met.framesRecv.Inc()
 		switch m.(type) {
 		case Ping:
 			if err := c.Send(Pong{}); err != nil {
 				return nil, err
 			}
 		case Pong:
-			// Liveness only; the deadline reset above did the work.
+			// Liveness only; the deadline reset above did the work —
+			// but a pending ping's round trip is worth recording.
+			if sent := c.pingNano.Swap(0); sent != 0 {
+				c.met.rtt.Observe(time.Since(time.Unix(0, sent)).Seconds())
+			}
 		default:
 			return m, nil
 		}
 	}
+}
+
+// isTransportErr distinguishes connection-lifecycle errors (peer gone,
+// idle timeout, shutdown) from protocol defects worth counting as
+// frame errors (CRC mismatch, bad version, truncated body).
+func isTransportErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 // StartHeartbeat launches the background pinger at the given interval
@@ -146,6 +231,7 @@ func (c *Conn) StartHeartbeat(interval time.Duration) {
 			case <-c.done:
 				return
 			case <-t.C:
+				c.pingNano.Store(time.Now().UnixNano())
 				if err := c.Send(Ping{}); err != nil {
 					return
 				}

@@ -72,12 +72,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		maxBackoff = 5 * time.Second
 	}
 
+	redials := cfg.Conn.Metrics.Counter(MetricRedials)
 	var workerID uint64 // 0 until the master assigns one
 	wait := backoff
+	first := true
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if !first {
+			redials.Inc()
+		}
+		first = false
 		conn, welcome, err := Dial(cfg.Addr, Hello{WorkerID: workerID}, cfg.Conn)
 		if err != nil {
 			cfg.logf("wire: dial %s: %v (retrying in %v)", cfg.Addr, err, wait)
