@@ -42,6 +42,7 @@ import (
 	"borgmoea/internal/core"
 	"borgmoea/internal/experiment"
 	"borgmoea/internal/fault"
+	"borgmoea/internal/master"
 	"borgmoea/internal/metrics"
 	"borgmoea/internal/model"
 	"borgmoea/internal/nsga2"
@@ -300,6 +301,25 @@ var (
 	NewUNDX      = operators.NewUNDX
 	NewUM        = operators.NewUM
 	NewPM        = operators.NewPM
+)
+
+// Protocol event log (see internal/master): attach a ProtocolLog to
+// ParallelConfig.Protocol and any transport's run records the exact
+// event sequence its master state machine consumed; the log replays
+// off-line to the identical Result with ReplayAsync.
+type (
+	// ProtocolLog records a master run's protocol events for replay.
+	ProtocolLog = master.Log
+)
+
+var (
+	// NewProtocolLog returns an empty event log ready to attach to
+	// ParallelConfig.Protocol.
+	NewProtocolLog = master.NewLog
+	// ReadProtocolLog deserializes a log written with ProtocolLog.WriteTo.
+	ReadProtocolLog = master.ReadLog
+	// ReplayAsync re-executes a recorded run from its event log.
+	ReplayAsync = parallel.ReplayAsync
 )
 
 // Parallel drivers.

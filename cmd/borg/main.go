@@ -53,6 +53,8 @@ func run() int {
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event timeline of the run to this path (open in chrome://tracing or Perfetto)")
 		metricsOut  = flag.String("metrics-out", "", "write the run's final metrics snapshot as JSON to this path")
 		debugAddr   = flag.String("debug-addr", "", "serve live /debug/vars and /debug/pprof on this address during the run (e.g. localhost:6060)")
+		eventLog    = flag.String("event-log", "", "record the master's protocol event log to this path (parallel transports)")
+		replayPath  = flag.String("replay", "", "replay a recorded event log off-line instead of running; pass the original run's -problem/-objectives/-epsilon/-seed")
 	)
 	flag.Parse()
 	logger := borgmoea.NewLogger(os.Stderr, *verbose)
@@ -81,6 +83,10 @@ func run() int {
 	if *tracePath != "" {
 		rec = borgmoea.NewTraceRecorder(0)
 	}
+	var plog *borgmoea.ProtocolLog
+	if *eventLog != "" {
+		plog = borgmoea.NewProtocolLog()
+	}
 	if *debugAddr != "" {
 		srv, err := borgmoea.ServeDebug(*debugAddr, reg)
 		if err != nil {
@@ -92,7 +98,33 @@ func run() int {
 	}
 
 	var alg *borgmoea.Algorithm
-	if *transport == "tcp" {
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			return fail(1, err.Error())
+		}
+		recorded, err := borgmoea.ReadProtocolLog(f)
+		f.Close()
+		if err != nil {
+			return fail(1, "reading event log", "err", err)
+		}
+		res, err := borgmoea.ReplayAsync(borgmoea.ParallelConfig{
+			Problem:   problem,
+			Algorithm: cfg,
+			Seed:      *seed,
+			Metrics:   reg,
+		}, recorded)
+		if err != nil {
+			return fail(1, err.Error())
+		}
+		alg = res.Final
+		fmt.Printf("replayed run: events=%d  N=%d  T_P=%.2fs  workers=%d  completed=%v\n",
+			len(recorded.Events), res.Evaluations, res.ElapsedTime, res.Processors-1, res.Completed)
+		if res.Resubmissions > 0 || res.DuplicateResults > 0 {
+			fmt.Printf("recovery: resubmitted=%d lost=%d duplicates=%d\n",
+				res.Resubmissions, res.LostEvaluations, res.DuplicateResults)
+		}
+	} else if *transport == "tcp" {
 		if *listen == "" {
 			return fail(2, "-transport tcp needs -listen host:port")
 		}
@@ -107,6 +139,7 @@ func run() int {
 			LeaseTimeout: *leaseT,
 			Metrics:      reg,
 			Events:       rec,
+			Protocol:     plog,
 		}
 		logger.Info("listening for workers", "addr", *listen, "hint", "start workers with: borgd -connect host:port")
 		res, err := borgmoea.RunAsyncDistributed(pcfg, borgmoea.DistributedConfig{
@@ -135,6 +168,7 @@ func run() int {
 			LeaseTimeout: *leaseT,
 			Metrics:      reg,
 			Events:       rec,
+			Protocol:     plog,
 		}
 		if *mtbf > 0 {
 			if *mttr <= 0 {
@@ -169,8 +203,8 @@ func run() int {
 		if *transport != "virtual" {
 			return fail(2, "-transport needs -parallel (or -listen for tcp)", "transport", *transport)
 		}
-		if *tracePath != "" || *metricsOut != "" {
-			logger.Warn("-trace/-metrics-out instrument the parallel drivers; the serial run records nothing")
+		if *tracePath != "" || *metricsOut != "" || *eventLog != "" {
+			logger.Warn("-trace/-metrics-out/-event-log instrument the parallel drivers; the serial run records nothing")
 		}
 		alg = borgmoea.MustNewBorg(problem, cfg)
 		alg.Run(*evals, nil)
@@ -188,6 +222,17 @@ func run() int {
 			return fail(1, "writing metrics", "err", err)
 		}
 		logger.Info("metrics written", "path", *metricsOut)
+	}
+	if plog != nil && len(plog.Events) > 0 {
+		if err := writeFileWith(*eventLog, func(w io.Writer) error {
+			_, err := plog.WriteTo(w)
+			return err
+		}); err != nil {
+			return fail(1, "writing event log", "err", err)
+		}
+		logger.Info("event log written", "path", *eventLog, "events", len(plog.Events),
+			"hint", fmt.Sprintf("replay with: borg -replay %s -problem %s -objectives %d -epsilon %g -seed %d",
+				*eventLog, *problemName, *objectives, *epsilon, *seed))
 	}
 
 	front := alg.Archive().Objectives()

@@ -1,0 +1,493 @@
+package master
+
+import (
+	"fmt"
+
+	"borgmoea/internal/core"
+)
+
+// EventKind discriminates protocol events fed to the Core.
+type EventKind uint8
+
+const (
+	// EvJoin: a worker registered (DES rank started, TCP handshake
+	// completed). Re-joining a live identity is the reconnect path: the
+	// old incarnation's work died with it.
+	EvJoin EventKind = iota + 1
+	// EvHello: a known worker re-registered after recovering from a
+	// crash; whatever it held died with the crash.
+	EvHello
+	// EvResult: a worker returned the evaluated item with lease id
+	// Item. The driver fills the solution's objectives before handing
+	// the event over (see Lease).
+	EvResult
+	// EvTick: the driver's clock reached At with no message; expire
+	// due leases and re-dispatch.
+	EvTick
+	// EvGone: the transport declared the worker dead for good.
+	EvGone
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvJoin:
+		return "join"
+	case EvHello:
+		return "hello"
+	case EvResult:
+		return "result"
+	case EvTick:
+		return "tick"
+	case EvGone:
+		return "gone"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one protocol input. At is seconds on the driver's clock
+// (virtual or wall); the Core uses it only to stamp lease deadlines
+// and compare them against ticks, so feeding a recorded stream back
+// reproduces expiries exactly.
+type Event struct {
+	Kind   EventKind
+	Worker int
+	Item   uint64
+	At     float64
+}
+
+// ActionKind discriminates protocol outputs.
+type ActionKind uint8
+
+const (
+	// ActGrant: send Item to Worker (a TagEvaluate message). The lease
+	// is already booked; the driver only transmits.
+	ActGrant ActionKind = iota + 1
+	// ActStop: send Worker a TagStop.
+	ActStop
+	// ActComplete: the evaluation budget is reached. Emitted once,
+	// before the stop actions, so drivers timestamp T_P first.
+	ActComplete
+)
+
+// Action is one protocol output for the driver to execute, in order.
+type Action struct {
+	Kind   ActionKind
+	Worker int
+	Item   *Item
+}
+
+// Algorithm is the Core's view of the optimizer. Drivers wrap the Borg
+// core, charging transport-appropriate T_A costs (DES holds, measured
+// wall time, sampled distributions) around the calls — the Core only
+// sequences them.
+type Algorithm interface {
+	// Suggest generates one offspring (seeding, and lazy dispatch).
+	Suggest() *core.Solution
+	// Accept folds an evaluated solution in (lazy policy).
+	Accept(s *core.Solution)
+	// AcceptSuggest folds s in and generates the next offspring in one
+	// critical section — the paper's combined T_A (eager policy).
+	AcceptSuggest(s *core.Solution) *core.Solution
+}
+
+// Policy selects when the Core generates fresh offspring.
+type Policy uint8
+
+const (
+	// EagerOffspring generates the next offspring inside each accept
+	// (one AcceptSuggest critical section, the paper's T_A) and grants
+	// it straight back to the returning worker. Used by the DES,
+	// realtime and island drivers.
+	EagerOffspring Policy = iota
+	// LazyOffspring generates offspring on demand at dispatch time,
+	// bounded so live work chains never exceed the remaining budget.
+	// Used by the distributed driver, whose worker pool is dynamic.
+	LazyOffspring
+)
+
+// Config parameterizes a Core.
+type Config struct {
+	// Budget is N, the evaluation budget; the run completes at the
+	// N-th accepted result.
+	Budget uint64
+	// LeaseTimeout bounds how long a dispatched evaluation may stay
+	// outstanding before it is presumed lost and resubmitted; 0
+	// disables expiry.
+	LeaseTimeout float64
+	// Policy selects eager or lazy offspring generation.
+	Policy Policy
+	// MaxProbes bounds last-resort grants to suspect workers per death
+	// episode (0 = DefaultMaxProbes), so a run whose workers all died
+	// permanently still terminates instead of probing forever.
+	MaxProbes int
+	// Alg is the optimizer adapter (required).
+	Alg Algorithm
+	// Meters receives the protocol counters; the zero value is inert.
+	Meters Meters
+	// Emit, when set, receives master-side protocol annotations
+	// (currently "lease.expire" with a worker=…,id=… detail).
+	Emit func(kind, detail string)
+	// Log, when non-nil, records every event handled — the replay
+	// stream. Nil-safe by construction.
+	Log *Log
+	// OnAccept runs after each accepted evaluation (checkpoint hooks,
+	// migration), before completion is evaluated, with the new
+	// completed count.
+	OnAccept func(completed uint64)
+}
+
+// DefaultMaxProbes is the bounded number of last-resort sends to a
+// presumed-dead worker per death episode.
+const DefaultMaxProbes = 2
+
+// Stats is the Core's protocol accounting, mirrored into the drivers'
+// Result fields.
+type Stats struct {
+	// Completed counts accepted evaluations.
+	Completed uint64
+	// Resubmissions counts work re-enqueued after a presumed loss;
+	// Lost counts the presumed losses themselves (currently equal).
+	Resubmissions uint64
+	Lost          uint64
+	// Duplicates counts late results discarded because their lease had
+	// already been reissued.
+	Duplicates uint64
+	// Expiries counts lease deadlines that passed.
+	Expiries uint64
+	// Hellos, Joins and Deaths count worker lifecycle events.
+	Hellos uint64
+	Joins  uint64
+	Deaths uint64
+}
+
+// Core is the master protocol state machine. It is single-threaded:
+// Handle must not be called concurrently. It consumes no randomness
+// and never reads a clock, so identical event streams produce
+// identical decisions — the property record/replay and the
+// cross-transport equivalence tests rest on.
+type Core struct {
+	cfg         Config
+	reg         *Registry
+	outstanding map[uint64]*lease
+	heap        leaseHeap
+	pending     []*Item
+	nextID      uint64
+	nextSeq     uint64
+	busy        int
+	stats       Stats
+	done        bool
+	acts        []Action
+}
+
+// NewCore returns a Core ready to Handle events. It stamps the log's
+// metadata so a recorded stream carries everything Replay needs
+// besides the problem and seed.
+func NewCore(cfg Config) *Core {
+	if cfg.MaxProbes == 0 {
+		cfg.MaxProbes = DefaultMaxProbes
+	}
+	cfg.Log.setMeta(LogMeta{Policy: cfg.Policy, Budget: cfg.Budget, LeaseTimeout: cfg.LeaseTimeout})
+	return &Core{
+		cfg:         cfg,
+		reg:         NewRegistry(),
+		outstanding: make(map[uint64]*lease),
+	}
+}
+
+// Handle applies one event and returns the actions it implies, in
+// execution order. The returned slice is reused by the next Handle
+// call; drivers must execute (or copy) it first. After completion
+// Handle records nothing and returns nil.
+func (c *Core) Handle(ev Event) []Action {
+	if c.done {
+		return nil
+	}
+	c.cfg.Log.record(ev)
+	c.acts = c.acts[:0]
+	switch ev.Kind {
+	case EvJoin:
+		c.join(ev)
+	case EvHello:
+		c.hello(ev)
+	case EvResult:
+		c.result(ev)
+	case EvTick:
+		c.expire(ev.At)
+		c.dispatch(ev.At)
+	case EvGone:
+		if c.retire(ev.Worker) {
+			c.dispatch(ev.At)
+		}
+	}
+	return c.acts
+}
+
+// Done reports whether the budget has been reached.
+func (c *Core) Done() bool { return c.done }
+
+// Stats returns the protocol accounting so far.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Completed returns the accepted-evaluation count.
+func (c *Core) Completed() uint64 { return c.stats.Completed }
+
+// Peak returns the maximum concurrent live worker count.
+func (c *Core) Peak() int { return c.reg.Peak() }
+
+// Outstanding returns the number of live leases.
+func (c *Core) Outstanding() int { return c.busy }
+
+// PendingLen returns the length of the resubmission/backlog queue.
+func (c *Core) PendingLen() int { return len(c.pending) }
+
+// NextDeadline returns the earliest live lease deadline, if any — the
+// timeout a blocking driver should wait for before feeding an EvTick.
+func (c *Core) NextDeadline() (float64, bool) {
+	l, ok := c.heap.peek()
+	if !ok {
+		return 0, false
+	}
+	return l.deadline, true
+}
+
+// Lease looks up a live lease by id, returning the worker it was
+// granted to and the item. Drivers use it before an EvResult to fill
+// the solution's objectives (and meter T_F) only when the result will
+// actually be accepted.
+func (c *Core) Lease(id uint64) (worker int, item *Item, ok bool) {
+	l, found := c.outstanding[id]
+	if !found {
+		return 0, nil, false
+	}
+	return l.worker, l.item, true
+}
+
+// --- event handlers -------------------------------------------------
+
+func (c *Core) join(ev Event) {
+	if w := c.reg.lookup(ev.Worker); w != nil && w.state != StateGone {
+		// Reconnect-with-hello replacing a live incarnation: its work
+		// died with the old connection.
+		c.retire(ev.Worker)
+	}
+	c.reg.join(ev.Worker)
+	c.stats.Joins++
+	c.cfg.Meters.Joins.Inc()
+	c.cfg.Meters.Live.Set(float64(c.reg.Live()))
+	if c.cfg.Policy == EagerOffspring {
+		// Seed the worker directly: one offspring per join, the DES
+		// drivers' startup protocol.
+		c.grant(ev.Worker, c.newItem(c.cfg.Alg.Suggest()), ev.At)
+		return
+	}
+	c.reg.MarkIdle(ev.Worker)
+	c.dispatch(ev.At)
+}
+
+func (c *Core) hello(ev Event) {
+	c.stats.Hellos++
+	c.cfg.Meters.Hellos.Inc()
+	w := c.reg.lookup(ev.Worker)
+	if w == nil {
+		w = c.reg.join(ev.Worker)
+	}
+	// A recovered worker re-registered: whatever it held died with the
+	// crash.
+	if l := w.lease; l != nil && !l.done {
+		c.lose(l)
+	}
+	c.reg.MarkIdle(ev.Worker)
+	c.dispatch(ev.At)
+}
+
+func (c *Core) result(ev Event) {
+	w := c.reg.lookup(ev.Worker)
+	if w == nil {
+		w = c.reg.join(ev.Worker)
+	}
+	l, known := c.outstanding[ev.Item]
+	if !known || l.worker != ev.Worker {
+		// Late result of an expired (already reissued) lease: discard,
+		// but the sender proved alive.
+		c.stats.Duplicates++
+		c.cfg.Meters.Dups.Inc()
+		if w.state != StateBusy {
+			c.reg.MarkIdle(ev.Worker)
+		}
+		c.dispatch(ev.At)
+		return
+	}
+	c.release(l)
+	w.probes = 0
+	if c.cfg.Policy == EagerOffspring {
+		next := c.cfg.Alg.AcceptSuggest(l.item.S)
+		c.accepted()
+		if c.done {
+			return
+		}
+		// Fault-free, pending holds exactly the fresh offspring and
+		// this reduces to "send next to the returning worker".
+		c.pending = append(c.pending, c.newItem(next))
+		item := c.pending[0]
+		c.pending = c.pending[1:]
+		c.grant(ev.Worker, item, ev.At)
+		c.dispatch(ev.At)
+		return
+	}
+	c.cfg.Alg.Accept(l.item.S)
+	c.accepted()
+	if c.done {
+		return
+	}
+	c.reg.MarkIdle(ev.Worker)
+	c.dispatch(ev.At)
+}
+
+// --- internals ------------------------------------------------------
+
+func (c *Core) newItem(s *core.Solution) *Item {
+	c.nextID++
+	return &Item{ID: c.nextID, S: s}
+}
+
+func (c *Core) grant(worker int, item *Item, at float64) {
+	w := c.reg.lookup(worker)
+	c.nextSeq++
+	l := &lease{item: item, worker: worker, seq: c.nextSeq}
+	w.lease = l
+	w.state = StateBusy
+	c.outstanding[item.ID] = l
+	c.busy++
+	if c.cfg.LeaseTimeout > 0 {
+		l.deadline = at + c.cfg.LeaseTimeout
+		c.heap.push(l)
+	}
+	c.acts = append(c.acts, Action{Kind: ActGrant, Worker: worker, Item: item})
+}
+
+func (c *Core) release(l *lease) {
+	if l.done {
+		return
+	}
+	l.done = true
+	delete(c.outstanding, l.item.ID)
+	if w := c.reg.lookup(l.worker); w != nil && w.lease == l {
+		w.lease = nil
+	}
+	c.busy--
+}
+
+// lose presumes a leased evaluation dead and re-enqueues a clone under
+// a fresh id. Removing the old id from outstanding before the clone is
+// granted is what makes double-accept impossible: at most one id per
+// work chain is ever live.
+func (c *Core) lose(l *lease) {
+	if l.done {
+		return
+	}
+	c.release(l)
+	c.stats.Lost++
+	c.stats.Resubmissions++
+	c.cfg.Meters.Resub.Inc()
+	c.pending = append(c.pending, c.newItem(l.item.S.Clone()))
+}
+
+// retire records a terminal death (transport-declared). Reports
+// whether the worker was alive.
+func (c *Core) retire(worker int) bool {
+	w := c.reg.lookup(worker)
+	if w == nil || w.state == StateGone {
+		return false
+	}
+	if l := w.lease; l != nil && !l.done {
+		c.lose(l)
+	}
+	c.reg.markGone(worker)
+	c.stats.Deaths++
+	c.cfg.Meters.Deaths.Inc()
+	c.cfg.Meters.Live.Set(float64(c.reg.Live()))
+	return true
+}
+
+func (c *Core) accepted() {
+	c.stats.Completed++
+	c.cfg.Meters.Evals.Inc()
+	if c.cfg.OnAccept != nil {
+		c.cfg.OnAccept(c.stats.Completed)
+	}
+	if c.stats.Completed >= c.cfg.Budget {
+		c.complete()
+	}
+}
+
+func (c *Core) complete() {
+	c.done = true
+	c.acts = append(c.acts, Action{Kind: ActComplete})
+	// Stop every worker that might still be listening, in join order.
+	// Suspects get one too (the transport may still deliver); gone
+	// workers have no transport left.
+	for _, id := range c.reg.Known() {
+		if c.reg.State(id) != StateGone {
+			c.acts = append(c.acts, Action{Kind: ActStop, Worker: id})
+		}
+	}
+}
+
+func (c *Core) dispatch(at float64) {
+	// Resubmitted clones (and the eager path's fresh offspring) first.
+	for len(c.pending) > 0 {
+		w, ok := c.reg.popIdle()
+		if !ok {
+			break
+		}
+		item := c.pending[0]
+		c.pending = c.pending[1:]
+		c.grant(w.id, item, at)
+	}
+	// Lazy policy: generate fresh offspring on demand, as long as live
+	// work chains stay within the remaining budget (so the run never
+	// over-issues evaluations).
+	if c.cfg.Policy == LazyOffspring {
+		for c.stats.Completed+uint64(c.busy)+uint64(len(c.pending)) < c.cfg.Budget {
+			w, ok := c.reg.popIdle()
+			if !ok {
+				break
+			}
+			c.grant(w.id, c.newItem(c.cfg.Alg.Suggest()), at)
+		}
+	}
+	// Last resort: work remains but every worker is presumed dead.
+	// Probe them (bounded per death episode) in case a recovery hello
+	// was lost to a lossy link.
+	if c.cfg.LeaseTimeout > 0 && c.busy == 0 {
+		for _, id := range c.reg.Known() {
+			if len(c.pending) == 0 {
+				break
+			}
+			w := c.reg.lookup(id)
+			if w.state == StateSuspect && w.probes < c.cfg.MaxProbes {
+				w.probes++
+				item := c.pending[0]
+				c.pending = c.pending[1:]
+				c.grant(id, item, at)
+			}
+		}
+	}
+}
+
+func (c *Core) expire(now float64) {
+	for {
+		l, ok := c.heap.peek()
+		if !ok || l.deadline > now {
+			return
+		}
+		c.heap.pop()
+		c.stats.Expiries++
+		c.cfg.Meters.LeaseExp.Inc()
+		if c.cfg.Emit != nil {
+			c.cfg.Emit("lease.expire", fmt.Sprintf("worker=%d id=%d", l.worker, l.item.ID))
+		}
+		c.lose(l)
+		c.reg.MarkSuspect(l.worker)
+	}
+}

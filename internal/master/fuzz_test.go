@@ -1,0 +1,144 @@
+package master
+
+import "testing"
+
+// FuzzCore drives the state machine with arbitrary event sequences and
+// checks the lease-protocol invariants the drivers rely on:
+//
+//   - no double-accept: a result is accepted iff its lease id is live
+//     and was granted to the sender (predictable via Lease before the
+//     event); everything else is a duplicate;
+//   - no lost work: every suggested offspring chain is exactly one of
+//     completed, outstanding, or pending (conservation);
+//   - the drain terminates: completion emits exactly one ActComplete
+//     and at most one ActStop per worker, the machine goes inert
+//     afterwards, and a cooperative worker can always finish the run.
+func FuzzCore(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 2, 0, 2, 1})
+	f.Add([]byte{1, 0, 1, 3, 2, 4, 5, 1, 2, 0, 9, 2, 3})
+	f.Add([]byte{3, 0, 1, 1, 2, 4, 1, 3, 3, 0, 2, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		alg := &stubAlg{}
+		pol := EagerOffspring
+		if data[0]&1 == 1 {
+			pol = LazyOffspring
+		}
+		timeout := 0.0
+		if data[0]&2 != 0 {
+			timeout = 4
+		}
+		const budget = 8
+		c := NewCore(Config{Budget: budget, LeaseTimeout: timeout, Policy: pol, Alg: alg})
+
+		now := 0.0
+		var grants []Action // every grant ever issued, for result synthesis
+		stops := make(map[int]int)
+		completes := 0
+		check := func(ev Event) {
+			wasDone := c.Done()
+			accept := false
+			if ev.Kind == EvResult && !wasDone {
+				if w, _, ok := c.Lease(ev.Item); ok && w == ev.Worker {
+					accept = true
+				}
+			}
+			before := c.Stats()
+			acts := c.Handle(ev)
+			after := c.Stats()
+			if wasDone {
+				if acts != nil {
+					t.Fatalf("Handle after done returned %v", acts)
+				}
+				return
+			}
+			if ev.Kind == EvResult {
+				if accept && (after.Completed != before.Completed+1 || after.Duplicates != before.Duplicates) {
+					t.Fatalf("live lease result not accepted exactly once: %+v -> %+v", before, after)
+				}
+				if !accept && (after.Completed != before.Completed || after.Duplicates != before.Duplicates+1) {
+					t.Fatalf("stale result not discarded as duplicate: %+v -> %+v", before, after)
+				}
+			}
+			for _, a := range acts {
+				switch a.Kind {
+				case ActGrant:
+					grants = append(grants, a)
+				case ActStop:
+					stops[a.Worker]++
+				case ActComplete:
+					completes++
+				}
+			}
+			if !c.Done() {
+				// Conservation: every suggested chain is accounted for.
+				chains := int(after.Completed) + c.Outstanding() + c.PendingLen()
+				if alg.suggested != chains {
+					t.Fatalf("lost work: %d suggested, %d accounted (completed=%d outstanding=%d pending=%d)",
+						alg.suggested, chains, after.Completed, c.Outstanding(), c.PendingLen())
+				}
+			}
+		}
+
+		for i := 1; i+1 < len(data) && !c.Done(); i += 2 {
+			op, arg := data[i], data[i+1]
+			worker := int(arg%5) + 1
+			switch op % 5 {
+			case 0:
+				check(Event{Kind: EvJoin, Worker: worker, At: now})
+			case 1:
+				check(Event{Kind: EvHello, Worker: worker, At: now})
+			case 2:
+				// Replay one of the issued grants — possibly long-stale
+				// (expired, reissued, its worker replaced), exercising
+				// the duplicate path as well as the accept path.
+				if len(grants) == 0 {
+					continue
+				}
+				g := grants[int(arg)%len(grants)]
+				check(Event{Kind: EvResult, Worker: g.Worker, Item: g.Item.ID, At: now})
+			case 3:
+				now += float64(arg) / 16
+				check(Event{Kind: EvTick, At: now})
+			case 4:
+				check(Event{Kind: EvGone, Worker: worker, At: now})
+			}
+		}
+
+		// Drain termination: a cooperative worker joins and faithfully
+		// returns every outstanding grant; the run must complete within
+		// a small bounded number of steps.
+		for safety := 0; !c.Done(); safety++ {
+			if safety > 64*budget {
+				t.Fatalf("run did not terminate: %+v outstanding=%d pending=%d",
+					c.Stats(), c.Outstanding(), c.PendingLen())
+			}
+			served := false
+			for i := len(grants) - 1; i >= 0; i-- {
+				g := grants[i]
+				if w, _, ok := c.Lease(g.Item.ID); ok && w == g.Worker {
+					check(Event{Kind: EvResult, Worker: g.Worker, Item: g.Item.ID, At: now})
+					served = true
+					break
+				}
+			}
+			if !served {
+				check(Event{Kind: EvJoin, Worker: 100 + safety, At: now})
+			}
+		}
+		if completes != 1 {
+			t.Fatalf("completion emitted %d times", completes)
+		}
+		for w, n := range stops {
+			if n != 1 {
+				t.Fatalf("worker %d stopped %d times", w, n)
+			}
+		}
+		// The machine is inert after completion.
+		if acts := c.Handle(Event{Kind: EvJoin, Worker: 999, At: now}); acts != nil {
+			t.Fatalf("post-completion Handle returned %v", acts)
+		}
+	})
+}

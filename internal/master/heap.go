@@ -1,0 +1,88 @@
+package master
+
+// lease is one outstanding evaluation: the dispatched work item, the
+// worker it was granted to, and the deadline after which the master
+// presumes the work lost and resubmits a clone. done marks leases
+// settled (result accepted, or expired and reissued) so stale heap
+// entries are skipped lazily. seq breaks deadline ties in grant order,
+// keeping expiry processing deterministic.
+type lease struct {
+	item     *Item
+	worker   int
+	deadline float64
+	seq      uint64
+	done     bool
+}
+
+// leaseHeap is a binary min-heap of live leases ordered by (deadline,
+// seq). It replaces the FIFO scan the drivers used when the timeout
+// was a single constant: the heap stays O(log n) per grant/expiry even
+// if per-worker or adaptive timeouts make deadlines non-monotonic, and
+// peek is O(1) on the master's hot receive path.
+type leaseHeap struct {
+	q []*lease
+}
+
+func leaseLess(a, b *lease) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.seq < b.seq
+}
+
+func (h *leaseHeap) push(l *lease) {
+	h.q = append(h.q, l)
+	i := len(h.q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !leaseLess(h.q[i], h.q[parent]) {
+			break
+		}
+		h.q[i], h.q[parent] = h.q[parent], h.q[i]
+		i = parent
+	}
+}
+
+func (h *leaseHeap) pop() *lease {
+	n := len(h.q)
+	top := h.q[0]
+	h.q[0] = h.q[n-1]
+	h.q[n-1] = nil
+	h.q = h.q[:n-1]
+	h.siftDown(0)
+	return top
+}
+
+func (h *leaseHeap) siftDown(i int) {
+	n := len(h.q)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && leaseLess(h.q[l], h.q[min]) {
+			min = l
+		}
+		if r < n && leaseLess(h.q[r], h.q[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.q[i], h.q[min] = h.q[min], h.q[i]
+		i = min
+	}
+}
+
+// peek returns the live lease with the earliest deadline, discarding
+// settled leases lazily (release marks them done instead of searching
+// the heap).
+func (h *leaseHeap) peek() (*lease, bool) {
+	for len(h.q) > 0 {
+		if !h.q[0].done {
+			return h.q[0], true
+		}
+		h.pop()
+	}
+	return nil, false
+}
+
+func (h *leaseHeap) len() int { return len(h.q) }

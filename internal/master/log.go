@@ -1,0 +1,217 @@
+package master
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// LogMeta is the configuration slice a recorded run carries with it:
+// everything Replay needs to reconstruct the Core besides the problem,
+// the seed and the algorithm (which the replaying caller supplies —
+// the log deliberately holds protocol structure, not solutions).
+type LogMeta struct {
+	Policy       Policy
+	Budget       uint64
+	LeaseTimeout float64
+}
+
+// Log records the exact event stream a Core consumed. Because the
+// Core is pure — no randomness, no clock reads — re-feeding the stream
+// to a fresh Core with the same algorithm deterministically reproduces
+// every decision of the original run, including one that happened over
+// real TCP: the transport's nondeterminism (goroutine scheduling,
+// packet timing, worker crashes) is fully captured in the event order
+// and timestamps.
+//
+// Elapsed is the driver-recorded T_P (the completion timestamp on the
+// driver's own clock); it is carried so a replayed Result reports the
+// original run's elapsed time, which no event timestamp alone pins
+// down (the DES drivers complete after a final T_A hold).
+type Log struct {
+	Meta    LogMeta
+	Elapsed float64
+	Events  []Event
+}
+
+// NewLog returns an empty log ready to attach to a Config.
+func NewLog() *Log { return &Log{} }
+
+// record appends one event (nil-safe).
+func (l *Log) record(ev Event) {
+	if l != nil {
+		l.Events = append(l.Events, ev)
+	}
+}
+
+// setMeta stamps the recording Core's configuration (nil-safe).
+func (l *Log) setMeta(m LogMeta) {
+	if l != nil {
+		l.Meta = m
+	}
+}
+
+// SetElapsed records the run's T_P (nil-safe); drivers call it at
+// completion.
+func (l *Log) SetElapsed(t float64) {
+	if l != nil {
+		l.Elapsed = t
+	}
+}
+
+// CanonicalBytes serializes the logical protocol sequence — event
+// kinds, workers and lease ids, excluding timestamps and ticks — for
+// cross-transport comparison: the DES, realtime and loopback-TCP
+// drivers run different clocks (and only the TCP driver polls with
+// ticks), but for the same seed they must drive the shared Core
+// through the identical logical sequence.
+func (l *Log) CanonicalBytes() []byte {
+	if l == nil {
+		return nil
+	}
+	out := make([]byte, 0, 10*len(l.Events))
+	for _, ev := range l.Events {
+		if ev.Kind == EvTick {
+			continue
+		}
+		out = append(out, byte(ev.Kind))
+		out = binary.AppendUvarint(out, uint64(ev.Worker))
+		out = binary.AppendUvarint(out, ev.Item)
+	}
+	return out
+}
+
+// Binary log format: magic, version, meta, then fixed-width events.
+// Everything big-endian; floats as IEEE 754 bits.
+const (
+	logMagic   = "BMEL"
+	logVersion = 1
+)
+
+// WriteTo serializes the log. It implements io.WriterTo.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	var hdr []byte
+	hdr = append(hdr, logMagic...)
+	hdr = append(hdr, logVersion, byte(l.Meta.Policy))
+	hdr = binary.BigEndian.AppendUint64(hdr, l.Meta.Budget)
+	hdr = binary.BigEndian.AppendUint64(hdr, math.Float64bits(l.Meta.LeaseTimeout))
+	hdr = binary.BigEndian.AppendUint64(hdr, math.Float64bits(l.Elapsed))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(l.Events)))
+	if err := put(hdr); err != nil {
+		return n, err
+	}
+	var buf []byte
+	for _, ev := range l.Events {
+		buf = buf[:0]
+		buf = append(buf, byte(ev.Kind))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(ev.Worker))
+		buf = binary.BigEndian.AppendUint64(buf, ev.Item)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(ev.At))
+		if err := put(buf); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadLog deserializes a log written by WriteTo. Malformed input —
+// wrong magic or version, truncated streams, an absurd event count —
+// returns a clean error, never a panic.
+func ReadLog(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(logMagic)+2+4*8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("master: short log header: %w", err)
+	}
+	if string(hdr[:4]) != logMagic {
+		return nil, fmt.Errorf("master: not an event log (magic %q)", hdr[:4])
+	}
+	if hdr[4] != logVersion {
+		return nil, fmt.Errorf("master: log version %d, want %d", hdr[4], logVersion)
+	}
+	l := &Log{Meta: LogMeta{
+		Policy:       Policy(hdr[5]),
+		Budget:       binary.BigEndian.Uint64(hdr[6:]),
+		LeaseTimeout: math.Float64frombits(binary.BigEndian.Uint64(hdr[14:])),
+	}}
+	l.Elapsed = math.Float64frombits(binary.BigEndian.Uint64(hdr[22:]))
+	count := binary.BigEndian.Uint64(hdr[30:])
+	const maxEvents = 1 << 28 // ~5.6 GiB of events; far beyond any real run
+	if count > maxEvents {
+		return nil, fmt.Errorf("master: log claims %d events (limit %d)", count, maxEvents)
+	}
+	l.Events = make([]Event, 0, count)
+	rec := make([]byte, 1+4+8+8)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("master: truncated log at event %d/%d: %w", i, count, err)
+		}
+		l.Events = append(l.Events, Event{
+			Kind:   EventKind(rec[0]),
+			Worker: int(binary.BigEndian.Uint32(rec[1:])),
+			Item:   binary.BigEndian.Uint64(rec[5:]),
+			At:     math.Float64frombits(binary.BigEndian.Uint64(rec[13:])),
+		})
+	}
+	return l, nil
+}
+
+// ReplayConfig parameterizes Replay.
+type ReplayConfig struct {
+	// Alg is the optimizer adapter, seeded exactly as the recorded run
+	// was (required).
+	Alg Algorithm
+	// Evaluate re-computes a solution's objectives when its result
+	// event is about to be accepted — the replay stand-in for the
+	// worker's function evaluation. Deterministic problems make the
+	// replayed trajectory bit-identical to the original.
+	Evaluate func(item *Item)
+	// MaxProbes must match the recorded run's (0 = DefaultMaxProbes).
+	MaxProbes int
+	// Meters/OnAccept optionally re-instrument the replay.
+	Meters   Meters
+	OnAccept func(completed uint64)
+}
+
+// Replay re-feeds a recorded event stream to a fresh Core and returns
+// it, deterministically reproducing the original run's protocol
+// decisions and — with the same algorithm seed and a deterministic
+// problem — its exact search trajectory.
+func Replay(log *Log, rc ReplayConfig) (*Core, error) {
+	if log == nil || len(log.Events) == 0 {
+		return nil, fmt.Errorf("master: cannot replay an empty event log")
+	}
+	if rc.Alg == nil {
+		return nil, fmt.Errorf("master: Replay needs an Algorithm")
+	}
+	c := NewCore(Config{
+		Budget:       log.Meta.Budget,
+		LeaseTimeout: log.Meta.LeaseTimeout,
+		Policy:       log.Meta.Policy,
+		MaxProbes:    rc.MaxProbes,
+		Alg:          rc.Alg,
+		Meters:       rc.Meters,
+		OnAccept:     rc.OnAccept,
+	})
+	for _, ev := range log.Events {
+		if ev.Kind == EvResult && rc.Evaluate != nil {
+			// The original worker evaluated before sending; reproduce
+			// that for results the core will accept. Late duplicates
+			// carry no live lease and their solutions were discarded.
+			if worker, item, ok := c.Lease(ev.Item); ok && worker == ev.Worker {
+				rc.Evaluate(item)
+			}
+		}
+		c.Handle(ev)
+	}
+	return c, nil
+}

@@ -1,0 +1,150 @@
+package master
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleLog() *Log {
+	return &Log{
+		Meta:    LogMeta{Policy: LazyOffspring, Budget: 42, LeaseTimeout: 1.5},
+		Elapsed: 3.25,
+		Events: []Event{
+			{Kind: EvJoin, Worker: 1, At: 0},
+			{Kind: EvJoin, Worker: 2, At: 0.25},
+			{Kind: EvResult, Worker: 1, Item: 1, At: 1},
+			{Kind: EvTick, At: 2},
+			{Kind: EvGone, Worker: 2, At: 2.5},
+			{Kind: EvHello, Worker: 2, At: 2.75},
+		},
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	orig := sampleLog()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\n  wrote %+v\n  read  %+v", orig, got)
+	}
+}
+
+func TestReadLogRejectsMalformedInput(t *testing.T) {
+	var good bytes.Buffer
+	if _, err := sampleLog().WriteTo(&good); err != nil {
+		t.Fatal(err)
+	}
+	raw := good.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    raw[:10],
+		"bad magic":       append([]byte("NOPE"), raw[4:]...),
+		"bad version":     append(append([]byte{}, raw[:4]...), append([]byte{99}, raw[5:]...)...),
+		"truncated event": raw[:len(raw)-5],
+	}
+	for name, data := range cases {
+		if _, err := ReadLog(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadLog accepted malformed input", name)
+		}
+	}
+
+	// An absurd event count must be rejected before allocation.
+	huge := append([]byte{}, raw[:30]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadLog(bytes.NewReader(huge)); err == nil {
+		t.Error("ReadLog accepted an absurd event count")
+	}
+}
+
+func TestCanonicalBytesIgnoresTicksAndTimestamps(t *testing.T) {
+	a := sampleLog()
+	b := sampleLog()
+	// Different clocks, extra polling ticks: same logical protocol.
+	for i := range b.Events {
+		b.Events[i].At *= 7
+	}
+	b.Events = append(b.Events, Event{Kind: EvTick, At: 99})
+	if !bytes.Equal(a.CanonicalBytes(), b.CanonicalBytes()) {
+		t.Fatal("canonical bytes differ across clock scaling and added ticks")
+	}
+	// A different logical sequence must differ.
+	b.Events = append(b.Events, Event{Kind: EvResult, Worker: 1, Item: 2})
+	if bytes.Equal(a.CanonicalBytes(), b.CanonicalBytes()) {
+		t.Fatal("canonical bytes identical despite a protocol difference")
+	}
+	if (*Log)(nil).CanonicalBytes() != nil {
+		t.Fatal("nil log should canonicalize to nil")
+	}
+}
+
+func TestReplayReproducesRun(t *testing.T) {
+	// Record a small faulty run driven by scripted events.
+	alg := &stubAlg{}
+	log := NewLog()
+	c := NewCore(Config{Budget: 5, LeaseTimeout: 10, Policy: EagerOffspring, Alg: alg, Log: log})
+	script := []Event{
+		{Kind: EvJoin, Worker: 1, At: 0},
+		{Kind: EvJoin, Worker: 2, At: 0},
+		{Kind: EvResult, Worker: 1, Item: 1, At: 1},
+		{Kind: EvTick, At: 10.5},                     // worker 2's seed (deadline 10) expires
+		{Kind: EvResult, Worker: 2, Item: 2, At: 13}, // late: duplicate, but reissues the clone
+		{Kind: EvResult, Worker: 1, Item: 3, At: 14},
+		{Kind: EvResult, Worker: 2, Item: 4, At: 15}, // the reissued clone
+		{Kind: EvResult, Worker: 1, Item: 5, At: 16},
+		{Kind: EvResult, Worker: 2, Item: 6, At: 17},
+	}
+	for _, ev := range script {
+		c.Handle(ev)
+	}
+	if !c.Done() {
+		t.Fatalf("scripted run did not complete: %+v", c.Stats())
+	}
+	log.SetElapsed(17)
+
+	// Serialize and reload, then replay with a fresh stub.
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayAlg := &stubAlg{}
+	rc, err := Replay(loaded, ReplayConfig{Alg: replayAlg})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !rc.Done() {
+		t.Fatal("replay did not complete")
+	}
+	if rc.Stats() != c.Stats() {
+		t.Fatalf("replayed stats %+v != original %+v", rc.Stats(), c.Stats())
+	}
+	if !reflect.DeepEqual(replayAlg.accepted, alg.accepted) {
+		t.Fatalf("replayed accepts %v != original %v", replayAlg.accepted, alg.accepted)
+	}
+	if loaded.Elapsed != 17 {
+		t.Fatalf("elapsed = %v, want 17", loaded.Elapsed)
+	}
+}
+
+func TestReplayRejectsBadInput(t *testing.T) {
+	if _, err := Replay(nil, ReplayConfig{Alg: &stubAlg{}}); err == nil {
+		t.Error("replayed a nil log")
+	}
+	if _, err := Replay(&Log{}, ReplayConfig{Alg: &stubAlg{}}); err == nil {
+		t.Error("replayed an empty log")
+	}
+	if _, err := Replay(sampleLog(), ReplayConfig{}); err == nil {
+		t.Error("replayed without an algorithm")
+	}
+}

@@ -1,0 +1,61 @@
+package master
+
+import "borgmoea/internal/obs"
+
+// Metric names shared by all five drivers, so dashboards and the
+// /debug/vars endpoint read the same keys regardless of transport.
+// The protocol counters (evaluations, resubmissions, expiries,
+// duplicates, hellos, joins, deaths, live) are recorded once, by the
+// Core; the timing histograms and the driver-level counters
+// (generations, migrants, checkpoints) stay with the drivers, which
+// own the clocks and the algorithm critical sections.
+const (
+	MetricEvaluations = "master.evaluations"
+	MetricResub       = "master.resubmissions"
+	MetricLeaseExpiry = "master.lease_expiries"
+	MetricDuplicates  = "master.duplicate_results"
+	MetricHellos      = "master.worker_hellos"
+	MetricJoins       = "master.worker_joins"
+	MetricDeaths      = "master.worker_deaths"
+	MetricWorkersLive = "master.workers_live"
+	MetricTA          = "master.ta_seconds"
+	MetricTC          = "master.tc_seconds"
+	MetricQueueWait   = "master.queue_wait_seconds"
+	MetricTF          = "worker.tf_seconds"
+	MetricGenerations = "master.generations"
+	MetricMigrants    = "master.migrants"
+	MetricCheckpoints = "master.checkpoints"
+)
+
+// Meters resolves every instrument the protocol records into exactly
+// once (registry lookups take a lock), so the master loop pays one
+// predictable nil check per record. The zero value — and the result of
+// NewMeters on a nil registry — is fully inert.
+type Meters struct {
+	Evals, Resub, LeaseExp, Dups, Hellos *obs.Counter
+	Joins, Deaths                        *obs.Counter
+	Generations, Migrants, Checkpoints   *obs.Counter
+	Live                                 *obs.Gauge
+	TA, TC, TF, QueueWait                *obs.Histogram
+}
+
+// NewMeters resolves the shared instrument set from reg (nil-safe).
+func NewMeters(reg *obs.Registry) Meters {
+	return Meters{
+		Evals:       reg.Counter(MetricEvaluations),
+		Resub:       reg.Counter(MetricResub),
+		LeaseExp:    reg.Counter(MetricLeaseExpiry),
+		Dups:        reg.Counter(MetricDuplicates),
+		Hellos:      reg.Counter(MetricHellos),
+		Joins:       reg.Counter(MetricJoins),
+		Deaths:      reg.Counter(MetricDeaths),
+		Generations: reg.Counter(MetricGenerations),
+		Migrants:    reg.Counter(MetricMigrants),
+		Checkpoints: reg.Counter(MetricCheckpoints),
+		Live:        reg.Gauge(MetricWorkersLive),
+		TA:          reg.Histogram(MetricTA, nil),
+		TC:          reg.Histogram(MetricTC, nil),
+		TF:          reg.Histogram(MetricTF, nil),
+		QueueWait:   reg.Histogram(MetricQueueWait, nil),
+	}
+}

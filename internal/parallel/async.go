@@ -1,31 +1,44 @@
 package parallel
 
 import (
-	"fmt"
-
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
+	"borgmoea/internal/master"
 	"borgmoea/internal/rng"
 )
 
-// Worker states tracked by the asynchronous master's lease table.
-const (
-	wsIdle int8 = iota
-	wsBusy
-	wsDead
-)
+// desAlg adapts the Borg core to the shared master state machine for
+// the virtual-time driver: every critical section is metered (sampled
+// or measured T_A) and charged to the master node as an "algo" hold,
+// exactly as the paper instruments it.
+type desAlg struct {
+	b     *core.Borg
+	p     *des.Process
+	node  *cluster.Node
+	meter *taMeter
+}
 
-// lease is one outstanding evaluation: the dispatched work item, the
-// worker it was granted to, and the virtual-time deadline after which
-// the master presumes the work lost and resubmits a clone. done marks
-// leases settled (result accepted, or expired and reissued) so stale
-// entries in the deadline queue are skipped.
-type lease struct {
-	item     *workItem
-	worker   int
-	deadline des.Time
-	done     bool
+func (a *desAlg) Suggest() *core.Solution {
+	var s *core.Solution
+	ta := a.meter.measure(func() { s = a.b.Suggest() })
+	a.node.HoldBusy(a.p, ta, "algo")
+	return s
+}
+
+func (a *desAlg) Accept(s *core.Solution) {
+	ta := a.meter.measure(func() { a.b.Accept(s) })
+	a.node.HoldBusy(a.p, ta, "algo")
+}
+
+func (a *desAlg) AcceptSuggest(s *core.Solution) *core.Solution {
+	var next *core.Solution
+	ta := a.meter.measure(func() {
+		a.b.Accept(s)
+		next = a.b.Suggest()
+	})
+	a.node.HoldBusy(a.p, ta, "algo")
+	return next
 }
 
 // RunAsync executes the asynchronous, master-slave Borg MOEA on the
@@ -39,17 +52,17 @@ type lease struct {
 // ends when N evaluations have been accepted; T_P is the virtual time
 // of the N-th acceptance.
 //
-// Fault tolerance: every dispatched evaluation is tracked as a lease.
-// When a lease outlives Config.LeaseTimeout the master presumes the
-// worker dead, clones the unevaluated solution and re-enqueues it for
-// the next live worker; the late original — if the worker was merely
-// slow, hung, or its result got lost and resent — is recognized by its
-// lease id and discarded as a duplicate, so each work chain is accepted
-// at most once. Recovered workers re-register via tagHello (pushed by
-// the fault injector's transition hook) and rejoin the pool. With a
-// nil/empty fault plan and LeaseTimeout 0 the run is bit-for-bit
-// identical to the original non-fault-tolerant driver: the lease table
-// consumes no randomness and adds no virtual-time charges.
+// The protocol decisions — lease table, resubmission, duplicate
+// suppression, worker lifecycle, probes, stop/drain — live in the
+// shared state machine (internal/master); this driver only translates
+// DES mailbox traffic into events and the machine's actions back into
+// T_C holds and sends. A worker whose lease outlives
+// Config.LeaseTimeout is presumed dead: its work is cloned and
+// re-enqueued, the late original discarded as a duplicate by lease id.
+// Recovered workers re-register via TagHello (pushed by the fault
+// injector's transition hook) and rejoin the pool. The lease machinery
+// consumes no randomness and adds no virtual-time charges, so with a
+// nil fault plan and LeaseTimeout 0 it is pure bookkeeping.
 func RunAsync(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -67,241 +80,110 @@ func RunAsync(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Processors: cfg.Processors, Final: b}
-	meters := newRunMeters(cfg.Metrics)
+	meters := master.NewMeters(cfg.Metrics)
 	masterRng := rng.New(cfg.Seed ^ 0x6d617374) // "mast"
-	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.ta}
+	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.TA}
 	tcSum, tcN := 0.0, uint64(0)
 	sampleTC := func() float64 {
 		tc := cfg.TC.Sample(masterRng)
 		tcSum += tc
 		tcN++
-		meters.tc.Observe(tc)
+		meters.TC.Observe(tc)
 		return tc
 	}
 
 	var elapsedAtN float64
-	completed := uint64(0)
+	var m *master.Core
 
 	recs := newRecorders(&cfg)
 	startWorkers(eng, cl, &cfg, recs)
 
-	// Master process.
-	master := cl.Node(0)
+	// Master process: one shared state machine, one mailbox.
+	node := cl.Node(0)
 	eng.Go("master", func(p *des.Process) {
-		// Lease table. Workers cycle idle → busy (one outstanding lease
-		// each) → idle; a worker whose lease expires is presumed dead
-		// until it shows a sign of life (a result, or a tagHello after
-		// recovery). pending holds work awaiting a live worker; leaseQ
-		// is FIFO with nondecreasing deadlines (the timeout is constant
-		// and grants are time-ordered), so the front is always the next
-		// expiry — no heap needed.
-		state := make([]int8, cfg.Processors)
-		leaseOf := make([]*lease, cfg.Processors)
-		probes := make([]int8, cfg.Processors)
-		var idleQ []int
-		var pending []*workItem
-		var leaseQ []*lease
-		outstanding := make(map[uint64]*lease)
-		var nextID uint64
-		busyCount := 0
-		// maxProbes bounds last-resort sends to presumed-dead workers
-		// (below), so a run with permanently dead workers still
-		// terminates instead of probing forever.
-		const maxProbes = 2
-
-		newItem := func(s *core.Solution) *workItem {
-			nextID++
-			return &workItem{id: nextID, s: s}
-		}
-		grant := func(w int, item *workItem) {
-			master.HoldBusy(p, sampleTC(), "comm")
-			master.Send(w, tagEvaluate, item)
-			l := &lease{item: item, worker: w}
-			leaseOf[w] = l
-			state[w] = wsBusy
-			outstanding[item.id] = l
-			busyCount++
-			if cfg.LeaseTimeout > 0 {
-				l.deadline = p.Now() + cfg.LeaseTimeout
-				leaseQ = append(leaseQ, l)
-			}
-		}
-		release := func(l *lease) {
-			if l.done {
-				return
-			}
-			l.done = true
-			delete(outstanding, l.item.id)
-			if leaseOf[l.worker] == l {
-				leaseOf[l.worker] = nil
-			}
-			busyCount--
-		}
-		// lose presumes a leased evaluation dead and re-enqueues a
-		// clone under a fresh id. Removing the old id from outstanding
-		// before the clone is granted is what makes double-accept
-		// impossible: at most one id per work chain is ever live.
-		lose := func(l *lease) {
-			release(l)
-			res.LostEvaluations++
-			res.Resubmissions++
-			meters.resub.Inc()
-			pending = append(pending, newItem(l.item.s.Clone()))
-		}
-		markIdle := func(w int) {
-			probes[w] = 0
-			if state[w] == wsIdle {
-				return
-			}
-			state[w] = wsIdle
-			idleQ = append(idleQ, w)
-		}
-		dispatch := func() {
-			for len(pending) > 0 && len(idleQ) > 0 {
-				w := idleQ[0]
-				idleQ = idleQ[1:]
-				if state[w] != wsIdle {
-					continue
+		m = master.NewCore(master.Config{
+			Budget:       cfg.Evaluations,
+			LeaseTimeout: cfg.LeaseTimeout,
+			Policy:       master.EagerOffspring,
+			Alg:          &desAlg{b: b, p: p, node: node, meter: meter},
+			Meters:       meters,
+			Emit:         func(kind, detail string) { eng.Emit(kind, "master", detail) },
+			Log:          cfg.Protocol,
+			OnAccept: func(n uint64) {
+				if cfg.CheckpointEvery > 0 && n%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+					meters.Checkpoints.Inc()
+					cfg.OnCheckpoint(p.Now(), b)
 				}
-				item := pending[0]
-				pending = pending[1:]
-				grant(w, item)
-			}
-			// Last resort: work remains but every worker is presumed
-			// dead. Probe them (bounded per death episode) in case a
-			// recovery hello was lost to a lossy link.
-			if cfg.LeaseTimeout > 0 && busyCount == 0 {
-				for w := 1; w < cfg.Processors && len(pending) > 0; w++ {
-					if state[w] == wsDead && probes[w] < maxProbes {
-						probes[w]++
-						item := pending[0]
-						pending = pending[1:]
-						grant(w, item)
-					}
+			},
+		})
+		exec := func(acts []master.Action) {
+			for _, a := range acts {
+				switch a.Kind {
+				case master.ActGrant:
+					node.HoldBusy(p, sampleTC(), "comm")
+					node.Send(a.Worker, tagEvaluate, a.Item)
+				case master.ActStop:
+					node.Send(a.Worker, tagStop, nil)
+				case master.ActComplete:
+					elapsedAtN = p.Now()
+					cfg.Protocol.SetElapsed(elapsedAtN)
 				}
 			}
 		}
-		expireDue := func(now des.Time) {
-			for len(leaseQ) > 0 {
-				l := leaseQ[0]
-				if l.done {
-					leaseQ = leaseQ[1:]
-					continue
-				}
-				if l.deadline > now {
-					break
-				}
-				leaseQ = leaseQ[1:]
-				w := l.worker
-				meters.leaseExp.Inc()
-				eng.Emit("lease.expire", "master", fmt.Sprintf("worker=%d id=%d", w, l.item.id))
-				lose(l)
-				state[w] = wsDead
-			}
-		}
-		// receive blocks for the next message, expiring leases whose
-		// deadlines pass while waiting. With no active leases (or lease
-		// expiry disabled) it degenerates to a plain blocking Recv.
+		// receive blocks for the next message, ticking the machine when
+		// a lease deadline passes while waiting. With no live leases
+		// (or lease expiry disabled) it degenerates to a plain Recv.
 		receive := func() *cluster.Message {
 			for {
-				for len(leaseQ) > 0 && leaseQ[0].done {
-					leaseQ = leaseQ[1:]
+				dl, ok := m.NextDeadline()
+				if !ok {
+					return node.Recv(p)
 				}
-				if cfg.LeaseTimeout <= 0 || len(leaseQ) == 0 {
-					return master.Recv(p)
-				}
-				if dl := leaseQ[0].deadline; dl > p.Now() {
-					if msg, ok := master.RecvTimeout(p, dl-p.Now()); ok {
+				if dl > p.Now() {
+					if msg, got := node.RecvTimeout(p, dl-p.Now()); got {
 						return msg
 					}
 				}
-				expireDue(p.Now())
-				dispatch()
+				exec(m.Handle(master.Event{Kind: master.EvTick, At: p.Now()}))
 			}
 		}
 
 		// Seed every worker with an initial solution.
 		for w := 1; w < cfg.Processors; w++ {
-			var s *core.Solution
-			ta := meter.measure(func() { s = b.Suggest() })
-			master.HoldBusy(p, ta, "algo")
-			grant(w, newItem(s))
+			exec(m.Handle(master.Event{Kind: master.EvJoin, Worker: w, At: p.Now()}))
 		}
-		// Steady state: receive, process, resend.
-		for completed < cfg.Evaluations {
+		// Steady state: receive, translate, execute.
+		for !m.Done() {
 			msg := receive()
-			meters.queueWait.Observe(p.Now() - msg.ArriveAt)
-			master.HoldBusy(p, sampleTC(), "comm")
+			meters.QueueWait.Observe(p.Now() - msg.ArriveAt)
+			node.HoldBusy(p, sampleTC(), "comm")
 			if msg.Tag == tagHello {
-				meters.hellos.Inc()
-				// A recovered worker re-registered: whatever it held
-				// died with the crash.
-				if l := leaseOf[msg.From]; l != nil && !l.done {
-					lose(l)
-				}
-				markIdle(msg.From)
-				dispatch()
+				exec(m.Handle(master.Event{Kind: master.EvHello, Worker: msg.From, At: p.Now()}))
 				continue
 			}
-			item := msg.Payload.(*workItem)
-			l, ok := outstanding[item.id]
-			if !ok || l.worker != msg.From {
-				// Late result of an expired (already reissued) lease.
-				res.DuplicateResults++
-				meters.dups.Inc()
-				if state[msg.From] != wsBusy {
-					markIdle(msg.From)
-				}
-				dispatch()
-				continue
-			}
-			release(l)
-			probes[msg.From] = 0
-			var next *core.Solution
-			ta := meter.measure(func() {
-				b.Accept(item.s)
-				next = b.Suggest()
-			})
-			master.HoldBusy(p, ta, "algo")
-			completed++
-			meters.evals.Inc()
-			if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
-				meters.checkpoints.Inc()
-				cfg.OnCheckpoint(p.Now(), b)
-			}
-			if completed >= cfg.Evaluations {
-				elapsedAtN = p.Now()
-				break
-			}
-			// Fault-free, pending holds exactly the fresh offspring and
-			// this reduces to the original "send next to msg.From".
-			pending = append(pending, newItem(next))
-			item2 := pending[0]
-			pending = pending[1:]
-			grant(msg.From, item2)
-			dispatch()
-		}
-		// Tear down: stop every worker. Workers mid-evaluation will
-		// see the stop after returning their (discarded) result.
-		for w := 1; w < cfg.Processors; w++ {
-			master.Send(w, tagStop, nil)
+			item := msg.Payload.(*master.Item)
+			exec(m.Handle(master.Event{Kind: master.EvResult, Worker: msg.From, Item: item.ID, At: p.Now()}))
 		}
 		// Drain any in-flight results so the mailbox is empty.
 		for w := 1; w < cfg.Processors; w++ {
-			if master.InboxLen() == 0 {
+			if node.InboxLen() == 0 {
 				break
 			}
-			master.Recv(p)
+			node.Recv(p)
 		}
 		inj.Stop()
 	})
 
 	runEngine(eng, cl, inj, &cfg, res)
 
+	st := m.Stats()
 	res.ElapsedTime = elapsedAtN
-	res.Evaluations = completed
-	res.Completed = completed >= cfg.Evaluations
-	res.MasterBusy = master.BusyTime()
+	res.Evaluations = st.Completed
+	res.Completed = st.Completed >= cfg.Evaluations
+	res.Resubmissions = st.Resubmissions
+	res.LostEvaluations = st.Lost
+	res.DuplicateResults = st.Duplicates
+	res.MasterBusy = node.BusyTime()
 	if elapsedAtN > 0 {
 		res.MasterUtilization = res.MasterBusy / elapsedAtN
 		sum := 0.0

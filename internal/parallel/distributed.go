@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"borgmoea/internal/core"
+	"borgmoea/internal/master"
 	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 	"borgmoea/internal/wire"
@@ -47,24 +48,14 @@ func (d *DistributedConfig) logf(format string, args ...any) {
 	}
 }
 
-// distSession is one live worker connection as the master sees it.
+// distSession is one live worker connection as the master sees it —
+// pure transport state. Protocol state (lease, lifecycle, idle queue)
+// lives in the shared state machine; the session only maps a worker id
+// to the conn that currently speaks for it.
 type distSession struct {
-	id    uint64
-	conn  *wire.Conn
-	state int8 // wsIdle / wsBusy / wsDead (suspect: lease expired)
-	lease *distLease
-	gone  bool // connection declared dead; terminal
-}
-
-// distLease is one outstanding evaluation on the wall clock — the
-// same invariants as the virtual-time lease table: at most one live
-// lease id per work chain, FIFO nondecreasing deadlines, results
-// accepted only from the leased worker.
-type distLease struct {
-	item     *workItem
-	sess     *distSession
-	deadline time.Time
-	done     bool
+	id   uint64
+	conn *wire.Conn
+	gone bool // connection closed or replaced; terminal
 }
 
 type distEventKind uint8
@@ -82,12 +73,38 @@ type distEvent struct {
 	err  error
 }
 
+// distAlg adapts the Borg core for the distributed driver, metering
+// Accept and Suggest separately (the lazy policy splits them across
+// the result and dispatch paths); per completed evaluation they sum to
+// the paper's T_A.
+type distAlg struct {
+	b     *core.Borg
+	meter *taMeter
+}
+
+func (a *distAlg) Suggest() *core.Solution {
+	var s *core.Solution
+	a.meter.measure(func() { s = a.b.Suggest() })
+	return s
+}
+
+func (a *distAlg) Accept(s *core.Solution) {
+	a.meter.measure(func() { a.b.Accept(s) })
+}
+
+func (a *distAlg) AcceptSuggest(s *core.Solution) *core.Solution {
+	a.Accept(s)
+	return a.Suggest()
+}
+
 // RunAsyncDistributed executes the asynchronous master-slave Borg MOEA
 // over real TCP: the master listens, borgd workers dial in, and the
-// existing lease/resubmission protocol recovers evaluations lost to
+// shared lease/resubmission protocol recovers evaluations lost to
 // killed or partitioned workers. The master remains a single event
 // loop — the paper's property that the algorithm's critical section is
-// serial — while the network layer feeds it joins, results and deaths.
+// serial — running the same state machine (internal/master) as the
+// virtual-time drivers, while the network layer feeds it joins,
+// results and deaths.
 //
 // Differences from the virtual-time drivers: the worker pool is
 // dynamic (Config.Processors is ignored; Result.Processors reports
@@ -179,10 +196,7 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 					return
 				}
 				conn.StartHeartbeat(0)
-				// Born busy: markIdle on the join event is what enters
-				// the session into the idle queue (wsIdle is the zero
-				// state, so it cannot be the initial one).
-				s := &distSession{id: id, conn: conn, state: wsBusy}
+				s := &distSession{id: id, conn: conn}
 				push(distEvent{kind: distJoin, sess: s})
 				for {
 					m, err := conn.Recv()
@@ -196,20 +210,16 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 		}
 	}()
 
-	// Master state: the wall-clock twin of RunAsync's lease table.
+	// Master side: the shared state machine on the wall clock, lazy
+	// offspring generation (the worker pool is dynamic, so offspring
+	// are suggested on demand at dispatch, bounded by the remaining
+	// budget).
 	res := &Result{Final: b}
-	meters := newRunMeters(cfg.Metrics)
+	meters := master.NewMeters(cfg.Metrics)
 	journal := cfg.Events
-	meter := &taMeter{dist: cfg.TA, rng: rng.New(cfg.Seed ^ 0x6d617374), capture: cfg.CaptureTimings, hist: meters.ta}
-	outstanding := make(map[uint64]*distLease)
+	meter := &taMeter{dist: cfg.TA, rng: rng.New(cfg.Seed ^ 0x6d617374), capture: cfg.CaptureTimings, hist: meters.TA}
 	byID := make(map[uint64]*distSession)
-	var leaseQ []*distLease
-	var pending []*workItem
-	var idleQ []*distSession
-	var nextItemID uint64
-	completed := uint64(0)
 	tfSum, tfN := 0.0, uint64(0)
-	live, peak := 0, 0
 	start := time.Now()
 	var elapsedAtN float64
 	since := func() float64 { return time.Since(start).Seconds() }
@@ -220,121 +230,70 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 		}
 	}
 
-	newItem := func(s *core.Solution) *workItem {
-		nextItemID++
-		return &workItem{id: nextItemID, s: s}
+	coreTimeout := 0.0
+	if leaseTimeout > 0 {
+		coreTimeout = leaseTimeout.Seconds()
 	}
-	release := func(l *distLease) {
-		if l.done {
-			return
-		}
-		l.done = true
-		delete(outstanding, l.item.id)
-		if l.sess.lease == l {
-			l.sess.lease = nil
-		}
-	}
-	// lose retires the lease id before re-enqueuing the clone, so a
-	// late result and its resubmission can never both be accepted.
-	lose := func(l *distLease) {
-		if l.done {
-			return
-		}
-		release(l)
-		res.LostEvaluations++
-		res.Resubmissions++
-		meters.resub.Inc()
-		pending = append(pending, newItem(l.item.s.Clone()))
-	}
-	kill := func(s *distSession, why error) {
+	m := master.NewCore(master.Config{
+		Budget:       cfg.Evaluations,
+		LeaseTimeout: coreTimeout,
+		Policy:       master.LazyOffspring,
+		Alg:          &distAlg{b: b, meter: meter},
+		Meters:       meters,
+		Emit:         func(kind, detail string) { record(obs.Event{Kind: kind, Actor: "master", Detail: detail}) },
+		Log:          cfg.Protocol,
+		OnAccept: func(n uint64) {
+			if cfg.CheckpointEvery > 0 && n%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+				meters.Checkpoints.Inc()
+				cfg.OnCheckpoint(since(), b)
+			}
+		},
+	})
+
+	// drop tears down a session's transport; the state machine hears
+	// about the death separately (EvGone, or the retire inside a
+	// replacing EvJoin).
+	drop := func(s *distSession, why error) {
 		if s.gone {
 			return
 		}
 		s.gone = true
-		s.state = wsDead
-		live--
-		meters.deaths.Inc()
-		meters.live.Set(float64(live))
 		record(obs.Event{Kind: "worker.dead", Actor: fmt.Sprintf("worker%d", s.id), Detail: fmt.Sprintf("%v", why)})
 		s.conn.Close()
-		if s.lease != nil {
-			lose(s.lease)
-		}
 		if byID[s.id] == s {
 			delete(byID, s.id)
 		}
 		dcfg.logf("parallel: worker %d gone: %v", s.id, why)
 	}
-	markIdle := func(s *distSession) {
-		if s.gone || s.state == wsIdle {
-			return
-		}
-		s.state = wsIdle
-		idleQ = append(idleQ, s)
-	}
-	grant := func(s *distSession, item *workItem) {
-		l := &distLease{item: item, sess: s}
-		s.lease = l
-		s.state = wsBusy
-		outstanding[item.id] = l
-		if leaseTimeout > 0 {
-			l.deadline = time.Now().Add(leaseTimeout)
-			leaseQ = append(leaseQ, l)
-		}
-		ev := &wire.Evaluate{
-			Lease:    item.id,
-			SolID:    item.s.ID,
-			Operator: int32(item.s.Operator),
-			Vars:     item.s.Vars,
-		}
-		if err := s.conn.Send(ev); err != nil {
-			kill(s, err)
-		}
-	}
-	// dispatch pairs idle workers with work: resubmitted clones first,
-	// then fresh offspring as long as live work chains stay within the
-	// remaining budget (so the run never over-issues evaluations).
-	dispatch := func() {
-		for len(idleQ) > 0 {
-			s := idleQ[0]
-			if s.gone || s.state != wsIdle {
-				idleQ = idleQ[1:]
-				continue
-			}
-			var item *workItem
-			if len(pending) > 0 {
-				item = pending[0]
-				pending = pending[1:]
-			} else if completed+uint64(len(outstanding))+uint64(len(pending)) < cfg.Evaluations {
-				var next *core.Solution
-				meter.measure(func() { next = b.Suggest() })
-				item = newItem(next)
-			} else {
-				break
-			}
-			idleQ = idleQ[1:]
-			grant(s, item)
-		}
-	}
-	expireDue := func(now time.Time) {
-		for len(leaseQ) > 0 {
-			l := leaseQ[0]
-			if l.done {
-				leaseQ = leaseQ[1:]
-				continue
-			}
-			if l.deadline.After(now) {
-				break
-			}
-			leaseQ = leaseQ[1:]
-			s := l.sess
-			meters.leaseExp.Inc()
-			record(obs.Event{Kind: "lease.expire", Actor: "master", Detail: fmt.Sprintf("worker=%d id=%d", s.id, l.item.id)})
-			lose(l)
-			if !s.gone {
-				// Suspect, not gone: a late result still marks it
-				// idle again, exactly like the virtual-time master.
-				s.state = wsDead
+	var exec func(acts []master.Action)
+	exec = func(acts []master.Action) {
+		// Handle reuses its action slice; copy before executing, because
+		// a failed grant send re-enters Handle mid-iteration.
+		acts = append([]master.Action(nil), acts...)
+		for _, a := range acts {
+			switch a.Kind {
+			case master.ActGrant:
+				s := byID[uint64(a.Worker)]
+				if s == nil || s.gone {
+					continue
+				}
+				ev := &wire.Evaluate{
+					Lease:    a.Item.ID,
+					SolID:    a.Item.S.ID,
+					Operator: int32(a.Item.S.Operator),
+					Vars:     a.Item.S.Vars,
+				}
+				if err := s.conn.Send(ev); err != nil {
+					drop(s, err)
+					exec(m.Handle(master.Event{Kind: master.EvGone, Worker: a.Worker, At: since()}))
+				}
+			case master.ActStop:
+				if s := byID[uint64(a.Worker)]; s != nil && !s.gone {
+					_ = s.conn.Send(wire.Stop{})
+				}
+			case master.ActComplete:
+				elapsedAtN = since()
+				cfg.Protocol.SetElapsed(elapsedAtN)
 			}
 		}
 	}
@@ -357,116 +316,98 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	}
 
 loop:
-	for completed < cfg.Evaluations {
+	for !m.Done() {
 		select {
 		case e := <-events:
 			switch e.kind {
 			case distJoin:
 				if old := byID[e.sess.id]; old != nil && old != e.sess {
 					// Reconnect-with-hello: the old incarnation's work
-					// died with it, same as the virtual tagHello path.
-					kill(old, fmt.Errorf("replaced by reconnect"))
+					// died with it; the machine retires it inside EvJoin.
+					drop(old, fmt.Errorf("replaced by reconnect"))
 				}
 				byID[e.sess.id] = e.sess
-				live++
-				if live > peak {
-					peak = live
-				}
-				meters.joins.Inc()
-				meters.live.Set(float64(live))
 				record(obs.Event{Kind: "worker.join", Actor: fmt.Sprintf("worker%d", e.sess.id), Detail: e.sess.conn.RemoteAddr().String()})
-				dcfg.logf("parallel: worker %d joined from %s (%d live)", e.sess.id, e.sess.conn.RemoteAddr(), live)
-				markIdle(e.sess)
-				dispatch()
+				dcfg.logf("parallel: worker %d joined from %s (%d live)", e.sess.id, e.sess.conn.RemoteAddr(), len(byID))
+				exec(m.Handle(master.Event{Kind: master.EvJoin, Worker: int(e.sess.id), At: since()}))
 			case distDead:
-				kill(e.sess, e.err)
-				dispatch()
+				if e.sess.gone {
+					break // already torn down (replaced, or send failure)
+				}
+				drop(e.sess, e.err)
+				exec(m.Handle(master.Event{Kind: master.EvGone, Worker: int(e.sess.id), At: since()}))
 			case distMsg:
 				s := e.sess
 				if s.gone {
 					break
 				}
-				m, ok := e.msg.(*wire.Result)
+				msg, ok := e.msg.(*wire.Result)
 				if !ok {
 					break // nothing else is expected after the handshake
 				}
-				l, known := outstanding[m.Lease]
-				if !known || l.sess != s {
-					// Late result of an expired, already-reissued
-					// lease: discard, but the worker proved alive.
-					res.DuplicateResults++
-					meters.dups.Inc()
-					if s.lease == nil {
-						markIdle(s)
+				// Fill in the solution and meter T_F only when the
+				// machine will accept this result (a live lease granted
+				// to this worker); late duplicates are discarded inside.
+				if worker, item, live := m.Lease(msg.Lease); live && worker == int(s.id) {
+					if len(msg.Objs) != cfg.Problem.NumObjs() {
+						drop(s, fmt.Errorf("result with %d objectives, want %d", len(msg.Objs), cfg.Problem.NumObjs()))
+						exec(m.Handle(master.Event{Kind: master.EvGone, Worker: int(s.id), At: since()}))
+						break
 					}
-					dispatch()
-					break
+					sol := item.S
+					sol.Objs = msg.Objs
+					sol.Constrs = msg.Constrs
+					evalSec := float64(msg.EvalNanos) / 1e9
+					tfSum += evalSec
+					tfN++
+					meters.TF.Observe(evalSec)
+					if journal != nil {
+						// Reconstruct the worker's eval span master-side
+						// from the reported duration.
+						journal.Record(obs.Event{TS: since() - evalSec, Dur: evalSec, Kind: "eval", Actor: fmt.Sprintf("worker%d", s.id)})
+					}
 				}
-				if len(m.Objs) != cfg.Problem.NumObjs() {
-					kill(s, fmt.Errorf("result with %d objectives, want %d", len(m.Objs), cfg.Problem.NumObjs()))
-					dispatch()
-					break
-				}
-				release(l)
-				sol := l.item.s
-				sol.Objs = m.Objs
-				sol.Constrs = m.Constrs
-				evalSec := float64(m.EvalNanos) / 1e9
-				tfSum += evalSec
-				tfN++
-				meters.tf.Observe(evalSec)
-				if journal != nil {
-					// Reconstruct the worker's eval span master-side from
-					// the reported duration.
-					journal.Record(obs.Event{TS: since() - evalSec, Dur: evalSec, Kind: "eval", Actor: fmt.Sprintf("worker%d", s.id)})
-				}
-				meter.measure(func() { b.Accept(sol) })
-				completed++
-				meters.evals.Inc()
-				if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
-					meters.checkpoints.Inc()
-					cfg.OnCheckpoint(time.Since(start).Seconds(), b)
-				}
-				if completed >= cfg.Evaluations {
-					elapsedAtN = time.Since(start).Seconds()
-					break loop
-				}
-				markIdle(s)
-				dispatch()
+				exec(m.Handle(master.Event{Kind: master.EvResult, Worker: int(s.id), Item: msg.Lease, At: since()}))
 			}
 		case <-tickC:
-			expireDue(time.Now())
-			dispatch()
+			exec(m.Handle(master.Event{Kind: master.EvTick, At: since()}))
 		case <-wallC:
-			dcfg.logf("parallel: wall limit %v reached with %d/%d evaluations", dcfg.WallLimit, completed, cfg.Evaluations)
+			dcfg.logf("parallel: wall limit %v reached with %d/%d evaluations", dcfg.WallLimit, m.Completed(), cfg.Evaluations)
 			break loop
 		}
 	}
 
 	// Tear down: stop accepting, stop every worker. Stop is written
 	// before the close, so a healthy worker reads it ahead of the FIN
-	// and exits cleanly instead of reconnecting.
+	// and exits cleanly instead of reconnecting. (On a completed run
+	// the machine's ActStop already said stop; the extra send on a
+	// drained conn is harmless, and this sweep also covers wall-limit
+	// exits.)
 	listener.Close()
 	for _, s := range byID {
 		_ = s.conn.Send(wire.Stop{})
 		s.conn.Close()
 	}
 
+	st := m.Stats()
 	res.ElapsedTime = elapsedAtN
 	if res.ElapsedTime == 0 {
-		res.ElapsedTime = time.Since(start).Seconds()
+		res.ElapsedTime = since()
 	}
-	res.Evaluations = completed
-	res.Completed = completed >= cfg.Evaluations
-	res.Processors = peak + 1
+	res.Evaluations = st.Completed
+	res.Completed = st.Completed >= cfg.Evaluations
+	res.Resubmissions = st.Resubmissions
+	res.LostEvaluations = st.Lost
+	res.DuplicateResults = st.Duplicates
+	res.Processors = m.Peak() + 1
 	res.MasterBusy = meter.sum
 	if res.ElapsedTime > 0 {
 		res.MasterUtilization = res.MasterBusy / res.ElapsedTime
 	}
-	if completed > 0 {
+	if st.Completed > 0 {
 		// Accept and Suggest are metered separately here; per
 		// completed evaluation they sum to the paper's T_A.
-		res.MeanTA = meter.sum / float64(completed)
+		res.MeanTA = meter.sum / float64(st.Completed)
 	}
 	res.TASamples = meter.samples
 	if tfN > 0 {

@@ -6,6 +6,7 @@ import (
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
+	"borgmoea/internal/master"
 	"borgmoea/internal/rng"
 )
 
@@ -64,12 +65,43 @@ func (r *IslandsResult) Efficiency(meanTF, meanTA float64, totalProcessors int) 
 	return ts / (float64(totalProcessors) * r.ElapsedTime)
 }
 
+// islandAlg adapts one island's Borg instance to the shared master
+// state machine, charging a sampled T_A per critical section to the
+// island's master node.
+type islandAlg struct {
+	b        *core.Borg
+	p        *des.Process
+	node     *cluster.Node
+	sampleTA func() float64
+}
+
+func (a *islandAlg) Suggest() *core.Solution {
+	s := a.b.Suggest()
+	a.node.HoldBusy(a.p, a.sampleTA(), "algo")
+	return s
+}
+
+func (a *islandAlg) Accept(s *core.Solution) {
+	a.b.Accept(s)
+	a.node.HoldBusy(a.p, a.sampleTA(), "algo")
+}
+
+func (a *islandAlg) AcceptSuggest(s *core.Solution) *core.Solution {
+	a.b.Accept(s)
+	next := a.b.Suggest()
+	a.node.HoldBusy(a.p, a.sampleTA(), "algo")
+	return next
+}
+
 // RunIslands executes Islands concurrent asynchronous master-slave
-// Borg instances under one virtual clock. Each island occupies its
-// own block of ranks; with migration enabled, island masters send a
-// random archive member to the next island's master, which folds it
-// into its population and archive without charging a function
-// evaluation (only T_C and T_A).
+// Borg instances under one virtual clock. Each island master runs its
+// own instance of the shared state machine (internal/master) with
+// worker ids local to the island; the driver maps them onto global
+// cluster ranks. With migration enabled, island masters send a random
+// archive member to the next island's master, which folds it into its
+// population and archive without charging a function evaluation (only
+// T_C and T_A) — migrants are a driver-level side channel and never
+// enter the state machine.
 func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 	if cfg.Islands < 1 {
 		return nil, fmt.Errorf("parallel: need at least 1 island, got %d", cfg.Islands)
@@ -92,7 +124,7 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 	perP := base.Processors
 	eng := des.New()
 	installTrace(eng, &base)
-	meters := newRunMeters(base.Metrics)
+	meters := master.NewMeters(base.Metrics)
 	cl := cluster.New(eng, cluster.Config{Nodes: k * perP, Seed: base.Seed})
 
 	res := &IslandsResult{
@@ -100,6 +132,7 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		IslandElapsed: make([]float64, k),
 	}
 
+	// Migrants ride outside the canonical protocol vocabulary.
 	const tagMigrant = 100
 
 	// Per-process timing recorders: one T_A recorder per island master,
@@ -121,11 +154,11 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		res.Islands[isl] = b
 
 		mRng := rng.New(base.Seed ^ (uint64(isl+1) * 0x6d61)) // per-island master stream
-		taRec := &tfRecorder{capture: base.CaptureTimings, hist: meters.ta}
+		taRec := &tfRecorder{capture: base.CaptureTimings, hist: meters.TA}
 		taRecs[isl] = taRec
 		sampleTC := func() float64 {
 			tc := base.TC.Sample(mRng)
-			meters.tc.Observe(tc)
+			meters.TC.Observe(tc)
 			return tc
 		}
 		sampleTA := func() float64 {
@@ -139,7 +172,7 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		for w := 1; w < perP; w++ {
 			rank := masterRank + w
 			node := cl.Node(rank)
-			tfRec := &tfRecorder{capture: base.CaptureTimings, hist: meters.tf}
+			tfRec := &tfRecorder{capture: base.CaptureTimings, hist: meters.TF}
 			tfRecs[isl][w-1] = tfRec
 			wRng := rng.New(base.Seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15))
 			eng.Go(fmt.Sprintf("i%dworker%d", isl, w), func(p *des.Process) {
@@ -148,64 +181,70 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 					if msg.Tag == tagStop {
 						return
 					}
-					s := msg.Payload.(*core.Solution)
-					core.EvaluateSolution(base.Problem, s)
+					item := msg.Payload.(*master.Item)
+					core.EvaluateSolution(base.Problem, item.S)
 					tf := base.TF.Sample(wRng)
 					tfRec.record(tf)
 					node.HoldBusy(p, tf, "eval")
-					node.Send(masterRank, tagResult, s)
+					node.Send(masterRank, tagResult, item)
 				}
 			})
 		}
 
-		// Island master.
-		master := cl.Node(masterRank)
+		// Island master: a local instance of the shared state machine.
+		// Worker ids inside the machine are island-local (1..perP−1);
+		// the driver adds masterRank when touching the cluster.
+		node := cl.Node(masterRank)
 		nextMaster := ((isl + 1) % k) * perP
 		eng.Go(fmt.Sprintf("i%dmaster", isl), func(p *des.Process) {
-			for w := 1; w < perP; w++ {
-				s := b.Suggest()
-				master.HoldBusy(p, sampleTA(), "algo")
-				master.HoldBusy(p, sampleTC(), "comm")
-				master.Send(masterRank+w, tagEvaluate, s)
+			var m *master.Core
+			m = master.NewCore(master.Config{
+				Budget: base.Evaluations,
+				Policy: master.EagerOffspring,
+				Alg:    &islandAlg{b: b, p: p, node: node, sampleTA: sampleTA},
+				Meters: meters,
+				OnAccept: func(n uint64) {
+					if cfg.MigrationEvery > 0 && k > 1 && n%cfg.MigrationEvery == 0 && b.Archive().Size() > 0 {
+						emigrant := b.Archive().Members()[mRng.Intn(b.Archive().Size())].Clone()
+						node.HoldBusy(p, sampleTC(), "comm")
+						node.Send(nextMaster, tagMigrant, emigrant)
+						res.Migrants++
+						meters.Migrants.Inc()
+					}
+				},
+			})
+			exec := func(acts []master.Action) {
+				for _, a := range acts {
+					switch a.Kind {
+					case master.ActGrant:
+						node.HoldBusy(p, sampleTC(), "comm")
+						node.Send(masterRank+a.Worker, tagEvaluate, a.Item)
+					case master.ActStop:
+						node.Send(masterRank+a.Worker, tagStop, nil)
+					case master.ActComplete:
+						res.IslandElapsed[isl] = p.Now()
+					}
+				}
 			}
-			completed := uint64(0)
-			for completed < base.Evaluations {
-				msg := master.Recv(p)
-				master.HoldBusy(p, sampleTC(), "comm")
+			for w := 1; w < perP; w++ {
+				exec(m.Handle(master.Event{Kind: master.EvJoin, Worker: w, At: p.Now()}))
+			}
+			for !m.Done() {
+				msg := node.Recv(p)
+				node.HoldBusy(p, sampleTC(), "comm")
 				switch msg.Tag {
 				case tagMigrant:
 					// Fold the migrant in: algorithm time, but no
-					// function evaluation charged.
+					// function evaluation charged — and no state-machine
+					// event, since no lease was granted.
 					b.InjectEvaluated(msg.Payload.(*core.Solution))
-					master.HoldBusy(p, sampleTA(), "algo")
-					continue
+					node.HoldBusy(p, sampleTA(), "algo")
 				case tagResult:
-					// fall through to the normal path
-				default:
-					continue
+					item := msg.Payload.(*master.Item)
+					exec(m.Handle(master.Event{
+						Kind: master.EvResult, Worker: msg.From - masterRank, Item: item.ID, At: p.Now(),
+					}))
 				}
-				s := msg.Payload.(*core.Solution)
-				b.Accept(s)
-				next := b.Suggest()
-				master.HoldBusy(p, sampleTA(), "algo")
-				completed++
-				meters.evals.Inc()
-				if cfg.MigrationEvery > 0 && k > 1 && completed%cfg.MigrationEvery == 0 && b.Archive().Size() > 0 {
-					emigrant := b.Archive().Members()[mRng.Intn(b.Archive().Size())].Clone()
-					master.HoldBusy(p, sampleTC(), "comm")
-					master.Send(nextMaster, tagMigrant, emigrant)
-					res.Migrants++
-					meters.migrants.Inc()
-				}
-				if completed >= base.Evaluations {
-					res.IslandElapsed[isl] = p.Now()
-					break
-				}
-				master.HoldBusy(p, sampleTC(), "comm")
-				master.Send(msg.From, tagEvaluate, next)
-			}
-			for w := 1; w < perP; w++ {
-				master.Send(masterRank+w, tagStop, nil)
 			}
 		})
 	}

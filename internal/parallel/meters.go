@@ -2,60 +2,31 @@ package parallel
 
 import (
 	"borgmoea/internal/des"
+	"borgmoea/internal/master"
 	"borgmoea/internal/obs"
 )
 
-// Metric names shared by all five drivers, so dashboards and the
-// /debug/vars endpoint read the same keys regardless of transport.
+// Metric name aliases: the canonical vocabulary lives in
+// internal/master (the protocol counters are recorded by the shared
+// state machine); these short forms keep the drivers and tests
+// readable.
 const (
-	mEvaluations = "master.evaluations"
-	mResub       = "master.resubmissions"
-	mLeaseExpiry = "master.lease_expiries"
-	mDuplicates  = "master.duplicate_results"
-	mHellos      = "master.worker_hellos"
-	mJoins       = "master.worker_joins"
-	mDeaths      = "master.worker_deaths"
-	mWorkersLive = "master.workers_live"
-	mTA          = "master.ta_seconds"
-	mTC          = "master.tc_seconds"
-	mQueueWait   = "master.queue_wait_seconds"
-	mTF          = "worker.tf_seconds"
-	mGenerations = "master.generations"
-	mMigrants    = "master.migrants"
-	mCheckpoints = "master.checkpoints"
+	mEvaluations = master.MetricEvaluations
+	mResub       = master.MetricResub
+	mLeaseExpiry = master.MetricLeaseExpiry
+	mDuplicates  = master.MetricDuplicates
+	mHellos      = master.MetricHellos
+	mJoins       = master.MetricJoins
+	mDeaths      = master.MetricDeaths
+	mWorkersLive = master.MetricWorkersLive
+	mTA          = master.MetricTA
+	mTC          = master.MetricTC
+	mQueueWait   = master.MetricQueueWait
+	mTF          = master.MetricTF
+	mGenerations = master.MetricGenerations
+	mMigrants    = master.MetricMigrants
+	mCheckpoints = master.MetricCheckpoints
 )
-
-// runMeters resolves every instrument a driver records into exactly
-// once (registry lookups take a lock), so the master loop pays one
-// predictable nil check per record. The zero value — from a nil
-// registry — is fully inert.
-type runMeters struct {
-	evals, resub, leaseExp, dups, hellos *obs.Counter
-	joins, deaths                        *obs.Counter
-	generations, migrants, checkpoints   *obs.Counter
-	live                                 *obs.Gauge
-	ta, tc, tf, queueWait                *obs.Histogram
-}
-
-func newRunMeters(reg *obs.Registry) runMeters {
-	return runMeters{
-		evals:       reg.Counter(mEvaluations),
-		resub:       reg.Counter(mResub),
-		leaseExp:    reg.Counter(mLeaseExpiry),
-		dups:        reg.Counter(mDuplicates),
-		hellos:      reg.Counter(mHellos),
-		joins:       reg.Counter(mJoins),
-		deaths:      reg.Counter(mDeaths),
-		generations: reg.Counter(mGenerations),
-		migrants:    reg.Counter(mMigrants),
-		checkpoints: reg.Counter(mCheckpoints),
-		live:        reg.Gauge(mWorkersLive),
-		ta:          reg.Histogram(mTA, nil),
-		tc:          reg.Histogram(mTC, nil),
-		tf:          reg.Histogram(mTF, nil),
-		queueWait:   reg.Histogram(mQueueWait, nil),
-	}
-}
 
 // installTrace wires the DES engine's trace stream into the run's
 // sinks: the user's TraceHook and/or the obs event journal. With

@@ -22,21 +22,21 @@ import (
 
 	"borgmoea/internal/core"
 	"borgmoea/internal/fault"
+	"borgmoea/internal/master"
 	"borgmoea/internal/obs"
 	"borgmoea/internal/problems"
 	"borgmoea/internal/rng"
 	"borgmoea/internal/stats"
 )
 
-// Message tags used by the master/worker protocol.
+// Message tags used by the master/worker protocol on the DES cluster:
+// the canonical vocabulary from internal/master, as mailbox ints
+// (internal/wire carries the same values in its frame headers).
 const (
-	tagEvaluate = iota
-	tagResult
-	tagStop
-	// tagHello is a worker's (re-)registration: sent on behalf of a
-	// node that recovers from a crash, telling the master it is alive,
-	// idle, and that any work it held died with the crash.
-	tagHello
+	tagEvaluate = int(master.TagEvaluate)
+	tagResult   = int(master.TagResult)
+	tagStop     = int(master.TagStop)
+	tagHello    = int(master.TagHello)
 )
 
 // Config describes one parallel run.
@@ -130,6 +130,13 @@ type Config struct {
 	// JSONL export and Chrome trace rendering (see internal/obs).
 	// Like TraceHook it adds overhead; leave nil for experiments.
 	Events *obs.Recorder
+	// Protocol, when set, records the exact event stream the shared
+	// master state machine consumed — the compact replay log. A
+	// recorded log re-runs deterministically through ReplayAsync (any
+	// transport, including TCP) and serializes with Log.WriteTo /
+	// master.ReadLog. Honored by the async drivers (RunAsync,
+	// RunAsyncRealtime, RunAsyncDistributed).
+	Protocol *master.Log
 }
 
 // normalize fills defaults and validates.

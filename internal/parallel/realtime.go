@@ -5,9 +5,47 @@ import (
 	"time"
 
 	"borgmoea/internal/core"
+	"borgmoea/internal/master"
 	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 )
+
+// rtAlg adapts the Borg core to the shared master state machine for
+// the wall-clock executor. Only the Accept+Suggest critical section is
+// timed (the paper's T_A): seeding Suggest calls during worker join
+// are protocol setup, not steady-state algorithm time.
+type rtAlg struct {
+	b      *core.Borg
+	meters master.Meters
+	events *obs.Recorder
+	since  func() float64
+	taSum  float64
+	taN    uint64
+}
+
+func (a *rtAlg) Suggest() *core.Solution { return a.b.Suggest() }
+
+func (a *rtAlg) Accept(s *core.Solution) { a.b.Accept(s) }
+
+func (a *rtAlg) AcceptSuggest(s *core.Solution) *core.Solution {
+	t0 := time.Now()
+	a.b.Accept(s)
+	next := a.b.Suggest()
+	ta := time.Since(t0).Seconds()
+	a.taSum += ta
+	a.taN++
+	a.meters.TA.Observe(ta)
+	if a.events != nil {
+		a.events.Record(obs.Event{TS: a.since() - ta, Dur: ta, Kind: "algo", Actor: "master"})
+	}
+	return next
+}
+
+// rtResult carries an evaluated item back to the master goroutine.
+type rtResult struct {
+	worker int
+	item   *master.Item
+}
 
 // RunAsyncRealtime executes the asynchronous master-slave Borg MOEA
 // with real goroutines, channels and wall-clock delays — the Go
@@ -15,9 +53,13 @@ import (
 // the virtual-time driver against actual concurrent execution.
 // Evaluation delays are slept for real; keep N·TF/(P−1) small.
 //
-// The master is a single goroutine, preserving the paper's property
-// that the algorithm's critical section is serial; workers communicate
-// over channels (the MPI substitution — see DESIGN.md §2).
+// The master is a single goroutine running the same shared state
+// machine (internal/master) as the virtual-time and TCP drivers,
+// preserving the paper's property that the algorithm's critical
+// section is serial; workers communicate over channels (the MPI
+// substitution — see DESIGN.md §2). Each worker has its own task
+// channel so a grant addresses exactly the worker the state machine
+// chose.
 func RunAsyncRealtime(cfg Config) (*Result, error) {
 	// Cheap validation first: reject configurations this driver can
 	// never run before normalize touches distributions and long before
@@ -36,11 +78,16 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	}
 
 	workers := cfg.Processors - 1
-	tasks := make(chan *core.Solution, workers)
-	results := make(chan *core.Solution, workers)
+	tasks := make([]chan *master.Item, workers)
+	for i := range tasks {
+		// Capacity 1: the eager protocol keeps at most one outstanding
+		// item per worker, so a grant never blocks the master.
+		tasks[i] = make(chan *master.Item, 1)
+	}
+	results := make(chan rtResult, workers)
 	done := make(chan struct{})
 
-	meters := newRunMeters(cfg.Metrics)
+	meters := master.NewMeters(cfg.Metrics)
 	events := cfg.Events
 	start := time.Now()
 	since := func() float64 { return time.Since(start).Seconds() }
@@ -52,21 +99,22 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 		straggler := cfg.StragglerFraction > 0 &&
 			float64(w) < cfg.StragglerFraction*float64(workers)
 		actor := fmt.Sprintf("worker%d", w+1)
+		in := tasks[w]
 		go func() {
-			for s := range tasks {
+			for item := range in {
 				t0 := since()
-				core.EvaluateSolution(cfg.Problem, s)
+				core.EvaluateSolution(cfg.Problem, item.S)
 				tf := cfg.TF.Sample(wRng)
 				if straggler {
 					tf *= cfg.StragglerFactor
 				}
 				time.Sleep(time.Duration(tf * float64(time.Second)))
-				meters.tf.Observe(tf)
+				meters.TF.Observe(tf)
 				if events != nil {
 					events.Record(obs.Event{TS: t0, Dur: since() - t0, Kind: "eval", Actor: actor})
 				}
 				select {
-				case results <- s:
+				case results <- rtResult{worker: w + 1, item: item}:
 				case <-done:
 					return
 				}
@@ -75,39 +123,48 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Processors: cfg.Processors, Final: b}
-	taSum := 0.0
-	var taN uint64
-	for w := 0; w < workers; w++ {
-		tasks <- b.Suggest()
+	alg := &rtAlg{b: b, meters: meters, events: events, since: since}
+	m := master.NewCore(master.Config{
+		Budget: cfg.Evaluations,
+		Policy: master.EagerOffspring,
+		Alg:    alg,
+		Meters: meters,
+		Log:    cfg.Protocol,
+		OnAccept: func(n uint64) {
+			if cfg.CheckpointEvery > 0 && n%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
+				meters.Checkpoints.Inc()
+				cfg.OnCheckpoint(since(), b)
+			}
+		},
+	})
+	exec := func(acts []master.Action) {
+		for _, a := range acts {
+			switch a.Kind {
+			case master.ActGrant:
+				tasks[a.Worker-1] <- a.Item
+			case master.ActStop:
+				close(tasks[a.Worker-1])
+			case master.ActComplete:
+				res.ElapsedTime = since()
+				cfg.Protocol.SetElapsed(res.ElapsedTime)
+			}
+		}
 	}
-	for completed := uint64(0); completed < cfg.Evaluations; completed++ {
-		s := <-results
-		t0 := time.Now()
-		b.Accept(s)
-		next := b.Suggest()
-		ta := time.Since(t0).Seconds()
-		taSum += ta
-		taN++
-		meters.ta.Observe(ta)
-		meters.evals.Inc()
-		if events != nil {
-			events.Record(obs.Event{TS: since() - ta, Dur: ta, Kind: "algo", Actor: "master"})
-		}
-		if cfg.CheckpointEvery > 0 && (completed+1)%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
-			meters.checkpoints.Inc()
-			cfg.OnCheckpoint(time.Since(start).Seconds(), b)
-		}
-		if completed+1 < cfg.Evaluations {
-			tasks <- next
-		}
+	// Seed every worker, then translate results until the budget is met.
+	for w := 1; w <= workers; w++ {
+		exec(m.Handle(master.Event{Kind: master.EvJoin, Worker: w, At: since()}))
 	}
-	res.ElapsedTime = time.Since(start).Seconds()
-	close(done)
-	close(tasks)
+	for !m.Done() {
+		r := <-results
+		exec(m.Handle(master.Event{Kind: master.EvResult, Worker: r.worker, Item: r.item.ID, At: since()}))
+	}
+	close(done) // frees workers blocked on a result send
 
-	res.Evaluations = cfg.Evaluations
+	res.Evaluations = m.Completed()
 	res.Completed = true
-	res.MeanTA = taSum / float64(taN)
+	if alg.taN > 0 {
+		res.MeanTA = alg.taSum / float64(alg.taN)
+	}
 	res.MeanTF = cfg.TF.Mean()
 	res.MeanTC = 0 // channel transfers; not separately measurable here
 	return res, nil

@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"fmt"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/master"
+)
+
+// replayAlg is the plain adapter for off-line replay: no holds, no
+// meters, no clocks — the algorithm runs at full speed and the
+// protocol decisions come from the recorded stream.
+type replayAlg struct{ b *core.Borg }
+
+func (a *replayAlg) Suggest() *core.Solution { return a.b.Suggest() }
+func (a *replayAlg) Accept(s *core.Solution) { a.b.Accept(s) }
+func (a *replayAlg) AcceptSuggest(s *core.Solution) *core.Solution {
+	a.b.Accept(s)
+	return a.b.Suggest()
+}
+
+// ReplayAsync re-executes a recorded asynchronous run off-line from
+// its protocol event log (Config.Protocol, or a log deserialized with
+// master.ReadLog). cfg must carry the original run's Problem,
+// Algorithm configuration and Seed; the timing fields are ignored —
+// no clock runs during a replay. The returned Result reproduces the
+// original's search trajectory (archive, operator state) and protocol
+// accounting exactly; ElapsedTime is the recorded T_P.
+//
+// Replay works for any transport's recording — DES, realtime, or a
+// distributed TCP run whose nondeterminism (scheduling, packet timing,
+// worker crashes) is fully captured in the event order.
+func ReplayAsync(cfg Config, log *master.Log) (*Result, error) {
+	if log == nil || len(log.Events) == 0 {
+		return nil, fmt.Errorf("parallel: cannot replay an empty event log")
+	}
+	if cfg.Problem == nil {
+		return nil, fmt.Errorf("parallel: Problem is required")
+	}
+	if cfg.Evaluations != 0 && cfg.Evaluations != log.Meta.Budget {
+		return nil, fmt.Errorf("parallel: config budget %d does not match the log's %d", cfg.Evaluations, log.Meta.Budget)
+	}
+	algCfg := cfg.Algorithm
+	algCfg.Seed = cfg.Seed
+	b, err := core.New(cfg.Problem, algCfg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := master.Replay(log, master.ReplayConfig{
+		Alg:      &replayAlg{b: b},
+		Evaluate: func(item *master.Item) { core.EvaluateSolution(cfg.Problem, item.S) },
+		Meters:   master.NewMeters(cfg.Metrics),
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := c.Stats()
+	return &Result{
+		ElapsedTime:      log.Elapsed,
+		Evaluations:      st.Completed,
+		Processors:       c.Peak() + 1,
+		Final:            b,
+		Completed:        st.Completed >= log.Meta.Budget,
+		Resubmissions:    st.Resubmissions,
+		LostEvaluations:  st.Lost,
+		DuplicateResults: st.Duplicates,
+	}, nil
+}

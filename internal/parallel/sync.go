@@ -4,6 +4,7 @@ import (
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
+	"borgmoea/internal/master"
 	"borgmoea/internal/rng"
 )
 
@@ -20,13 +21,17 @@ import (
 // generation as slow as its slowest evaluation — the effect the
 // asynchronous design removes.
 //
+// Worker lifecycle runs on the shared master.Registry (the same
+// dispatch primitive behind the asynchronous state machine): workers
+// that miss the barrier are marked suspect and excluded from scatter
+// until a sign of life (a recovery tagHello or a late result) marks
+// them idle again.
+//
 // Fault tolerance: the gather barrier is bounded by
 // Config.BarrierTimeout, so a dead worker no longer stalls its
-// generation forever. Workers that miss the barrier are presumed dead:
-// their unevaluated offspring are cloned into a backlog that fills the
-// next generations' batches ahead of fresh Suggest calls, and they are
-// excluded from scatter until a sign of life (a recovery tagHello or a
-// late result). Results are stamped with their generation so stale
+// generation forever. Suspects' unevaluated offspring are cloned into
+// a backlog that fills the next generations' batches ahead of fresh
+// Suggest calls. Results are stamped with their generation so stale
 // stragglers are discarded as duplicates, and each generation accepts
 // results in batch order — fault-free the trajectory is bit-for-bit
 // the original driver's. With every worker dead the master degrades to
@@ -49,36 +54,39 @@ func RunSync(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Processors: cfg.Processors, Final: b}
-	meters := newRunMeters(cfg.Metrics)
+	meters := master.NewMeters(cfg.Metrics)
 	masterRng := rng.New(cfg.Seed ^ 0x73796e63) // "sync"
-	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.ta}
+	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.TA}
 	tcSum, tcN := 0.0, uint64(0)
 	sampleTC := func() float64 {
 		tc := cfg.TC.Sample(masterRng)
 		tcSum += tc
 		tcN++
-		meters.tc.Observe(tc)
+		meters.TC.Observe(tc)
 		return tc
 	}
 
 	recs := newRecorders(&cfg)
 	startWorkers(eng, cl, &cfg, recs)
 
-	master := cl.Node(0)
-	masterRec := &tfRecorder{capture: cfg.CaptureTimings, hist: meters.tf}
+	node := cl.Node(0)
+	masterRec := &tfRecorder{capture: cfg.CaptureTimings, hist: meters.TF}
 	masterTFRng := rng.New(cfg.Seed ^ 0x6d746600)
 	completed := uint64(0)
 	var elapsedAtN float64
 	eng.Go("master", func(p *des.Process) {
-		dead := make([]bool, cfg.Processors)
+		reg := master.NewRegistry()
+		for w := 1; w < cfg.Processors; w++ {
+			reg.Join(w)
+		}
 		got := make([]bool, cfg.Processors)
 		var backlog []*core.Solution
 		var gen uint64
 		for completed < cfg.Evaluations {
 			gen++
 			alive := make([]int, 0, cfg.Processors-1)
-			for w := 1; w < cfg.Processors; w++ {
-				if !dead[w] {
+			for _, w := range reg.Known() {
+				if reg.State(w) != master.StateSuspect {
 					alive = append(alive, w)
 				}
 			}
@@ -90,24 +98,24 @@ func RunSync(cfg Config) (*Result, error) {
 					batch[i] = backlog[0]
 					backlog = backlog[1:]
 					res.Resubmissions++
-					meters.resub.Inc()
+					meters.Resub.Inc()
 					continue
 				}
 				var s *core.Solution
 				ta := meter.measure(func() { s = b.Suggest() })
-				master.HoldBusy(p, ta, "algo")
+				node.HoldBusy(p, ta, "algo")
 				batch[i] = s
 			}
 			// Scatter: one offspring per live worker.
 			for i, w := range alive {
-				master.HoldBusy(p, sampleTC(), "comm")
-				master.Send(w, tagEvaluate, &workItem{gen: gen, s: batch[i+1]})
+				node.HoldBusy(p, sampleTC(), "comm")
+				node.Send(w, tagEvaluate, &master.Item{Gen: gen, S: batch[i+1]})
 			}
 			// The master evaluates one offspring itself.
 			core.EvaluateSolution(cfg.Problem, batch[0])
 			tf := cfg.TF.Sample(masterTFRng)
 			masterRec.record(tf)
-			master.HoldBusy(p, tf, "eval")
+			node.HoldBusy(p, tf, "eval")
 			// Gather: the synchronization barrier, bounded by
 			// BarrierTimeout when set.
 			for w := range got {
@@ -119,16 +127,16 @@ func RunSync(cfg Config) (*Result, error) {
 				case tagHello:
 					// A recovered worker re-registered; it rejoins the
 					// scatter next generation.
-					meters.hellos.Inc()
-					dead[msg.From] = false
+					meters.Hellos.Inc()
+					reg.MarkIdle(msg.From)
 				case tagResult:
-					item := msg.Payload.(*workItem)
-					if item.gen != gen || got[msg.From] {
+					item := msg.Payload.(*master.Item)
+					if item.Gen != gen || got[msg.From] {
 						// Stale straggler from a generation that already
 						// backlogged this work — but its sender is alive.
 						res.DuplicateResults++
-						meters.dups.Inc()
-						dead[msg.From] = false
+						meters.Dups.Inc()
+						reg.MarkIdle(msg.From)
 						return
 					}
 					got[msg.From] = true
@@ -143,30 +151,30 @@ func RunSync(cfg Config) (*Result, error) {
 					if remaining <= 0 {
 						break
 					}
-					m, ok := master.RecvTimeout(p, remaining)
+					m, ok := node.RecvTimeout(p, remaining)
 					if !ok {
 						break
 					}
 					msg = m
 				} else {
-					msg = master.Recv(p)
+					msg = node.Recv(p)
 				}
-				master.HoldBusy(p, sampleTC(), "comm")
+				node.HoldBusy(p, sampleTC(), "comm")
 				gatherMsg(msg)
 			}
 			// Drain messages already delivered (recovery hellos, late
 			// results that beat the timeout) so they don't leak into
 			// the next generation's barrier.
-			for master.InboxLen() > 0 {
-				msg := master.Recv(p)
-				master.HoldBusy(p, sampleTC(), "comm")
+			for node.InboxLen() > 0 {
+				msg := node.Recv(p)
+				node.HoldBusy(p, sampleTC(), "comm")
 				gatherMsg(msg)
 			}
 			// Workers that missed the barrier are presumed dead; their
 			// offspring go to the backlog for re-scatter.
 			for i, w := range alive {
 				if !got[w] {
-					dead[w] = true
+					reg.MarkSuspect(w)
 					res.LostEvaluations++
 					backlog = append(backlog, batch[i+1].Clone())
 				}
@@ -179,11 +187,11 @@ func RunSync(cfg Config) (*Result, error) {
 					continue
 				}
 				ta := meter.measure(func() { b.Accept(s) })
-				master.HoldBusy(p, ta, "algo")
+				node.HoldBusy(p, ta, "algo")
 				completed++
-				meters.evals.Inc()
+				meters.Evals.Inc()
 				if cfg.CheckpointEvery > 0 && completed%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
-					meters.checkpoints.Inc()
+					meters.Checkpoints.Inc()
 					cfg.OnCheckpoint(p.Now(), b)
 				}
 				if completed >= cfg.Evaluations {
@@ -191,11 +199,11 @@ func RunSync(cfg Config) (*Result, error) {
 				}
 			}
 			res.Generations++
-			meters.generations.Inc()
+			meters.Generations.Inc()
 		}
 		elapsedAtN = p.Now()
 		for w := 1; w < cfg.Processors; w++ {
-			master.Send(w, tagStop, nil)
+			node.Send(w, tagStop, nil)
 		}
 		inj.Stop()
 	})
@@ -205,7 +213,7 @@ func RunSync(cfg Config) (*Result, error) {
 	res.ElapsedTime = elapsedAtN
 	res.Evaluations = completed
 	res.Completed = completed >= cfg.Evaluations
-	res.MasterBusy = master.BusyTime()
+	res.MasterBusy = node.BusyTime()
 	if elapsedAtN > 0 {
 		res.MasterUtilization = res.MasterBusy / elapsedAtN
 		sum := 0.0

@@ -7,21 +7,10 @@ import (
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
 	"borgmoea/internal/fault"
+	"borgmoea/internal/master"
 	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 )
-
-// workItem is the master↔worker protocol payload: a solution plus the
-// bookkeeping identifiers that make loss detectable. The asynchronous
-// master stamps id (a lease identifier, unique per dispatch, used to
-// deduplicate late results of expired leases); the synchronous master
-// stamps gen (the barrier it belongs to, used to recognize stale
-// stragglers). Workers echo the item untouched.
-type workItem struct {
-	id  uint64
-	gen uint64
-	s   *core.Solution
-}
 
 // tfRecorder accumulates one process's evaluation-time observations.
 // Each worker process owns its recorder exclusively and the drivers
@@ -90,9 +79,9 @@ func startWorkers(eng *des.Engine, cl *cluster.Cluster, cfg *Config, recs []*tfR
 				if msg.Tag == tagStop {
 					return
 				}
-				item := msg.Payload.(*workItem)
+				item := msg.Payload.(*master.Item)
 				epoch := node.Epoch()
-				core.EvaluateSolution(cfg.Problem, item.s)
+				core.EvaluateSolution(cfg.Problem, item.S)
 				tf := cfg.TF.Sample(wRng)
 				if straggler {
 					tf *= cfg.StragglerFactor

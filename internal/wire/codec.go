@@ -26,6 +26,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+
+	"borgmoea/internal/master"
 )
 
 // Version is the protocol version carried in every frame. A peer
@@ -38,41 +40,22 @@ const Version = 1
 // prefix cannot make the reader allocate unbounded memory.
 const MaxFrame = 1 << 20
 
-// Tag identifies a message type on the wire. The first five mirror the
-// virtual-time drivers' protocol tags (tagEvaluate/tagResult/tagStop/
-// tagHello plus the Welcome reply that TCP needs and MPI ranks do
-// not); Ping/Pong are transport-level liveness.
-type Tag uint8
+// Tag identifies a message type on the wire. The vocabulary is the
+// canonical one in internal/master, shared with the virtual-time
+// drivers' mailbox tags, so every transport speaks the same protocol:
+// Hello/Welcome/Evaluate/Result/Stop plus the Ping/Pong
+// transport-level liveness probes.
+type Tag = master.Tag
 
 const (
-	TagHello Tag = iota + 1
-	TagWelcome
-	TagEvaluate
-	TagResult
-	TagStop
-	TagPing
-	TagPong
+	TagHello    = master.TagHello
+	TagWelcome  = master.TagWelcome
+	TagEvaluate = master.TagEvaluate
+	TagResult   = master.TagResult
+	TagStop     = master.TagStop
+	TagPing     = master.TagPing
+	TagPong     = master.TagPong
 )
-
-func (t Tag) String() string {
-	switch t {
-	case TagHello:
-		return "hello"
-	case TagWelcome:
-		return "welcome"
-	case TagEvaluate:
-		return "evaluate"
-	case TagResult:
-		return "result"
-	case TagStop:
-		return "stop"
-	case TagPing:
-		return "ping"
-	case TagPong:
-		return "pong"
-	}
-	return fmt.Sprintf("tag(%d)", uint8(t))
-}
 
 // Message is one protocol message. Implementations are the exported
 // structs below; Decode returns the concrete type for the frame's tag.
