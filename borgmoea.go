@@ -39,6 +39,7 @@
 package borgmoea
 
 import (
+	"borgmoea/internal/advisor"
 	"borgmoea/internal/core"
 	"borgmoea/internal/experiment"
 	"borgmoea/internal/fault"
@@ -175,6 +176,9 @@ type (
 	// DebugServer serves /healthz, /debug/vars and /debug/pprof for a
 	// running master or worker.
 	DebugServer = obs.DebugServer
+	// DebugOption extends the debug server at construction time (see
+	// WithDebugHandler).
+	DebugOption = obs.DebugOption
 )
 
 // Observability constructors and helpers.
@@ -186,6 +190,12 @@ var (
 	NewTraceRecorder = obs.NewRecorder
 	// ServeDebug starts the live debug HTTP listener.
 	ServeDebug = obs.ServeDebug
+	// WithDebugHandler mounts an extra handler on the debug mux (how
+	// the scalability advisor's /debug/scaling endpoint is attached).
+	WithDebugHandler = obs.WithHandler
+	// StartMetricsSnapshots periodically appends one-line JSON registry
+	// snapshots to a writer (borgd's -advise-out journal).
+	StartMetricsSnapshots = obs.StartSnapshots
 	// NewLogger is the shared leveled CLI logger (log/slog).
 	NewLogger = obs.NewLogger
 	// LogfAdapter adapts a slog.Logger to printf-style Logf callbacks.
@@ -194,6 +204,27 @@ var (
 	// trace-event schema subset the exporter emits.
 	ValidateChromeTrace = obs.ValidateChromeTrace
 )
+
+// Live scalability advisor (see internal/advisor): attach a
+// ScalingAdvisor to ParallelConfig.Advisor and the async drivers
+// stream their timing telemetry through the paper's analytical model —
+// predicted vs observed speedup/efficiency, processor bounds, model
+// drift and per-worker straggler detection, served at /debug/scaling
+// and journaled as JSONL snapshots (cmd/borgtop renders either).
+type (
+	// ScalingAdvisor fits the analytical model to a live run.
+	ScalingAdvisor = advisor.Advisor
+	// AdvisorConfig tunes the advisor's thresholds and snapshots.
+	AdvisorConfig = advisor.Config
+	// AdvisorReport is one full scalability analysis (the
+	// /debug/scaling response body and JSONL snapshot record).
+	AdvisorReport = advisor.Report
+	// WorkerScalingReport is one worker's straggler analysis entry.
+	WorkerScalingReport = advisor.WorkerReport
+)
+
+// NewScalingAdvisor constructs a live scalability advisor.
+var NewScalingAdvisor = advisor.New
 
 // Model types.
 type (

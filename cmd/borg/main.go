@@ -13,15 +13,26 @@
 //
 //	borg -parallel 8 -trace run.trace.json        # Chrome/Perfetto timeline
 //	borg -parallel 8 -metrics-out metrics.json    # final metrics snapshot
+//	borg -parallel 8 -advise-out scaling.jsonl    # live scalability analysis
 //	borg -transport tcp -listen :7070 -debug-addr localhost:6060
+//
+// With -debug-addr the live scalability advisor also serves
+// /debug/scaling (watch it with: borgtop -addr localhost:6060). On
+// SIGINT/SIGTERM an instrumented run flushes its final metrics and
+// advisor snapshot before exiting, so interrupted runs keep their
+// telemetry.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
 	"borgmoea"
 	"borgmoea/internal/ascii"
@@ -52,7 +63,9 @@ func run() int {
 		verbose     = flag.Bool("v", false, "verbose (debug-level) logging")
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event timeline of the run to this path (open in chrome://tracing or Perfetto)")
 		metricsOut  = flag.String("metrics-out", "", "write the run's final metrics snapshot as JSON to this path")
-		debugAddr   = flag.String("debug-addr", "", "serve live /debug/vars and /debug/pprof on this address during the run (e.g. localhost:6060)")
+		debugAddr   = flag.String("debug-addr", "", "serve live /debug/vars, /debug/metrics, /debug/scaling and /debug/pprof on this address during the run (e.g. localhost:6060)")
+		adviseOut   = flag.String("advise-out", "", "journal the live scalability advisor's reports as JSONL to this path (parallel transports)")
+		adviseEvery = flag.Float64("advise-every", 1.0, "seconds of driver time between advisor snapshots (with -advise-out; virtual seconds for -transport virtual)")
 		eventLog    = flag.String("event-log", "", "record the master's protocol event log to this path (parallel transports)")
 		replayPath  = flag.String("replay", "", "replay a recorded event log off-line instead of running; pass the original run's -problem/-objectives/-epsilon/-seed")
 	)
@@ -87,14 +100,86 @@ func run() int {
 	if *eventLog != "" {
 		plog = borgmoea.NewProtocolLog()
 	}
+
+	// Live scalability advisor: created whenever something will read it
+	// (the JSONL journal or the /debug/scaling endpoint). A nil advisor
+	// costs the drivers nothing.
+	var (
+		adv    *borgmoea.ScalingAdvisor
+		advMu  sync.Mutex
+		advF   *os.File
+		advEnc *json.Encoder
+	)
+	if *adviseOut != "" || *debugAddr != "" {
+		acfg := borgmoea.AdvisorConfig{Registry: reg}
+		if *adviseOut != "" {
+			f, err := os.Create(*adviseOut)
+			if err != nil {
+				return fail(1, err.Error())
+			}
+			advF = f
+			advEnc = json.NewEncoder(f)
+			acfg.SnapshotEvery = *adviseEvery
+			acfg.OnSnapshot = func(r borgmoea.AdvisorReport) {
+				advMu.Lock()
+				advEnc.Encode(r) //nolint:errcheck // best-effort journal
+				advMu.Unlock()
+			}
+		}
+		adv = borgmoea.NewScalingAdvisor(acfg)
+	}
+
+	// flushTelemetry persists whatever survives an early exit: the
+	// final metrics snapshot and the advisor's closing report. Shared
+	// by the normal path and the signal handler; runs at most once.
+	var flushOnce sync.Once
+	flushTelemetry := func() {
+		flushOnce.Do(func() {
+			if *metricsOut != "" {
+				if err := writeFileWith(*metricsOut, reg.WriteJSON); err != nil {
+					logger.Error("writing metrics", "err", err)
+					return
+				}
+				logger.Info("metrics written", "path", *metricsOut)
+			}
+			if advF != nil {
+				advMu.Lock()
+				advEnc.Encode(adv.Report()) //nolint:errcheck // best-effort journal
+				err := advF.Close()
+				advMu.Unlock()
+				if err != nil {
+					logger.Error("writing advisor journal", "err", err)
+					return
+				}
+				logger.Info("advisor journal written", "path", *adviseOut,
+					"hint", fmt.Sprintf("watch with: borgtop -file %s", *adviseOut))
+			}
+		})
+	}
+	if *metricsOut != "" || *adviseOut != "" {
+		sigC := make(chan os.Signal, 1)
+		signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sigC
+			logger.Warn("signal received; flushing telemetry", "signal", s.String())
+			flushTelemetry()
+			os.Exit(130)
+		}()
+	}
+
 	if *debugAddr != "" {
-		srv, err := borgmoea.ServeDebug(*debugAddr, reg)
+		opts := []borgmoea.DebugOption{}
+		if adv != nil {
+			opts = append(opts, borgmoea.WithDebugHandler("/debug/scaling", adv.Handler()))
+		}
+		srv, err := borgmoea.ServeDebug(*debugAddr, reg, opts...)
 		if err != nil {
 			return fail(1, err.Error())
 		}
 		defer srv.Close()
 		logger.Info("debug listener up", "addr", srv.Addr(),
-			"vars", fmt.Sprintf("http://%s/debug/vars", srv.Addr()))
+			"vars", fmt.Sprintf("http://%s/debug/vars", srv.Addr()),
+			"scaling", fmt.Sprintf("http://%s/debug/scaling", srv.Addr()))
 	}
 
 	var alg *borgmoea.Algorithm
@@ -140,6 +225,7 @@ func run() int {
 			Metrics:      reg,
 			Events:       rec,
 			Protocol:     plog,
+			Advisor:      adv,
 		}
 		logger.Info("listening for workers", "addr", *listen, "hint", "start workers with: borgd -connect host:port")
 		res, err := borgmoea.RunAsyncDistributed(pcfg, borgmoea.DistributedConfig{
@@ -169,6 +255,7 @@ func run() int {
 			Metrics:      reg,
 			Events:       rec,
 			Protocol:     plog,
+			Advisor:      adv,
 		}
 		if *mtbf > 0 {
 			if *mttr <= 0 {
@@ -203,8 +290,8 @@ func run() int {
 		if *transport != "virtual" {
 			return fail(2, "-transport needs -parallel (or -listen for tcp)", "transport", *transport)
 		}
-		if *tracePath != "" || *metricsOut != "" || *eventLog != "" {
-			logger.Warn("-trace/-metrics-out/-event-log instrument the parallel drivers; the serial run records nothing")
+		if *tracePath != "" || *metricsOut != "" || *eventLog != "" || *adviseOut != "" {
+			logger.Warn("-trace/-metrics-out/-event-log/-advise-out instrument the parallel drivers; the serial run records nothing")
 		}
 		alg = borgmoea.MustNewBorg(problem, cfg)
 		alg.Run(*evals, nil)
@@ -217,12 +304,7 @@ func run() int {
 		}
 		logger.Info("trace written", "path", *tracePath, "events", rec.Len(), "dropped", rec.Dropped())
 	}
-	if *metricsOut != "" {
-		if err := writeFileWith(*metricsOut, reg.WriteJSON); err != nil {
-			return fail(1, "writing metrics", "err", err)
-		}
-		logger.Info("metrics written", "path", *metricsOut)
-	}
+	flushTelemetry()
 	if plog != nil && len(plog.Events) > 0 {
 		if err := writeFileWith(*eventLog, func(w io.Writer) error {
 			_, err := plog.WriteTo(w)

@@ -1,0 +1,216 @@
+// Command borgtop is a terminal dashboard for the live scalability
+// advisor: it tails a running master's /debug/scaling endpoint (or an
+// -advise-out JSONL journal) and renders the paper's model quantities
+// as they evolve — fitted T_F/T_A/T_C, predicted vs observed speedup
+// and efficiency, the processor bounds, master saturation, model
+// drift, and a per-worker straggler view.
+//
+// Usage:
+//
+//	borgtop -addr localhost:6060             # follow a live master (-debug-addr)
+//	borgtop -file scaling.jsonl              # follow an -advise-out journal
+//	borgtop -addr localhost:6060 -once       # one report, no screen control
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"borgmoea"
+	"borgmoea/internal/ascii"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr  = flag.String("addr", "", "master debug address to poll (host:port of borg -debug-addr)")
+		file  = flag.String("file", "", "advisor JSONL journal to follow (borg -advise-out path)")
+		every = flag.Duration("every", time.Second, "refresh interval")
+		once  = flag.Bool("once", false, "render one report and exit (no screen control)")
+	)
+	flag.Parse()
+	if (*addr == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "borgtop: need exactly one of -addr or -file")
+		return 2
+	}
+	if *every < 100*time.Millisecond {
+		*every = 100 * time.Millisecond
+	}
+
+	for {
+		rep, err := load(*addr, *file)
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "borgtop: %v\n", err)
+				return 1
+			}
+			// A master that has not started (or already exited) is not
+			// fatal when following: keep polling.
+			fmt.Printf("\x1b[H\x1b[2Jborgtop: waiting for data: %v\n", err)
+		} else {
+			out := render(rep)
+			if *once {
+				fmt.Print(out)
+				return 0
+			}
+			fmt.Print("\x1b[H\x1b[2J" + out)
+		}
+		time.Sleep(*every)
+	}
+}
+
+// load fetches the newest report from the configured source.
+func load(addr, file string) (*borgmoea.AdvisorReport, error) {
+	if addr != "" {
+		return fetchHTTP(addr)
+	}
+	return lastLine(file)
+}
+
+func fetchHTTP(addr string) (*borgmoea.AdvisorReport, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/scaling"
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var rep borgmoea.AdvisorReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &rep, nil
+}
+
+// lastLine returns the newest snapshot of an -advise-out journal.
+func lastLine(path string) (*borgmoea.AdvisorReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var last string
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			last = line
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if last == "" {
+		return nil, fmt.Errorf("%s: no snapshots yet", path)
+	}
+	var rep borgmoea.AdvisorReport
+	if err := json.Unmarshal([]byte(last), &rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// render formats one report as the dashboard screen.
+func render(r *borgmoea.AdvisorReport) string {
+	var sb strings.Builder
+
+	fmt.Fprintf(&sb, "borg scalability advisor   P=%d", r.Processors)
+	if r.LiveWorkers > 0 {
+		fmt.Fprintf(&sb, " (%d workers live)", r.LiveWorkers)
+	}
+	if r.Budget > 0 {
+		fmt.Fprintf(&sb, "   N=%d/%d", r.Completed, r.Budget)
+	} else {
+		fmt.Fprintf(&sb, "   N=%d", r.Completed)
+	}
+	fmt.Fprintf(&sb, "   t=%s", fmtSec(r.Elapsed))
+	if r.ETASeconds > 0 {
+		fmt.Fprintf(&sb, "   eta=%s", fmtSec(r.ETASeconds))
+	}
+	sb.WriteString("\n\n")
+
+	t := r.Times
+	fmt.Fprintf(&sb, "fitted   T_F=%s  T_A=%s  T_C=%s   (%d samples)\n",
+		fmtSec(t.TF), fmtSec(t.TA), fmtSec(t.TC), t.Samples)
+	fmt.Fprintf(&sb, "         T_F p50/p90/p99 = %s / %s / %s   cv=%.2f\n",
+		fmtSec(t.TFP50), fmtSec(t.TFP90), fmtSec(t.TFP99), t.TFCV)
+	fmt.Fprintf(&sb, "model    P_UB=%.1f  P_LB=%.1f  saturation=%.0f%%  master-util=%.0f%%  queue-wait=%s\n\n",
+		r.ProcessorUpperBound, r.ProcessorLowerBound,
+		100*r.Saturation, 100*r.MasterUtilization, fmtSec(r.QueueWaitMean))
+
+	// Speedup bars, both scaled against P (the ceiling of either).
+	scale := float64(r.Processors)
+	if scale <= 0 {
+		scale = 1
+	}
+	fmt.Fprintf(&sb, "speedup  predicted %6.2f |%s|  efficiency %.2f\n",
+		r.PredictedSpeedup, ascii.Bar(r.PredictedSpeedup/scale, 30), r.PredictedEfficiency)
+	fmt.Fprintf(&sb, "         observed  %6.2f |%s|  efficiency %.2f\n",
+		r.ObservedSpeedup, ascii.Bar(r.ObservedSpeedup/scale, 30), r.ObservedEfficiency)
+	if r.EffectiveProcessors > 0 {
+		fmt.Fprintf(&sb, "         effective processors %.1f of %d\n", r.EffectiveProcessors, r.Processors)
+	}
+
+	status := "OK"
+	if r.DriftAlert {
+		status = "ALERT: observed speedup diverges from the analytical model"
+	}
+	fmt.Fprintf(&sb, "drift    %.3f (smoothed %.3f)   [%s]\n", r.DriftScore, r.DriftSmoothed, status)
+
+	if len(r.Workers) > 0 {
+		sb.WriteString("\nworkers  (decayed T_F, x fleet median)\n")
+		maxTF := 0.0
+		for _, w := range r.Workers {
+			if w.TFDecayed > maxTF {
+				maxTF = w.TFDecayed
+			}
+		}
+		if maxTF == 0 {
+			maxTF = 1
+		}
+		for _, w := range r.Workers {
+			mark := ""
+			if w.Straggler {
+				mark = "  STRAGGLER"
+			}
+			fmt.Fprintf(&sb, "  %4d  %9s |%s| x%.1f%s\n",
+				w.Worker, fmtSec(w.TFDecayed), ascii.Bar(w.TFDecayed/maxTF, 24), w.Ratio, mark)
+		}
+		if n := len(r.Stragglers); n > 0 {
+			fmt.Fprintf(&sb, "  %d straggler(s) flagged\n", n)
+		}
+	}
+	return sb.String()
+}
+
+// fmtSec renders a duration in seconds with an engineering unit.
+func fmtSec(s float64) string {
+	switch {
+	case s == 0:
+		return "0s"
+	case s < 1e-6:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	case s < 120:
+		return fmt.Sprintf("%.2fs", s)
+	default:
+		return fmt.Sprintf("%.1fm", s/60)
+	}
+}

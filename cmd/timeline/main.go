@@ -7,16 +7,30 @@
 // Usage:
 //
 //	timeline [-p 4] [-evals 12] [-width 110] [-tf 0.01] [-tfcv 0.3]
+//
+// With -events the tool renders a recorded run instead of simulating
+// one. Both recorded forms are accepted and auto-detected: the binary
+// protocol event log written by `borg -event-log` (BMEL format,
+// internal/master) and the JSONL trace journal (obs.Event per line,
+// TraceRecorder.WriteJSONL):
+//
+//	timeline -events run.bmel [-width 110]
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"borgmoea"
+	"borgmoea/internal/master"
+	"borgmoea/internal/obs"
 )
 
 // interval is one busy span of a node.
@@ -146,15 +160,132 @@ func run(name string, sync bool, p int, evals uint64, tf, tfcv float64, width in
 	fmt.Println()
 }
 
+// loadEventLog reads a recorded run, auto-detecting the format by the
+// BMEL magic, and returns a filled collector.
+func loadEventLog(path string) (*collector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bytes.Equal(magic, []byte("BMEL")) {
+		log, err := borgmoea.ReadProtocolLog(br)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return collectProtocol(log), nil
+	}
+	return collectJSONL(br)
+}
+
+// collectProtocol reconstructs per-worker evaluation spans from the
+// binary protocol log. The log records the master's consumed events
+// only (joins, hellos, results, ticks), not grant times, so a worker's
+// span is approximated as [previous result or join, this result] — the
+// asynchronous protocol keeps workers saturated, making that span
+// evaluation-dominated. Master activity shows as an 'A' instant per
+// result (widened to one cell by the renderer).
+func collectProtocol(log *borgmoea.ProtocolLog) *collector {
+	col := newCollector()
+	lastFree := map[int]float64{}
+	for _, ev := range log.Events {
+		if ev.At > col.horizon {
+			col.horizon = ev.At
+		}
+		actor := fmt.Sprintf("worker%d", ev.Worker)
+		switch ev.Kind {
+		case master.EvJoin, master.EvHello:
+			lastFree[ev.Worker] = ev.At
+		case master.EvResult:
+			if start, ok := lastFree[ev.Worker]; ok && ev.At > start {
+				col.intervals[actor] = append(col.intervals[actor],
+					interval{start: start, end: ev.At, kind: 'E'})
+			}
+			col.intervals["master"] = append(col.intervals["master"],
+				interval{start: ev.At, end: ev.At, kind: 'A'})
+			lastFree[ev.Worker] = ev.At
+		case master.EvGone:
+			delete(lastFree, ev.Worker)
+		}
+	}
+	if log.Elapsed > col.horizon {
+		col.horizon = log.Elapsed
+	}
+	return col
+}
+
+// collectJSONL folds a JSONL trace journal (one obs.Event per line)
+// into intervals: events with a duration become complete spans, and
+// "<kind>.start"/"<kind>.end" pairs go through the live-trace hook.
+func collectJSONL(r io.Reader) (*collector, error) {
+	col := newCollector()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if ev.Dur > 0 {
+			k := byte('?')
+			switch ev.Kind {
+			case "comm":
+				k = 'C'
+			case "algo":
+				k = 'A'
+			case "eval":
+				k = 'E'
+			default:
+				continue
+			}
+			end := ev.TS + ev.Dur
+			if end > col.horizon {
+				col.horizon = end
+			}
+			col.intervals[ev.Actor] = append(col.intervals[ev.Actor],
+				interval{start: ev.TS, end: end, kind: k})
+			continue
+		}
+		col.hook(ev.TS, ev.Kind, ev.Actor, ev.Detail)
+	}
+	return col, sc.Err()
+}
+
 func main() {
 	var (
-		p     = flag.Int("p", 4, "processor count")
-		evals = flag.Uint64("evals", 12, "evaluations to draw")
-		width = flag.Int("width", 110, "chart width in characters")
-		tf    = flag.Float64("tf", 0.01, "mean evaluation time")
-		tfcv  = flag.Float64("tfcv", 0.3, "evaluation time variability (higher shows the sync barrier cost)")
+		p      = flag.Int("p", 4, "processor count")
+		evals  = flag.Uint64("evals", 12, "evaluations to draw")
+		width  = flag.Int("width", 110, "chart width in characters")
+		tf     = flag.Float64("tf", 0.01, "mean evaluation time")
+		tfcv   = flag.Float64("tfcv", 0.3, "evaluation time variability (higher shows the sync barrier cost)")
+		events = flag.String("events", "", "render a recorded run from this file (binary event log or JSONL trace) instead of simulating")
 	)
 	flag.Parse()
+	if *events != "" {
+		col, err := loadEventLog(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(col.intervals) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: no renderable events\n", *events)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (%.3fs; C=comm A=algorithm E=evaluation ·=idle)\n", *events, col.horizon)
+		col.render(*width)
+		return
+	}
 	run("Figure 1: synchronous master-slave MOEA", true, *p, *evals, *tf, *tfcv, *width)
 	run("Figure 2: asynchronous master-slave MOEA", false, *p, *evals, *tf, *tfcv, *width)
 }

@@ -1,0 +1,41 @@
+package ascii
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestBar(t *testing.T) {
+	cases := []struct {
+		frac  float64
+		width int
+		want  string
+	}{
+		{0, 4, "    "},
+		{1, 4, "████"},
+		{0.5, 4, "██  "},
+		{0.5, 1, "▌"},
+		{1.0 / 8, 1, "▏"},
+		{7.0 / 8, 1, "▉"},
+		// Out-of-range and non-finite inputs clamp instead of panicking
+		// (the advisor's ratios can exceed 1, and warm-up divisions can
+		// be NaN).
+		{1.7, 3, "███"},
+		{-0.2, 3, "   "},
+		{math.NaN(), 3, "   "},
+		{math.Inf(1), 3, "███"},
+	}
+	for _, tc := range cases {
+		got := Bar(tc.frac, tc.width)
+		if got != tc.want {
+			t.Errorf("Bar(%v, %d) = %q, want %q", tc.frac, tc.width, got, tc.want)
+		}
+		if n := utf8.RuneCountInString(got); n != tc.width {
+			t.Errorf("Bar(%v, %d) is %d cells wide", tc.frac, tc.width, n)
+		}
+	}
+	if got := Bar(0.5, 0); got != "▌" {
+		t.Errorf("zero width should be raised to one cell, got %q", got)
+	}
+}

@@ -134,6 +134,12 @@ type Config struct {
 	// migration), before completion is evaluated, with the new
 	// completed count.
 	OnAccept func(completed uint64)
+	// OnAcceptFrom, when set, additionally reports which worker's
+	// result was accepted and the event timestamp on the driver's
+	// clock — the per-worker residual feed of the live scalability
+	// advisor. It runs after OnAccept (and after completion may have
+	// been decided), so it observes and never steers the protocol.
+	OnAcceptFrom func(worker int, completed uint64, at float64)
 }
 
 // DefaultMaxProbes is the bounded number of last-resort sends to a
@@ -322,6 +328,7 @@ func (c *Core) result(ev Event) {
 	if c.cfg.Policy == EagerOffspring {
 		next := c.cfg.Alg.AcceptSuggest(l.item.S)
 		c.accepted()
+		c.acceptedFrom(ev)
 		if c.done {
 			return
 		}
@@ -336,6 +343,7 @@ func (c *Core) result(ev Event) {
 	}
 	c.cfg.Alg.Accept(l.item.S)
 	c.accepted()
+	c.acceptedFrom(ev)
 	if c.done {
 		return
 	}
@@ -417,6 +425,14 @@ func (c *Core) accepted() {
 	}
 	if c.stats.Completed >= c.cfg.Budget {
 		c.complete()
+	}
+}
+
+// acceptedFrom reports the accepted result's worker and timestamp to
+// the advisor hook, if any.
+func (c *Core) acceptedFrom(ev Event) {
+	if c.cfg.OnAcceptFrom != nil {
+		c.cfg.OnAcceptFrom(ev.Worker, c.stats.Completed, ev.At)
 	}
 }
 

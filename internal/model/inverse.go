@@ -1,0 +1,84 @@
+package model
+
+// Inverse and prediction helpers for the live scalability advisor
+// (internal/advisor): the same Eqs. 1–4 algebra, rearranged so a
+// running system can be placed on the model's curves from observed
+// quantities, with guarded variants that return 0 instead of
+// panicking while the timing estimates are still warming up.
+
+// AsyncSpeedupCapped is AsyncSpeedup with master saturation applied:
+// Eq. 2 is only valid while the master has idle time (P − 1 worker
+// requests per T_F do not exceed its 2·T_C + T_A service rate, Eq. 3);
+// beyond P_UB the master is the bottleneck and speedup plateaus at
+// the saturation value T_F/(2·T_C + T_A) + … instead of growing with
+// P. This is the advisor's live prediction: unlike the off-line
+// tables, a run at P > P_UB should be told the plateau, not the
+// optimistic line the paper's Table II shows diverging.
+func AsyncSpeedupCapped(p int, t Times) float64 {
+	if p < 2 {
+		return 0
+	}
+	workers := float64(p - 1)
+	if d := 2*t.TC + t.TA; d > 0 {
+		if ub := t.TF / d; workers > ub {
+			workers = ub
+		}
+	}
+	if d := t.TF + 2*t.TC + t.TA; d > 0 {
+		return workers * (t.TF + t.TA) / d
+	}
+	return 0
+}
+
+// AsyncEfficiencyCapped is AsyncSpeedupCapped divided by P.
+func AsyncEfficiencyCapped(p int, t Times) float64 {
+	if p < 1 {
+		return 0
+	}
+	return AsyncSpeedupCapped(p, t) / float64(p)
+}
+
+// EffectiveProcessors inverts Eq. 2: the processor count that would
+// produce the given speedup under the analytical model,
+//
+//	P_eff = 1 + S · (T_F + 2·T_C + T_A)/(T_F + T_A)
+//
+// "you run P workers but get P_eff workers' worth" — the advisor's
+// headline waste figure. Returns 0 when the work terms are zero.
+func EffectiveProcessors(speedup float64, t Times) float64 {
+	d := t.TF + t.TA
+	if d == 0 {
+		return 0
+	}
+	return 1 + speedup*(t.TF+2*t.TC+t.TA)/d
+}
+
+// Saturation returns (P−1)/P_UB: the fraction of the master's
+// capacity the worker pool consumes. Below 1 the master has idle
+// time and Eq. 2 holds; at and beyond 1 the master is saturated and
+// queueing dominates (the regime the simulation model repairs).
+// Returns 0 when the master cost is zero (an unsaturatable master).
+func Saturation(p int, t Times) float64 {
+	d := 2*t.TC + t.TA
+	if d == 0 || t.TF == 0 {
+		return 0
+	}
+	return float64(p-1) * d / t.TF
+}
+
+// AsyncTimeRemaining predicts the parallel time to finish the
+// remaining n evaluations at processor count P under the analytical
+// model, with the saturation cap applied (remaining work drains at
+// the master's service rate once saturated). Returns 0 for P < 2 or
+// degenerate times.
+func AsyncTimeRemaining(n uint64, p int, t Times) float64 {
+	if p < 2 {
+		return 0
+	}
+	s := AsyncSpeedupCapped(p, t)
+	if s == 0 {
+		return 0
+	}
+	// T_remaining = T_S(n)/S with T_S = n·(T_F + T_A) (Eq. 1).
+	return float64(n) * (t.TF + t.TA) / s
+}

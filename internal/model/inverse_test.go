@@ -1,0 +1,105 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAsyncSpeedupCappedMatchesUncappedBelowUB(t *testing.T) {
+	ub := ProcessorUpperBound(paperTimes())
+	for p := 2; float64(p-1) <= ub; p++ {
+		got := AsyncSpeedupCapped(p, paperTimes())
+		want := AsyncSpeedup(p, paperTimes())
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P=%d: capped %v != uncapped %v below saturation", p, got, want)
+		}
+	}
+}
+
+func TestAsyncSpeedupCappedPlateausBeyondUB(t *testing.T) {
+	ub := ProcessorUpperBound(paperTimes())
+	atUB := ub * (paperTimes().TF + paperTimes().TA) /
+		(paperTimes().TF + 2*paperTimes().TC + paperTimes().TA)
+	for _, p := range []int{250, 500, 1000} {
+		got := AsyncSpeedupCapped(p, paperTimes())
+		if math.Abs(got-atUB) > 1e-9 {
+			t.Fatalf("P=%d: capped speedup %v, want plateau %v", p, got, atUB)
+		}
+		if uncapped := AsyncSpeedup(p, paperTimes()); got >= uncapped {
+			t.Fatalf("P=%d: capped %v should sit below the uncapped line %v", p, got, uncapped)
+		}
+	}
+}
+
+func TestAsyncSpeedupCappedDegenerate(t *testing.T) {
+	if got := AsyncSpeedupCapped(1, paperTimes()); got != 0 {
+		t.Fatalf("P=1: %v, want 0", got)
+	}
+	// Zero master cost never saturates and must not panic (unlike
+	// ProcessorUpperBound) — the advisor calls this while estimates
+	// are warming up.
+	free := Times{TF: 0.001}
+	if got, want := AsyncSpeedupCapped(9, free), AsyncSpeedup(9, free); got != want {
+		t.Fatalf("zero master cost: %v, want %v", got, want)
+	}
+	if got := AsyncSpeedupCapped(9, Times{}); got != 0 {
+		t.Fatalf("all-zero times: %v, want 0", got)
+	}
+}
+
+func TestAsyncEfficiencyCapped(t *testing.T) {
+	p := 16
+	if got, want := AsyncEfficiencyCapped(p, paperTimes()), AsyncSpeedupCapped(p, paperTimes())/float64(p); got != want {
+		t.Fatalf("efficiency %v, want %v", got, want)
+	}
+	if AsyncEfficiencyCapped(0, paperTimes()) != 0 {
+		t.Fatal("P=0 efficiency should be 0")
+	}
+}
+
+func TestEffectiveProcessorsInvertsSpeedup(t *testing.T) {
+	for _, p := range []int{2, 8, 16, 28} {
+		s := AsyncSpeedup(p, paperTimes())
+		if got := EffectiveProcessors(s, paperTimes()); math.Abs(got-float64(p)) > 1e-9 {
+			t.Fatalf("P=%d: EffectiveProcessors(AsyncSpeedup) = %v", p, got)
+		}
+	}
+	if EffectiveProcessors(5, Times{}) != 0 {
+		t.Fatal("zero work times should report 0")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	ub := ProcessorUpperBound(paperTimes())
+	// At P = P_UB + 1 workers exactly fill the master's capacity.
+	atUB := int(ub) + 1
+	s := Saturation(atUB, paperTimes())
+	if s < 0.9 || s > 1.1 {
+		t.Fatalf("saturation at P_UB = %v, want ~1", s)
+	}
+	if lo := Saturation(2, paperTimes()); lo >= s {
+		t.Fatalf("saturation should grow with P: %v !< %v", lo, s)
+	}
+	if Saturation(64, Times{TF: 0.001}) != 0 {
+		t.Fatal("zero master cost should report 0 saturation")
+	}
+}
+
+func TestAsyncTimeRemaining(t *testing.T) {
+	const n = 10000
+	// Consistency with the forward model below saturation.
+	for _, p := range []int{4, 16} {
+		got := AsyncTimeRemaining(n, p, paperTimes())
+		want := AsyncTime(n, p, paperTimes())
+		if math.Abs(got-want)/want > 1e-12 {
+			t.Fatalf("P=%d: remaining %v, want %v", p, got, want)
+		}
+	}
+	// Beyond saturation the estimate is the (longer) capped drain time.
+	if capped, line := AsyncTimeRemaining(n, 1000, paperTimes()), AsyncTime(n, 1000, paperTimes()); capped <= line {
+		t.Fatalf("saturated remaining %v should exceed the analytical line %v", capped, line)
+	}
+	if AsyncTimeRemaining(n, 1, paperTimes()) != 0 || AsyncTimeRemaining(n, 8, Times{}) != 0 {
+		t.Fatal("degenerate inputs should report 0")
+	}
+}

@@ -22,10 +22,12 @@ func writeJSONMap(w io.Writer, m map[string]any) {
 // DebugServer is a live introspection endpoint for a running master or
 // worker daemon:
 //
-//	/healthz      — liveness probe ("ok")
-//	/debug/vars   — the attached Registry's metrics as JSON
-//	              (expvar-style), plus runtime goroutine/heap figures
-//	/debug/pprof/ — the standard Go profiling handlers
+//	/healthz        — liveness probe ("ok")
+//	/debug/vars     — the attached Registry's metrics as JSON
+//	                (expvar-style), plus runtime goroutine/heap figures
+//	/debug/metrics  — the same registry in Prometheus text exposition
+//	                format, for standard scrapers
+//	/debug/pprof/   — the standard Go profiling handlers
 //
 // It binds its own listener and mux, so importing this package never
 // touches http.DefaultServeMux.
@@ -34,10 +36,21 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// DebugOption extends a debug server at construction time.
+type DebugOption func(mux *http.ServeMux)
+
+// WithHandler mounts an extra handler on the debug mux — the hook the
+// scalability advisor uses to serve /debug/scaling next to
+// /debug/vars without obs depending on internal/advisor.
+func WithHandler(pattern string, h http.Handler) DebugOption {
+	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
+}
+
 // ServeDebug starts a debug server on addr (e.g. "localhost:6060", or
 // ":0" to pick a free port — see Addr). The registry may be nil, in
-// which case /debug/vars reports only runtime figures.
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+// which case /debug/vars reports only runtime figures and
+// /debug/metrics is empty.
+func ServeDebug(addr string, reg *Registry, opts ...DebugOption) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen: %w", err)
@@ -57,11 +70,18 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		snap["runtime.num_gc"] = ms.NumGC
 		writeJSONMap(w, snap)
 	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // best-effort, like /debug/vars
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 
 	s := &DebugServer{
 		ln:  ln,

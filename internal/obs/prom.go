@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4), the /debug/metrics response
+// body: counters and gauges as single samples, histograms as
+// cumulative le-labelled buckets plus _sum and _count series. Metric
+// names are sanitized to the Prometheus charset ('.' and other
+// invalid runes become '_'). Instruments are read with the same
+// atomic loads the JSON snapshot uses; a histogram scraped mid-update
+// may be off by the in-flight observation, which scrapers tolerate by
+// design. Nil registries write nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, name := range r.names {
+		pn := promName(name)
+		switch m := r.metrics[name].(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(m.Value()))
+		case *Histogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+			cum := uint64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(bound), cum)
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(m.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", pn, cum)
+		}
+	}
+	return bw.Flush()
+}
+
+// promName maps a registry name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// promFloat renders a float the way Prometheus parsers expect.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SnapshotLine is one entry of a periodic metrics journal: the wall
+// timestamp and the registry snapshot at that instant, one compact
+// JSON object per line.
+type SnapshotLine struct {
+	TS      string         `json:"ts"`
+	Metrics map[string]any `json:"metrics"`
+}
+
+// SnapshotWriter periodically appends one-line JSON registry
+// snapshots to a writer — the worker-daemon side of `-advise-out`,
+// where no master-side advisor exists but the wire and evaluation
+// telemetry is still worth streaming to disk. Close flushes one final
+// snapshot, so an interrupted run keeps everything up to the moment
+// of the signal.
+type SnapshotWriter struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	reg  *Registry
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+}
+
+// StartSnapshots begins writing a snapshot of reg to w every
+// interval. Intervals below one second are raised to one second.
+func StartSnapshots(w io.Writer, reg *Registry, every time.Duration) *SnapshotWriter {
+	if every < time.Second {
+		every = time.Second
+	}
+	s := &SnapshotWriter{bw: bufio.NewWriter(w), reg: reg, done: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.done:
+				return
+			case <-t.C:
+				s.write()
+			}
+		}
+	}()
+	return s
+}
+
+// write appends one snapshot line, retaining the first error.
+func (s *SnapshotWriter) write() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line := SnapshotLine{
+		TS:      time.Now().UTC().Format(time.RFC3339Nano),
+		Metrics: s.reg.Snapshot(),
+	}
+	if err := json.NewEncoder(s.bw).Encode(line); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Close stops the ticker, writes a final snapshot and flushes. It is
+// safe to call more than once; later calls return the first error.
+func (s *SnapshotWriter) Close() error {
+	s.once.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		s.write()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -81,14 +81,17 @@ func RunAsync(cfg Config) (*Result, error) {
 
 	res := &Result{Processors: cfg.Processors, Final: b}
 	meters := master.NewMeters(cfg.Metrics)
+	adv := cfg.Advisor
+	adv.Configure(cfg.Processors, cfg.Evaluations)
 	masterRng := rng.New(cfg.Seed ^ 0x6d617374) // "mast"
-	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.TA}
+	meter := &taMeter{dist: cfg.TA, rng: masterRng, capture: cfg.CaptureTimings, hist: meters.TA, adv: adv}
 	tcSum, tcN := 0.0, uint64(0)
 	sampleTC := func() float64 {
 		tc := cfg.TC.Sample(masterRng)
 		tcSum += tc
 		tcN++
 		meters.TC.Observe(tc)
+		adv.ObserveTC(tc)
 		return tc
 	}
 
@@ -101,7 +104,7 @@ func RunAsync(cfg Config) (*Result, error) {
 	// Master process: one shared state machine, one mailbox.
 	node := cl.Node(0)
 	eng.Go("master", func(p *des.Process) {
-		m = master.NewCore(master.Config{
+		mcfg := master.Config{
 			Budget:       cfg.Evaluations,
 			LeaseTimeout: cfg.LeaseTimeout,
 			Policy:       master.EagerOffspring,
@@ -115,7 +118,11 @@ func RunAsync(cfg Config) (*Result, error) {
 					cfg.OnCheckpoint(p.Now(), b)
 				}
 			},
-		})
+		}
+		if adv != nil {
+			mcfg.OnAcceptFrom = adv.ObserveAccept
+		}
+		m = master.NewCore(mcfg)
 		exec := func(acts []master.Action) {
 			for _, a := range acts {
 				switch a.Kind {
@@ -155,7 +162,9 @@ func RunAsync(cfg Config) (*Result, error) {
 		// Steady state: receive, translate, execute.
 		for !m.Done() {
 			msg := receive()
-			meters.QueueWait.Observe(p.Now() - msg.ArriveAt)
+			wait := p.Now() - msg.ArriveAt
+			meters.QueueWait.Observe(wait)
+			adv.ObserveQueueWait(wait)
 			node.HoldBusy(p, sampleTC(), "comm")
 			if msg.Tag == tagHello {
 				exec(m.Handle(master.Event{Kind: master.EvHello, Worker: msg.From, At: p.Now()}))

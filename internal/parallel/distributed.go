@@ -127,6 +127,15 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 		// Connection telemetry lands in the run's registry by default.
 		dcfg.Conn.Metrics = cfg.Metrics
 	}
+	adv := cfg.Advisor
+	// P is dynamic here (inferred from live workers via SetLive); only
+	// the budget is known up front.
+	adv.Configure(0, cfg.Evaluations)
+	if adv != nil && dcfg.Conn.OnRTT == nil {
+		// Heartbeat RTTs stand in for T_C when there is no way to
+		// observe one-way latency directly.
+		dcfg.Conn.OnRTT = adv.ObserveRTT
+	}
 	leaseTimeout := dcfg.LeaseTimeout
 	if leaseTimeout == 0 && cfg.LeaseTimeout > 0 {
 		leaseTimeout = time.Duration(cfg.LeaseTimeout * float64(time.Second))
@@ -217,7 +226,7 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	res := &Result{Final: b}
 	meters := master.NewMeters(cfg.Metrics)
 	journal := cfg.Events
-	meter := &taMeter{dist: cfg.TA, rng: rng.New(cfg.Seed ^ 0x6d617374), capture: cfg.CaptureTimings, hist: meters.TA}
+	meter := &taMeter{dist: cfg.TA, rng: rng.New(cfg.Seed ^ 0x6d617374), capture: cfg.CaptureTimings, hist: meters.TA, adv: adv}
 	byID := make(map[uint64]*distSession)
 	tfSum, tfN := 0.0, uint64(0)
 	start := time.Now()
@@ -234,7 +243,7 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	if leaseTimeout > 0 {
 		coreTimeout = leaseTimeout.Seconds()
 	}
-	m := master.NewCore(master.Config{
+	mcfg := master.Config{
 		Budget:       cfg.Evaluations,
 		LeaseTimeout: coreTimeout,
 		Policy:       master.LazyOffspring,
@@ -248,7 +257,11 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 				cfg.OnCheckpoint(since(), b)
 			}
 		},
-	})
+	}
+	if adv != nil {
+		mcfg.OnAcceptFrom = adv.ObserveAccept
+	}
+	m := master.NewCore(mcfg)
 
 	// drop tears down a session's transport; the state machine hears
 	// about the death separately (EvGone, or the retire inside a
@@ -263,6 +276,7 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 		if byID[s.id] == s {
 			delete(byID, s.id)
 		}
+		adv.SetLive(len(byID))
 		dcfg.logf("parallel: worker %d gone: %v", s.id, why)
 	}
 	var exec func(acts []master.Action)
@@ -327,6 +341,7 @@ loop:
 					drop(old, fmt.Errorf("replaced by reconnect"))
 				}
 				byID[e.sess.id] = e.sess
+				adv.SetLive(len(byID))
 				record(obs.Event{Kind: "worker.join", Actor: fmt.Sprintf("worker%d", e.sess.id), Detail: e.sess.conn.RemoteAddr().String()})
 				dcfg.logf("parallel: worker %d joined from %s (%d live)", e.sess.id, e.sess.conn.RemoteAddr(), len(byID))
 				exec(m.Handle(master.Event{Kind: master.EvJoin, Worker: int(e.sess.id), At: since()}))
@@ -361,6 +376,7 @@ loop:
 					tfSum += evalSec
 					tfN++
 					meters.TF.Observe(evalSec)
+					adv.ObserveTF(int(s.id), evalSec)
 					if journal != nil {
 						// Reconstruct the worker's eval span master-side
 						// from the reported duration.

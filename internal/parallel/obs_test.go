@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"borgmoea/internal/advisor"
 	"borgmoea/internal/core"
 	"borgmoea/internal/fault"
 	"borgmoea/internal/obs"
@@ -298,6 +299,24 @@ func BenchmarkAsyncInstrumented(b *testing.B) {
 		cfg := testConfig(16, 5000)
 		cfg.Seed = uint64(i + 1)
 		cfg.Metrics = obs.NewRegistry()
+		if _, err := RunAsync(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsyncAdvised adds the live scalability advisor on top of the
+// instrumented run — the CI benchmark job diffs it against
+// BenchmarkAsyncFaultFree to enforce the same <5% overhead budget.
+func BenchmarkAsyncAdvised(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := testConfig(16, 5000)
+		cfg.Seed = uint64(i + 1)
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Advisor = advisor.New(advisor.Config{
+			SnapshotEvery: 0.1,
+			Registry:      cfg.Metrics,
+		})
 		if _, err := RunAsync(cfg); err != nil {
 			b.Fatal(err)
 		}

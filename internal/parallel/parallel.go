@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"borgmoea/internal/advisor"
 	"borgmoea/internal/core"
 	"borgmoea/internal/fault"
 	"borgmoea/internal/master"
@@ -137,6 +138,13 @@ type Config struct {
 	// master.ReadLog. Honored by the async drivers (RunAsync,
 	// RunAsyncRealtime, RunAsyncDistributed).
 	Protocol *master.Log
+	// Advisor, when set, receives the run's timing streams (T_A, T_F
+	// per worker, T_C, queue waits) and acceptance events, fitting the
+	// paper's analytical model live — predicted vs observed speedup,
+	// processor bounds, drift and straggler detection (see
+	// internal/advisor). Observation-only: it never steers the run.
+	// Honored by the async drivers; nil disables at zero cost.
+	Advisor *advisor.Advisor
 }
 
 // normalize fills defaults and validates.
@@ -282,7 +290,8 @@ type taMeter struct {
 	samples []float64
 	sum     float64
 	n       uint64
-	hist    *obs.Histogram // optional telemetry sink (nil-safe)
+	hist    *obs.Histogram   // optional telemetry sink (nil-safe)
+	adv     *advisor.Advisor // optional advisor feed (nil-safe)
 }
 
 // measure wraps the master critical section fn, returning the T_A
@@ -304,6 +313,7 @@ func (m *taMeter) measure(fn func()) float64 {
 		m.samples = append(m.samples, ta)
 	}
 	m.hist.Observe(ta)
+	m.adv.ObserveTA(ta)
 	return ta
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"borgmoea/internal/advisor"
 	"borgmoea/internal/core"
 	"borgmoea/internal/master"
 	"borgmoea/internal/obs"
@@ -18,6 +19,7 @@ type rtAlg struct {
 	b      *core.Borg
 	meters master.Meters
 	events *obs.Recorder
+	adv    *advisor.Advisor
 	since  func() float64
 	taSum  float64
 	taN    uint64
@@ -35,6 +37,7 @@ func (a *rtAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 	a.taSum += ta
 	a.taN++
 	a.meters.TA.Observe(ta)
+	a.adv.ObserveTA(ta)
 	if a.events != nil {
 		a.events.Record(obs.Event{TS: a.since() - ta, Dur: ta, Kind: "algo", Actor: "master"})
 	}
@@ -89,6 +92,8 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 
 	meters := master.NewMeters(cfg.Metrics)
 	events := cfg.Events
+	adv := cfg.Advisor
+	adv.Configure(cfg.Processors, cfg.Evaluations)
 	start := time.Now()
 	since := func() float64 { return time.Since(start).Seconds() }
 
@@ -110,6 +115,7 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 				}
 				time.Sleep(time.Duration(tf * float64(time.Second)))
 				meters.TF.Observe(tf)
+				adv.ObserveTF(w+1, tf)
 				if events != nil {
 					events.Record(obs.Event{TS: t0, Dur: since() - t0, Kind: "eval", Actor: actor})
 				}
@@ -123,8 +129,8 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Processors: cfg.Processors, Final: b}
-	alg := &rtAlg{b: b, meters: meters, events: events, since: since}
-	m := master.NewCore(master.Config{
+	alg := &rtAlg{b: b, meters: meters, events: events, adv: adv, since: since}
+	mcfg := master.Config{
 		Budget: cfg.Evaluations,
 		Policy: master.EagerOffspring,
 		Alg:    alg,
@@ -136,7 +142,11 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 				cfg.OnCheckpoint(since(), b)
 			}
 		},
-	})
+	}
+	if adv != nil {
+		mcfg.OnAcceptFrom = adv.ObserveAccept
+	}
+	m := master.NewCore(mcfg)
 	exec := func(acts []master.Action) {
 		for _, a := range acts {
 			switch a.Kind {

@@ -3,6 +3,7 @@ package parallel
 import (
 	"fmt"
 
+	"borgmoea/internal/advisor"
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
@@ -19,11 +20,13 @@ import (
 // the race detector even if the DES engine's lock-step execution model
 // ever changed.
 type tfRecorder struct {
+	worker  int
 	sum     float64
 	n       uint64
 	capture bool
 	samples []float64
-	hist    *obs.Histogram // optional shared telemetry sink (nil-safe, concurrent-safe)
+	hist    *obs.Histogram   // optional shared telemetry sink (nil-safe, concurrent-safe)
+	adv     *advisor.Advisor // optional advisor feed (nil-safe; attributes by worker)
 }
 
 func (r *tfRecorder) record(tf float64) {
@@ -33,6 +36,7 @@ func (r *tfRecorder) record(tf float64) {
 		r.samples = append(r.samples, tf)
 	}
 	r.hist.Observe(tf)
+	r.adv.ObserveTF(r.worker, tf)
 }
 
 // newRecorders returns one recorder per worker rank 1..P−1.
@@ -40,7 +44,7 @@ func newRecorders(cfg *Config) []*tfRecorder {
 	hist := cfg.Metrics.Histogram(mTF, nil)
 	recs := make([]*tfRecorder, cfg.Processors-1)
 	for i := range recs {
-		recs[i] = &tfRecorder{capture: cfg.CaptureTimings, hist: hist}
+		recs[i] = &tfRecorder{worker: i + 1, capture: cfg.CaptureTimings, hist: hist, adv: cfg.Advisor}
 	}
 	return recs
 }

@@ -34,6 +34,12 @@ type Options struct {
 	// heartbeat round-trip-time histogram. Shared by every connection
 	// built from these options; nil disables (zero hot-path cost).
 	Metrics *obs.Registry
+	// OnRTT, when set, receives every measured heartbeat round-trip
+	// time in seconds, in addition to the Metrics histogram — the live
+	// T_C feed of the scalability advisor (one-way communication time
+	// ≈ RTT/2). Called from the connection's reader goroutine; keep it
+	// fast and concurrency-safe.
+	OnRTT func(seconds float64)
 }
 
 // Wire-level metric names registered on Options.Metrics.
@@ -193,7 +199,11 @@ func (c *Conn) Recv() (Message, error) {
 			// Liveness only; the deadline reset above did the work —
 			// but a pending ping's round trip is worth recording.
 			if sent := c.pingNano.Swap(0); sent != 0 {
-				c.met.rtt.Observe(time.Since(time.Unix(0, sent)).Seconds())
+				rtt := time.Since(time.Unix(0, sent)).Seconds()
+				c.met.rtt.Observe(rtt)
+				if c.opt.OnRTT != nil {
+					c.opt.OnRTT(rtt)
+				}
 			}
 		default:
 			return m, nil
