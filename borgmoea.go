@@ -43,6 +43,7 @@ import (
 	"borgmoea/internal/core"
 	"borgmoea/internal/experiment"
 	"borgmoea/internal/fault"
+	"borgmoea/internal/jobs"
 	"borgmoea/internal/master"
 	"borgmoea/internal/metrics"
 	"borgmoea/internal/model"
@@ -225,6 +226,36 @@ type (
 
 // NewScalingAdvisor constructs a live scalability advisor.
 var NewScalingAdvisor = advisor.New
+
+// Multi-tenant job service (see internal/jobs): a JobScheduler owns a
+// shared borgd fleet and multiplexes many concurrent Borg runs over
+// it — one master core per job, stride-scheduled fair sharing,
+// per-job checkpoint streams that survive server restarts, and an
+// HTTP job API served next to the /debug endpoints
+// (JobScheduler.DebugOptions). cmd/borgsvc runs the service; borgq is
+// its client.
+type (
+	// JobScheduler multiplexes submitted jobs over one borgd fleet.
+	JobScheduler = jobs.Scheduler
+	// JobServiceConfig parameterizes the scheduler (fleet listener,
+	// backpressure bounds, persistence directory).
+	JobServiceConfig = jobs.Config
+	// JobSpec is one job submission: problem, budget, epsilons, seed,
+	// fair-share priority.
+	JobSpec = jobs.Spec
+	// JobStatus is a job's externally visible state.
+	JobStatus = jobs.Status
+	// JobState is a job's lifecycle phase (queued/running/done/...).
+	JobState = jobs.State
+)
+
+var (
+	// NewJobScheduler starts a job scheduler on its fleet listener.
+	NewJobScheduler = jobs.New
+	// DecodeJobSubmit parses one job submission (the HTTP POST /jobs
+	// body format).
+	DecodeJobSubmit = jobs.DecodeSubmit
+)
 
 // Model types.
 type (

@@ -29,13 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
 	"sync"
-	"syscall"
 
 	"borgmoea"
 	"borgmoea/internal/ascii"
+	"borgmoea/internal/shutdown"
 )
 
 // run returns the process exit code so deferred cleanups still run.
@@ -129,42 +128,37 @@ func run() int {
 		adv = borgmoea.NewScalingAdvisor(acfg)
 	}
 
-	// flushTelemetry persists whatever survives an early exit: the
-	// final metrics snapshot and the advisor's closing report. Shared
-	// by the normal path and the signal handler; runs at most once.
-	var flushOnce sync.Once
-	flushTelemetry := func() {
-		flushOnce.Do(func() {
-			if *metricsOut != "" {
-				if err := writeFileWith(*metricsOut, reg.WriteJSON); err != nil {
-					logger.Error("writing metrics", "err", err)
-					return
-				}
-				logger.Info("metrics written", "path", *metricsOut)
+	// flusher persists whatever survives an early exit: the final
+	// metrics snapshot and the advisor's closing report. Shared by the
+	// normal path and the signal handler; hooks run at most once.
+	var flusher shutdown.Flusher
+	if *metricsOut != "" {
+		flusher.Add(func() {
+			if err := writeFileWith(*metricsOut, reg.WriteJSON); err != nil {
+				logger.Error("writing metrics", "err", err)
+				return
 			}
-			if advF != nil {
-				advMu.Lock()
-				advEnc.Encode(adv.Report()) //nolint:errcheck // best-effort journal
-				err := advF.Close()
-				advMu.Unlock()
-				if err != nil {
-					logger.Error("writing advisor journal", "err", err)
-					return
-				}
-				logger.Info("advisor journal written", "path", *adviseOut,
-					"hint", fmt.Sprintf("watch with: borgtop -file %s", *adviseOut))
+			logger.Info("metrics written", "path", *metricsOut)
+		})
+	}
+	if advF != nil {
+		flusher.Add(func() {
+			advMu.Lock()
+			advEnc.Encode(adv.Report()) //nolint:errcheck // best-effort journal
+			err := advF.Close()
+			advMu.Unlock()
+			if err != nil {
+				logger.Error("writing advisor journal", "err", err)
+				return
 			}
+			logger.Info("advisor journal written", "path", *adviseOut,
+				"hint", fmt.Sprintf("watch with: borgtop -file %s", *adviseOut))
 		})
 	}
 	if *metricsOut != "" || *adviseOut != "" {
-		sigC := make(chan os.Signal, 1)
-		signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			s := <-sigC
+		shutdown.ExitAfterFlush(&flusher, func(s os.Signal) {
 			logger.Warn("signal received; flushing telemetry", "signal", s.String())
-			flushTelemetry()
-			os.Exit(130)
-		}()
+		})
 	}
 
 	if *debugAddr != "" {
@@ -304,7 +298,7 @@ func run() int {
 		}
 		logger.Info("trace written", "path", *tracePath, "events", rec.Len(), "dropped", rec.Dropped())
 	}
-	flushTelemetry()
+	flusher.Flush()
 	if plog != nil && len(plog.Events) > 0 {
 		if err := writeFileWith(*eventLog, func(w io.Writer) error {
 			_, err := plog.WriteTo(w)

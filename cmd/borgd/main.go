@@ -22,11 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"borgmoea"
+	"borgmoea/internal/shutdown"
 )
 
 func main() { os.Exit(run()) }
@@ -79,6 +78,8 @@ func run() int {
 		logger.Info("debug listener up", "addr", srv.Addr(),
 			"vars", fmt.Sprintf("http://%s/debug/vars", srv.Addr()))
 	}
+	var flusher shutdown.Flusher
+	defer flusher.Flush()
 	if *adviseOut != "" {
 		f, err := os.Create(*adviseOut)
 		if err != nil {
@@ -86,21 +87,23 @@ func run() int {
 			return 1
 		}
 		sw := borgmoea.StartMetricsSnapshots(f, cfg.Conn.Metrics, *adviseEvery)
-		// Close writes the final snapshot — this runs after the
+		// The flush writes the final snapshot — it runs after the
 		// signal-cancelled context has stopped the worker, so an
 		// interrupted run keeps everything up to the signal.
-		defer func() {
+		flusher.Add(func() {
 			if err := sw.Close(); err != nil {
 				logger.Error("writing advise journal", "err", err)
 			}
 			f.Close()
 			logger.Info("advise journal written", "path", *adviseOut)
-		}()
+		})
 	}
 
 	// SIGINT/SIGTERM cancel the context; RunWorker then abandons its
 	// current evaluation and the master's lease recovers it.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := shutdown.NotifyContext(context.Background(), func(s os.Signal) {
+		logger.Warn("signal received; shutting down", "signal", s.String())
+	})
 	defer stop()
 
 	if err := borgmoea.RunWorker(ctx, cfg); err != nil && err != context.Canceled {

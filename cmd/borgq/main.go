@@ -1,0 +1,295 @@
+// Command borgq is the client for the borgsvc job service: it submits
+// optimization jobs, lists and watches them, fetches results, and
+// cancels runs over the service's HTTP API.
+//
+// Usage:
+//
+//	borgq [-addr host:port] <command> [flags]
+//
+//	borgq submit -problem DTLZ2 -objectives 5 -evals 100000
+//	borgq list
+//	borgq status j000001
+//	borgq watch j000001
+//	borgq result j000001 -o front.json
+//	borgq cancel j000001
+//
+// The address defaults to localhost:6060 (borgsvc -api-addr).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"borgmoea"
+)
+
+func main() { os.Exit(run()) }
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, `usage: borgq [-addr host:port] <command> [flags]
+
+commands:
+  submit   submit a job (-problem, -evals, ...)
+  list     list every job
+  status   print one job's status and scaling analysis   borgq status <id>
+  watch    follow a job until it finishes                borgq watch <id>
+  result   fetch a job's Pareto archive as JSON          borgq result <id> [-o path]
+  cancel   cancel a job                                  borgq cancel <id>`)
+	return 2
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:6060", "borgsvc API address (borgsvc -api-addr)")
+	flag.Usage = func() { usage() }
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return usage()
+	}
+	c := &client{base: *addr, hc: &http.Client{Timeout: 30 * time.Second}}
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(args)
+	case "list":
+		return c.list()
+	case "status":
+		return c.status(args)
+	case "watch":
+		return c.watch(args)
+	case "result":
+		return c.result(args)
+	case "cancel":
+		return c.cancel(args)
+	default:
+		fmt.Fprintf(os.Stderr, "borgq: unknown command %q\n", cmd)
+		return usage()
+	}
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) url(path string) string {
+	base := c.base
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimSuffix(base, "/") + path
+}
+
+// do runs one API request; on a non-2xx response it prints the
+// server's error and returns a non-nil error.
+func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.url(path), body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = fmt.Sprintf("%s (%s)", e.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
+	return resp, nil
+}
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "borgq: %v\n", err)
+	return 1
+}
+
+func (c *client) submit(args []string) int {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		problemName = fs.String("problem", "", "problem name: DTLZ1-7, ZDT1-4/6 or UF1-11 (required)")
+		objectives  = fs.Int("objectives", 0, "objective count for problem families (DTLZ2 + 5)")
+		evals       = fs.Uint64("evals", 0, "function evaluation budget (required)")
+		epsilon     = fs.Float64("epsilon", 0, "uniform archive epsilon (default 0.01)")
+		population  = fs.Int("population", 0, "initial population size (default 100)")
+		seed        = fs.Uint64("seed", 0, "random seed (default 1)")
+		priority    = fs.Int("priority", 0, "fair-share weight 1..16 (default 1)")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	spec := borgmoea.JobSpec{
+		Problem:     *problemName,
+		Objectives:  *objectives,
+		Evaluations: *evals,
+		Epsilon:     *epsilon,
+		Population:  *population,
+		Seed:        *seed,
+		Priority:    *priority,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := c.do("POST", "/jobs", bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	var st borgmoea.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%s  %s  %s  budget=%d priority=%d\n", st.ID, st.State, st.Problem, st.Budget, st.Priority)
+	return 0
+}
+
+func (c *client) list() int {
+	resp, err := c.do("GET", "/jobs", nil)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	var jobs []borgmoea.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return fail(err)
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no jobs")
+		return 0
+	}
+	fmt.Printf("%-8s  %-9s  %-10s  %14s  %7s  %7s  %4s\n",
+		"ID", "STATE", "PROBLEM", "EVALS", "ARCHIVE", "WORKERS", "PRIO")
+	for _, j := range jobs {
+		fmt.Printf("%-8s  %-9s  %-10s  %6d/%-7d  %7d  %7d  %4d\n",
+			j.ID, j.State, j.Problem, j.Evaluations, j.Budget, j.ArchiveSize, j.Workers, j.Priority)
+	}
+	return 0
+}
+
+// needID extracts the job id argument shared by status/watch/result/
+// cancel, tolerating flags after the id.
+func needID(name string, args []string) (string, []string, int) {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintf(os.Stderr, "usage: borgq %s <job-id>\n", name)
+		return "", nil, 2
+	}
+	return args[0], args[1:], 0
+}
+
+func (c *client) status(args []string) int {
+	id, _, code := needID("status", args)
+	if code != 0 {
+		return code
+	}
+	resp, err := c.do("GET", "/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body) //nolint:errcheck // server-indented JSON passthrough
+	return 0
+}
+
+func (c *client) watch(args []string) int {
+	id, rest, code := needID("watch", args)
+	if code != 0 {
+		return code
+	}
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	every := fs.Duration("every", time.Second, "refresh interval")
+	fs.Parse(rest) //nolint:errcheck // ExitOnError
+	// The watch stream has no deadline; drop the client timeout.
+	hc := &http.Client{}
+	req, err := http.NewRequest("GET", c.url("/jobs/"+url.PathEscape(id)+"/watch?interval="+every.String()), nil)
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(fmt.Errorf("%s", resp.Status))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var st borgmoea.JobStatus
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s  %-9s  %6d/%d evals  archive=%d  workers=%d  pending=%d\n",
+			st.ID, st.State, st.Evaluations, st.Budget, st.ArchiveSize, st.Workers, st.Pending)
+	}
+	if err := sc.Err(); err != nil {
+		return fail(err)
+	}
+	if !st.State.Terminal() {
+		return fail(fmt.Errorf("stream ended with %s still %s", id, st.State))
+	}
+	if st.State != "done" {
+		fmt.Fprintf(os.Stderr, "borgq: %s ended %s\n", id, st.State)
+		return 1
+	}
+	return 0
+}
+
+func (c *client) result(args []string) int {
+	id, rest, code := needID("result", args)
+	if code != 0 {
+		return code
+	}
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	outPath := fs.String("o", "", "write the archive JSON here instead of stdout")
+	fs.Parse(rest) //nolint:errcheck // ExitOnError
+	resp, err := c.do("GET", "/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return fail(err)
+	}
+	if *outPath != "" {
+		fmt.Fprintf(os.Stderr, "borgq: archive written to %s\n", *outPath)
+	}
+	return 0
+}
+
+func (c *client) cancel(args []string) int {
+	id, _, code := needID("cancel", args)
+	if code != 0 {
+		return code
+	}
+	resp, err := c.do("DELETE", "/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return fail(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("%s cancelled\n", id)
+	return 0
+}

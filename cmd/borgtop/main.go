@@ -8,6 +8,7 @@
 // Usage:
 //
 //	borgtop -addr localhost:6060             # follow a live master (-debug-addr)
+//	borgtop -addr localhost:6060 -job j000001  # one job on a borgsvc server
 //	borgtop -file scaling.jsonl              # follow an -advise-out journal
 //	borgtop -addr localhost:6060 -once       # one report, no screen control
 package main
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"strings"
 	"time"
@@ -31,6 +33,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		addr  = flag.String("addr", "", "master debug address to poll (host:port of borg -debug-addr)")
+		job   = flag.String("job", "", "job id on a borgsvc job server: poll that job's per-run analysis")
 		file  = flag.String("file", "", "advisor JSONL journal to follow (borg -advise-out path)")
 		every = flag.Duration("every", time.Second, "refresh interval")
 		once  = flag.Bool("once", false, "render one report and exit (no screen control)")
@@ -40,12 +43,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "borgtop: need exactly one of -addr or -file")
 		return 2
 	}
+	if *job != "" && *addr == "" {
+		fmt.Fprintln(os.Stderr, "borgtop: -job needs -addr (a borgsvc server)")
+		return 2
+	}
 	if *every < 100*time.Millisecond {
 		*every = 100 * time.Millisecond
 	}
 
 	for {
-		rep, err := load(*addr, *file)
+		rep, err := load(*addr, *job, *file)
 		if err != nil {
 			if *once {
 				fmt.Fprintf(os.Stderr, "borgtop: %v\n", err)
@@ -67,19 +74,24 @@ func run() int {
 }
 
 // load fetches the newest report from the configured source.
-func load(addr, file string) (*borgmoea.AdvisorReport, error) {
+func load(addr, job, file string) (*borgmoea.AdvisorReport, error) {
 	if addr != "" {
-		return fetchHTTP(addr)
+		return fetchHTTP(addr, job)
 	}
 	return lastLine(file)
 }
 
-func fetchHTTP(addr string) (*borgmoea.AdvisorReport, error) {
+func fetchHTTP(addr, job string) (*borgmoea.AdvisorReport, error) {
 	url := addr
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
 	url = strings.TrimSuffix(url, "/") + "/debug/scaling"
+	if job != "" {
+		// A borgsvc job server serves one job's report — in the
+		// single-run schema — under ?job=<id>.
+		url += "?job=" + neturl.QueryEscape(job)
+	}
 	c := &http.Client{Timeout: 5 * time.Second}
 	resp, err := c.Get(url)
 	if err != nil {

@@ -99,3 +99,74 @@ func TestSaveArchiveEmptyIsLoadable(t *testing.T) {
 		t.Fatal("empty archive round trip gained members")
 	}
 }
+
+// TestSaveLoadArchiveVaryingNumOps: the operator-credit table size is a
+// property of the loading process, not the file. Loading into fewer
+// slots than the run used must not crash or corrupt membership —
+// out-of-range operators simply earn no credit — and loading into more
+// slots leaves the extras at zero.
+func TestSaveLoadArchiveVaryingNumOps(t *testing.T) {
+	b := MustNew(problems.NewDTLZ2(2), Config{
+		Epsilons: UniformEpsilons(2, 0.05),
+		Seed:     3,
+	})
+	b.Run(2000, nil)
+	orig := b.Archive()
+
+	var buf bytes.Buffer
+	if err := SaveArchive(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	for _, numOps := range []int{0, 1, 6, 12} {
+		loaded, err := LoadArchive(strings.NewReader(saved), numOps)
+		if err != nil {
+			t.Fatalf("numOps=%d: %v", numOps, err)
+		}
+		if loaded.Size() != orig.Size() {
+			t.Errorf("numOps=%d: size %d, want %d", numOps, loaded.Size(), orig.Size())
+		}
+		counts := loaded.OperatorCounts()
+		if len(counts) != numOps {
+			t.Fatalf("numOps=%d: credit table has %d slots", numOps, len(counts))
+		}
+		credited := 0
+		for _, c := range counts {
+			credited += c
+		}
+		if credited > loaded.Size() {
+			t.Errorf("numOps=%d: %d credits for %d members", numOps, credited, loaded.Size())
+		}
+		for i := 6; i < numOps; i++ {
+			if counts[i] != 0 {
+				t.Errorf("numOps=%d: phantom credit in unused slot %d", numOps, i)
+			}
+		}
+	}
+}
+
+// TestLoadArchiveTruncatedInput: a checkpoint cut off mid-write (a
+// crashed process, a torn copy) must come back as an error from every
+// prefix, never a panic or a silently short archive.
+func TestLoadArchiveTruncatedInput(t *testing.T) {
+	b := MustNew(problems.NewDTLZ2(2), Config{
+		Epsilons: UniformEpsilons(2, 0.05),
+		Seed:     5,
+	})
+	b.Run(1000, nil)
+	var buf bytes.Buffer
+	if err := SaveArchive(&buf, b.Archive()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	if _, err := LoadArchive(strings.NewReader(full), 6); err != nil {
+		t.Fatalf("untruncated archive failed to load: %v", err)
+	}
+	for _, frac := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.999} {
+		cut := int(frac * float64(len(full)))
+		if _, err := LoadArchive(strings.NewReader(full[:cut]), 6); err == nil {
+			t.Errorf("truncation at %d/%d bytes loaded without error", cut, len(full))
+		}
+	}
+}

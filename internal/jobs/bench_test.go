@@ -1,0 +1,75 @@
+package jobs
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkJobsLoad is the service's load-test smoke: b.N small jobs
+// submitted up front and multiplexed over a 4-worker loopback fleet.
+// Besides the usual ns/op it reports the p50/p99 submit-to-first-result
+// latency across jobs — the multi-tenant responsiveness figure CI
+// tracks head-vs-base in BENCH_jobs.json.
+func BenchmarkJobsLoad(b *testing.B) {
+	s, err := New(Config{FleetListen: "127.0.0.1:0", LeaseTimeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, 4, s.FleetAddr(), nil)
+
+	b.ResetTimer()
+	ids := make([]string, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		st, err := s.Submit(&Spec{Problem: "ZDT1", Evaluations: 8, Population: 4, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		list, err := s.List()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := 0
+		for _, st := range list {
+			if st.State.Terminal() {
+				done++
+			}
+		}
+		if done == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d/%d jobs finished", done, len(ids))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.StopTimer()
+
+	lat := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		st, err := s.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != StateDone {
+			b.Fatalf("%s ended %s: %s", id, st.State, st.Error)
+		}
+		lat = append(lat, st.FirstResultSeconds-st.SubmittedSeconds)
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	b.ReportMetric(q(0.50), "p50_first_result_s")
+	b.ReportMetric(q(0.99), "p99_first_result_s")
+}

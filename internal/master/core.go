@@ -26,6 +26,15 @@ const (
 	EvTick
 	// EvGone: the transport declared the worker dead for good.
 	EvGone
+	// EvReady: an external scheduler marked the worker available for
+	// more work from this core (ScheduledOffspring policy). Ignored for
+	// unknown, gone or still-leased workers.
+	EvReady
+	// EvLeave: an external scheduler gracefully withdrew the worker
+	// from this core (typically to lend it to another run). A live
+	// lease it still holds is presumed lost and resubmitted; the worker
+	// can return later via EvJoin.
+	EvLeave
 )
 
 func (k EventKind) String() string {
@@ -40,6 +49,10 @@ func (k EventKind) String() string {
 		return "tick"
 	case EvGone:
 		return "gone"
+	case EvReady:
+		return "ready"
+	case EvLeave:
+		return "leave"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -103,6 +116,15 @@ const (
 	// bounded so live work chains never exceed the remaining budget.
 	// Used by the distributed driver, whose worker pool is dynamic.
 	LazyOffspring
+	// ScheduledOffspring is LazyOffspring minus the assumption that a
+	// worker returning a result wants more work: the worker parks (no
+	// lease, not idle) until an external scheduler speaks for it with
+	// EvReady (serve this run again) or EvLeave (lent elsewhere). The
+	// multi-tenant job scheduler runs one such core per job and moves
+	// fleet workers between them at result boundaries, so fair-share
+	// decisions live outside the core yet stay in its event log —
+	// recorded EvReady/EvLeave replay like any other event.
+	ScheduledOffspring
 )
 
 // Config parameterizes a Core.
@@ -160,10 +182,12 @@ type Stats struct {
 	Duplicates uint64
 	// Expiries counts lease deadlines that passed.
 	Expiries uint64
-	// Hellos, Joins and Deaths count worker lifecycle events.
+	// Hellos, Joins and Deaths count worker lifecycle events; Leaves
+	// counts graceful scheduler withdrawals (EvLeave).
 	Hellos uint64
 	Joins  uint64
 	Deaths uint64
+	Leaves uint64
 }
 
 // Core is the master protocol state machine. It is single-threaded:
@@ -224,12 +248,41 @@ func (c *Core) Handle(ev Event) []Action {
 		if c.retire(ev.Worker) {
 			c.dispatch(ev.At)
 		}
+	case EvReady:
+		c.ready(ev)
+	case EvLeave:
+		c.leave(ev)
 	}
 	return c.acts
 }
 
 // Done reports whether the budget has been reached.
 func (c *Core) Done() bool { return c.done }
+
+// AttachLog swaps the Core's event log mid-run. Replay leaves the
+// replayed Core logless (re-recording would duplicate the stream); a
+// resuming driver attaches the original log — already holding the
+// replayed prefix — so continued events append to the same stream and
+// the file on disk stays a single coherent history.
+func (c *Core) AttachLog(l *Log) {
+	c.cfg.Log = l
+	l.setMeta(LogMeta{Policy: c.cfg.Policy, Budget: c.cfg.Budget, LeaseTimeout: c.cfg.LeaseTimeout})
+}
+
+// LiveWorkers returns the ids of workers not marked gone, in join
+// order. A driver resuming a replayed Core needs them: the transport
+// those ids named died with the recorded run, so each must be declared
+// gone (EvGone) before real workers rejoin — that resubmits any lease
+// the crash stranded.
+func (c *Core) LiveWorkers() []int {
+	var out []int
+	for _, id := range c.reg.Known() {
+		if c.reg.State(id) != StateGone {
+			out = append(out, id)
+		}
+	}
+	return out
+}
 
 // Stats returns the protocol accounting so far.
 func (c *Core) Stats() Stats { return c.stats }
@@ -314,10 +367,11 @@ func (c *Core) result(ev Event) {
 	l, known := c.outstanding[ev.Item]
 	if !known || l.worker != ev.Worker {
 		// Late result of an expired (already reissued) lease: discard,
-		// but the sender proved alive.
+		// but the sender proved alive. Under the scheduled policy the
+		// worker parks instead — the scheduler speaks for it.
 		c.stats.Duplicates++
 		c.cfg.Meters.Dups.Inc()
-		if w.state != StateBusy {
+		if c.cfg.Policy != ScheduledOffspring && w.state != StateBusy {
 			c.reg.MarkIdle(ev.Worker)
 		}
 		c.dispatch(ev.At)
@@ -347,7 +401,48 @@ func (c *Core) result(ev Event) {
 	if c.done {
 		return
 	}
+	if c.cfg.Policy == ScheduledOffspring {
+		// Park the returning worker: still registered, no lease, not
+		// idle. It works again only when the scheduler says EvReady
+		// (or serves another run after EvLeave).
+		return
+	}
 	c.reg.MarkIdle(ev.Worker)
+	c.dispatch(ev.At)
+}
+
+// ready grants parked capacity back to this run: the scheduler marked
+// the worker available, so it becomes idle and dispatch may use it.
+// Unknown, gone, or still-leased workers are ignored — the scheduler's
+// view can lag the core's (a lease may have expired and been reissued
+// to the same worker between the decision and the event).
+func (c *Core) ready(ev Event) {
+	w := c.reg.lookup(ev.Worker)
+	if w == nil || w.state == StateGone {
+		return
+	}
+	if l := w.lease; l != nil && !l.done {
+		return
+	}
+	c.reg.MarkIdle(ev.Worker)
+	c.dispatch(ev.At)
+}
+
+// leave is the scheduler's graceful counterpart of EvGone: the worker
+// is withdrawn (lent to another run), any live lease it held is
+// presumed lost and resubmitted, and a later EvJoin brings it back.
+// Counted as a Leave, not a Death — the transport is fine.
+func (c *Core) leave(ev Event) {
+	w := c.reg.lookup(ev.Worker)
+	if w == nil || w.state == StateGone {
+		return
+	}
+	if l := w.lease; l != nil && !l.done {
+		c.lose(l)
+	}
+	c.reg.markGone(ev.Worker)
+	c.stats.Leaves++
+	c.cfg.Meters.Live.Set(float64(c.reg.Live()))
 	c.dispatch(ev.At)
 }
 
@@ -460,10 +555,10 @@ func (c *Core) dispatch(at float64) {
 		c.pending = c.pending[1:]
 		c.grant(w.id, item, at)
 	}
-	// Lazy policy: generate fresh offspring on demand, as long as live
-	// work chains stay within the remaining budget (so the run never
-	// over-issues evaluations).
-	if c.cfg.Policy == LazyOffspring {
+	// Lazy and scheduled policies: generate fresh offspring on demand,
+	// as long as live work chains stay within the remaining budget (so
+	// the run never over-issues evaluations).
+	if c.cfg.Policy != EagerOffspring {
 		for c.stats.Completed+uint64(c.busy)+uint64(len(c.pending)) < c.cfg.Budget {
 			w, ok := c.reg.popIdle()
 			if !ok {

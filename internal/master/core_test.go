@@ -307,3 +307,87 @@ func TestOnAcceptFromReportsAcceptedResults(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduledParkAndReady(t *testing.T) {
+	alg := &stubAlg{}
+	c := NewCore(Config{Budget: 4, Policy: ScheduledOffspring, Alg: alg})
+
+	// Joining grants immediately: the scheduler only joins a worker it
+	// wants serving this run.
+	acts := c.Handle(Event{Kind: EvJoin, Worker: 1})
+	wantGrant(t, acts, 0, 1, 1)
+
+	// A result is accepted but the worker parks — no re-grant until the
+	// scheduler speaks for it.
+	acts = c.Handle(Event{Kind: EvResult, Worker: 1, Item: 1})
+	if len(acts) != 0 {
+		t.Fatalf("result actions = %v, want none (worker parks)", acts)
+	}
+	if c.Completed() != 1 || c.Outstanding() != 0 {
+		t.Fatalf("completed=%d outstanding=%d, want 1 and 0", c.Completed(), c.Outstanding())
+	}
+
+	// Ready re-arms the parked worker.
+	acts = c.Handle(Event{Kind: EvReady, Worker: 1})
+	wantGrant(t, acts, 0, 1, 2)
+
+	// Ready while leased, or for an unknown worker, is ignored.
+	if acts := c.Handle(Event{Kind: EvReady, Worker: 1}); len(acts) != 0 {
+		t.Fatalf("ready on a leased worker issued %v", acts)
+	}
+	if acts := c.Handle(Event{Kind: EvReady, Worker: 9}); len(acts) != 0 {
+		t.Fatalf("ready on an unknown worker issued %v", acts)
+	}
+}
+
+func TestScheduledLeaveResubmitsAndCompletes(t *testing.T) {
+	alg := &stubAlg{}
+	c := NewCore(Config{Budget: 4, Policy: ScheduledOffspring, Alg: alg})
+	c.Handle(Event{Kind: EvJoin, Worker: 1}) // grants item 1
+	c.Handle(Event{Kind: EvJoin, Worker: 2}) // grants item 2
+
+	// Leaving with a live lease presumes it lost: the clone is pended,
+	// counted as a graceful leave, not a death.
+	if acts := c.Handle(Event{Kind: EvLeave, Worker: 2}); len(acts) != 0 {
+		t.Fatalf("leave with no idle workers issued %v", acts)
+	}
+	st := c.Stats()
+	if st.Leaves != 1 || st.Deaths != 0 || st.Resubmissions != 1 {
+		t.Fatalf("stats after leave = %+v, want 1 leave, 0 deaths, 1 resubmission", st)
+	}
+	if c.PendingLen() != 1 {
+		t.Fatalf("pending=%d, want the lost clone", c.PendingLen())
+	}
+
+	// The parked worker's next ready picks the resubmitted clone first.
+	c.Handle(Event{Kind: EvResult, Worker: 1, Item: 1})
+	acts := c.Handle(Event{Kind: EvReady, Worker: 1})
+	wantGrant(t, acts, 0, 1, 3)
+
+	// The departed worker rejoins and serves again.
+	acts = c.Handle(Event{Kind: EvJoin, Worker: 2})
+	wantGrant(t, acts, 0, 2, 4)
+	c.Handle(Event{Kind: EvLeave, Worker: 2})
+	if got := c.Stats().Leaves; got != 2 {
+		t.Fatalf("leaves=%d, want 2", got)
+	}
+	// Leaving an already-gone worker is a no-op.
+	c.Handle(Event{Kind: EvLeave, Worker: 2})
+	if got := c.Stats().Leaves; got != 2 {
+		t.Fatalf("leaves=%d after redundant leave, want 2", got)
+	}
+
+	// Worker 1 carries the run home; completion stops it (worker 2 is
+	// gone) with the usual complete-then-stop ordering.
+	c.Handle(Event{Kind: EvResult, Worker: 1, Item: 3})
+	c.Handle(Event{Kind: EvReady, Worker: 1}) // grants the clone of item 4
+	c.Handle(Event{Kind: EvResult, Worker: 1, Item: 5})
+	c.Handle(Event{Kind: EvReady, Worker: 1}) // grants fresh item 6
+	acts = c.Handle(Event{Kind: EvResult, Worker: 1, Item: 6})
+	if len(acts) != 2 || acts[0].Kind != ActComplete || acts[1] != (Action{Kind: ActStop, Worker: 1}) {
+		t.Fatalf("completion actions = %v, want [complete stop(1)]", acts)
+	}
+	if !c.Done() || c.Completed() != 4 {
+		t.Fatalf("done=%v completed=%d, want done with 4", c.Done(), c.Completed())
+	}
+}

@@ -17,13 +17,17 @@ func FuzzCore(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 0, 2, 2, 0, 2, 1})
 	f.Add([]byte{1, 0, 1, 3, 2, 4, 5, 1, 2, 0, 9, 2, 3})
 	f.Add([]byte{3, 0, 1, 1, 2, 4, 1, 3, 3, 0, 2, 7})
+	f.Add([]byte{4, 0, 1, 0, 2, 2, 0, 5, 1, 6, 2, 0, 3, 5, 3, 2, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 3 {
 			t.Skip()
 		}
 		alg := &stubAlg{}
 		pol := EagerOffspring
-		if data[0]&1 == 1 {
+		switch {
+		case data[0]&4 != 0:
+			pol = ScheduledOffspring
+		case data[0]&1 == 1:
 			pol = LazyOffspring
 		}
 		timeout := 0.0
@@ -85,7 +89,7 @@ func FuzzCore(f *testing.F) {
 		for i := 1; i+1 < len(data) && !c.Done(); i += 2 {
 			op, arg := data[i], data[i+1]
 			worker := int(arg%5) + 1
-			switch op % 5 {
+			switch op % 7 {
 			case 0:
 				check(Event{Kind: EvJoin, Worker: worker, At: now})
 			case 1:
@@ -104,6 +108,13 @@ func FuzzCore(f *testing.F) {
 				check(Event{Kind: EvTick, At: now})
 			case 4:
 				check(Event{Kind: EvGone, Worker: worker, At: now})
+			case 5:
+				// Scheduler re-arms a (possibly parked) worker; inert
+				// for unknown, gone or still-leased ones.
+				check(Event{Kind: EvReady, Worker: worker, At: now})
+			case 6:
+				// Scheduler withdraws a worker gracefully.
+				check(Event{Kind: EvLeave, Worker: worker, At: now})
 			}
 		}
 

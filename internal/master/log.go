@@ -3,6 +3,7 @@ package master
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -34,6 +35,10 @@ type Log struct {
 	Meta    LogMeta
 	Elapsed float64
 	Events  []Event
+	// OnRecord, when set, observes every event as it is recorded — the
+	// hook a streaming LogWriter rides so checkpoints hit disk at event
+	// granularity instead of waiting for a WriteTo at the end.
+	OnRecord func(Event)
 }
 
 // NewLog returns an empty log ready to attach to a Config.
@@ -43,6 +48,9 @@ func NewLog() *Log { return &Log{} }
 func (l *Log) record(ev Event) {
 	if l != nil {
 		l.Events = append(l.Events, ev)
+		if l.OnRecord != nil {
+			l.OnRecord(ev)
+		}
 	}
 }
 
@@ -88,7 +96,30 @@ func (l *Log) CanonicalBytes() []byte {
 const (
 	logMagic   = "BMEL"
 	logVersion = 1
+	// logEventSize is the fixed record width: kind, worker, item, at.
+	logEventSize = 1 + 4 + 8 + 8
 )
+
+// streamCount is the header event-count sentinel of a streamed log: a
+// LogWriter cannot know the count up front, so readers of such a log
+// consume events until EOF instead.
+const streamCount = ^uint64(0)
+
+func appendLogHeader(dst []byte, meta LogMeta, elapsed float64, count uint64) []byte {
+	dst = append(dst, logMagic...)
+	dst = append(dst, logVersion, byte(meta.Policy))
+	dst = binary.BigEndian.AppendUint64(dst, meta.Budget)
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(meta.LeaseTimeout))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(elapsed))
+	return binary.BigEndian.AppendUint64(dst, count)
+}
+
+func appendLogEvent(dst []byte, ev Event) []byte {
+	dst = append(dst, byte(ev.Kind))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(ev.Worker))
+	dst = binary.BigEndian.AppendUint64(dst, ev.Item)
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(ev.At))
+}
 
 // WriteTo serializes the log. It implements io.WriterTo.
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
@@ -99,29 +130,74 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 		n += int64(m)
 		return err
 	}
-	var hdr []byte
-	hdr = append(hdr, logMagic...)
-	hdr = append(hdr, logVersion, byte(l.Meta.Policy))
-	hdr = binary.BigEndian.AppendUint64(hdr, l.Meta.Budget)
-	hdr = binary.BigEndian.AppendUint64(hdr, math.Float64bits(l.Meta.LeaseTimeout))
-	hdr = binary.BigEndian.AppendUint64(hdr, math.Float64bits(l.Elapsed))
-	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(l.Events)))
-	if err := put(hdr); err != nil {
+	if err := put(appendLogHeader(nil, l.Meta, l.Elapsed, uint64(len(l.Events)))); err != nil {
 		return n, err
 	}
 	var buf []byte
 	for _, ev := range l.Events {
-		buf = buf[:0]
-		buf = append(buf, byte(ev.Kind))
-		buf = binary.BigEndian.AppendUint32(buf, uint32(ev.Worker))
-		buf = binary.BigEndian.AppendUint64(buf, ev.Item)
-		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(ev.At))
+		buf = appendLogEvent(buf[:0], ev)
 		if err := put(buf); err != nil {
 			return n, err
 		}
 	}
 	return n, bw.Flush()
 }
+
+// LogWriter streams a BMEL log as events are recorded, instead of
+// serializing a finished Log in one WriteTo pass. It writes the header
+// immediately with the streaming count sentinel, then one fixed-width
+// record per Record call — append-only, so a process crash costs at
+// most the trailing partial record, which ReadLog tolerates. Wire it
+// to a recording Log through the OnRecord hook; the job server's
+// per-job checkpoints are written this way.
+type LogWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewLogWriter writes the streaming header for meta and returns the
+// writer. A streamed log's Elapsed is unknown up front and reads back
+// as 0.
+func NewLogWriter(w io.Writer, meta LogMeta) (*LogWriter, error) {
+	if _, err := w.Write(appendLogHeader(nil, meta, 0, streamCount)); err != nil {
+		return nil, fmt.Errorf("master: stream log header: %w", err)
+	}
+	return &LogWriter{w: w}, nil
+}
+
+// Record appends one event. After a write error every later call
+// returns the same error; the caller decides whether the run goes on
+// without durability.
+func (lw *LogWriter) Record(ev Event) error {
+	if lw.err != nil {
+		return lw.err
+	}
+	lw.buf = appendLogEvent(lw.buf[:0], ev)
+	if _, err := lw.w.Write(lw.buf); err != nil {
+		lw.err = fmt.Errorf("master: stream log event: %w", err)
+	}
+	return lw.err
+}
+
+// Err returns the first write error, if any.
+func (lw *LogWriter) Err() error { return lw.err }
+
+// ResumeLogWriter returns a LogWriter that appends to an existing
+// streamed log without writing a fresh header. The caller must have
+// positioned w at the end of the last complete record (truncating any
+// crash-torn partial record first), so the resumed stream stays
+// readable by ReadLog.
+func ResumeLogWriter(w io.Writer) *LogWriter { return &LogWriter{w: w} }
+
+// HeaderSize is the byte length of a BMEL log header, and EventSize
+// that of one fixed-width event record — what a resuming reader needs
+// to compute the last consistent length of a crash-interrupted
+// streamed log: HeaderSize + n*EventSize.
+const (
+	HeaderSize = len(logMagic) + 2 + 4*8
+	EventSize  = logEventSize
+)
 
 // ReadLog deserializes a log written by WriteTo. Malformed input —
 // wrong magic or version, truncated streams, an absurd event count —
@@ -145,14 +221,22 @@ func ReadLog(r io.Reader) (*Log, error) {
 	}}
 	l.Elapsed = math.Float64frombits(binary.BigEndian.Uint64(hdr[22:]))
 	count := binary.BigEndian.Uint64(hdr[30:])
+	streaming := count == streamCount
 	const maxEvents = 1 << 28 // ~5.6 GiB of events; far beyond any real run
-	if count > maxEvents {
+	if !streaming && count > maxEvents {
 		return nil, fmt.Errorf("master: log claims %d events (limit %d)", count, maxEvents)
 	}
-	l.Events = make([]Event, 0, count)
-	rec := make([]byte, 1+4+8+8)
-	for i := uint64(0); i < count; i++ {
+	if !streaming {
+		l.Events = make([]Event, 0, count)
+	}
+	rec := make([]byte, logEventSize)
+	for i := uint64(0); streaming || i < count; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
+			if streaming && (err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF)) {
+				// A streamed log ends wherever the writer stopped; a
+				// crash mid-record costs exactly that partial record.
+				break
+			}
 			return nil, fmt.Errorf("master: truncated log at event %d/%d: %w", i, count, err)
 		}
 		l.Events = append(l.Events, Event{
@@ -177,9 +261,13 @@ type ReplayConfig struct {
 	Evaluate func(item *Item)
 	// MaxProbes must match the recorded run's (0 = DefaultMaxProbes).
 	MaxProbes int
-	// Meters/OnAccept optionally re-instrument the replay.
-	Meters   Meters
-	OnAccept func(completed uint64)
+	// Meters/OnAccept/OnAcceptFrom optionally re-instrument the
+	// replay; the hooks stay attached afterwards, so a driver that
+	// resumes the returned Core live (the job server's checkpoint
+	// restore) keeps its accept-time instrumentation.
+	Meters       Meters
+	OnAccept     func(completed uint64)
+	OnAcceptFrom func(worker int, completed uint64, at float64)
 }
 
 // Replay re-feeds a recorded event stream to a fresh Core and returns
@@ -201,6 +289,7 @@ func Replay(log *Log, rc ReplayConfig) (*Core, error) {
 		Alg:          rc.Alg,
 		Meters:       rc.Meters,
 		OnAccept:     rc.OnAccept,
+		OnAcceptFrom: rc.OnAcceptFrom,
 	})
 	for _, ev := range log.Events {
 		if ev.Kind == EvResult && rc.Evaluate != nil {

@@ -56,9 +56,10 @@ func TestReadLogRejectsMalformedInput(t *testing.T) {
 		}
 	}
 
-	// An absurd event count must be rejected before allocation.
+	// An absurd event count must be rejected before allocation (all
+	// ones is excluded — that is the streaming sentinel).
 	huge := append([]byte{}, raw[:30]...)
-	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	huge = append(huge, 0x10, 0, 0, 0, 0, 0, 0, 0)
 	if _, err := ReadLog(bytes.NewReader(huge)); err == nil {
 		t.Error("ReadLog accepted an absurd event count")
 	}
@@ -146,5 +147,84 @@ func TestReplayRejectsBadInput(t *testing.T) {
 	}
 	if _, err := Replay(sampleLog(), ReplayConfig{}); err == nil {
 		t.Error("replayed without an algorithm")
+	}
+}
+
+func TestLogWriterStreamsAndTolerates(t *testing.T) {
+	orig := sampleLog()
+	var buf bytes.Buffer
+	lw, err := NewLogWriter(&buf, orig.Meta)
+	if err != nil {
+		t.Fatalf("NewLogWriter: %v", err)
+	}
+	for _, ev := range orig.Events {
+		if err := lw.Record(ev); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	got, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLog(streamed): %v", err)
+	}
+	if got.Meta != orig.Meta {
+		t.Fatalf("streamed meta = %+v, want %+v", got.Meta, orig.Meta)
+	}
+	if got.Elapsed != 0 {
+		t.Fatalf("streamed elapsed = %v, want 0 (unknown up front)", got.Elapsed)
+	}
+	if !reflect.DeepEqual(got.Events, orig.Events) {
+		t.Fatalf("streamed events mismatch:\n  wrote %+v\n  read  %+v", orig.Events, got.Events)
+	}
+
+	// A crash mid-record costs exactly the trailing partial record.
+	trunc := buf.Bytes()[:buf.Len()-5]
+	got, err = ReadLog(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatalf("ReadLog(truncated stream): %v", err)
+	}
+	if len(got.Events) != len(orig.Events)-1 {
+		t.Fatalf("truncated stream read %d events, want %d", len(got.Events), len(orig.Events)-1)
+	}
+
+	// A fixed-count log must still reject truncation (no sentinel).
+	var fixed bytes.Buffer
+	if _, err := orig.WriteTo(&fixed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(bytes.NewReader(fixed.Bytes()[:fixed.Len()-5])); err == nil {
+		t.Fatal("ReadLog accepted a truncated fixed-count log")
+	}
+}
+
+func TestLogOnRecordStreamsLiveRun(t *testing.T) {
+	log := NewLog()
+	alg := &stubAlg{}
+	c := NewCore(Config{Budget: 2, Policy: LazyOffspring, Alg: alg, Log: log})
+	var buf bytes.Buffer
+	lw, err := NewLogWriter(&buf, log.Meta) // meta stamped by NewCore
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.OnRecord = func(ev Event) { lw.Record(ev) }
+
+	c.Handle(Event{Kind: EvJoin, Worker: 1, At: 0})
+	c.Handle(Event{Kind: EvResult, Worker: 1, Item: 1, At: 1})
+	c.Handle(Event{Kind: EvResult, Worker: 1, Item: 2, At: 2})
+	if !c.Done() {
+		t.Fatalf("run did not complete: %+v", c.Stats())
+	}
+	if err := lw.Err(); err != nil {
+		t.Fatalf("stream writer error: %v", err)
+	}
+
+	loaded, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Events, log.Events) {
+		t.Fatalf("streamed log diverged from in-memory log:\n  mem  %+v\n  disk %+v", log.Events, loaded.Events)
+	}
+	if loaded.Meta != log.Meta {
+		t.Fatalf("streamed meta = %+v, want %+v", loaded.Meta, log.Meta)
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,7 +23,10 @@ func writeJSONMap(w io.Writer, m map[string]any) {
 // DebugServer is a live introspection endpoint for a running master or
 // worker daemon:
 //
-//	/healthz        — liveness probe ("ok")
+//	/healthz        — liveness probe ("ok": the process serves HTTP)
+//	/readyz         — readiness probe; reflects the WithReadiness
+//	                check, so a draining job server can fail it while
+//	                staying alive
 //	/debug/vars     — the attached Registry's metrics as JSON
 //	                (expvar-style), plus runtime goroutine/heap figures
 //	/debug/metrics  — the same registry in Prometheus text exposition
@@ -32,18 +36,27 @@ func writeJSONMap(w io.Writer, m map[string]any) {
 // It binds its own listener and mux, so importing this package never
 // touches http.DefaultServeMux.
 type DebugServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln    net.Listener
+	srv   *http.Server
+	ready func() error
 }
 
 // DebugOption extends a debug server at construction time.
-type DebugOption func(mux *http.ServeMux)
+type DebugOption func(s *DebugServer, mux *http.ServeMux)
 
 // WithHandler mounts an extra handler on the debug mux — the hook the
 // scalability advisor uses to serve /debug/scaling next to
 // /debug/vars without obs depending on internal/advisor.
 func WithHandler(pattern string, h http.Handler) DebugOption {
-	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
+	return func(_ *DebugServer, mux *http.ServeMux) { mux.Handle(pattern, h) }
+}
+
+// WithReadiness installs the /readyz check: nil means ready (200), an
+// error is served as 503 with the reason. Without this option the
+// server is always ready — liveness and readiness coincide, the
+// pre-job-server behavior.
+func WithReadiness(check func() error) DebugOption {
+	return func(s *DebugServer, _ *http.ServeMux) { s.ready = check }
 }
 
 // ServeDebug starts a debug server on addr (e.g. "localhost:6060", or
@@ -55,10 +68,22 @@ func ServeDebug(addr string, reg *Registry, opts ...DebugOption) (*DebugServer, 
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen: %w", err)
 	}
+	s := &DebugServer{ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.ready != nil {
+			if err := s.ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, err)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -80,13 +105,10 @@ func ServeDebug(addr string, reg *Registry, opts ...DebugOption) (*DebugServer, 
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	for _, opt := range opts {
-		opt(mux)
+		opt(s, mux)
 	}
 
-	s := &DebugServer{
-		ln:  ln,
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-	}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // always returns on Close
 	return s, nil
 }
@@ -96,3 +118,8 @@ func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server and releases its port.
 func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully drains the server: the listener closes at once
+// (readiness probes start failing at the LB), in-flight requests run
+// to completion or until ctx expires.
+func (s *DebugServer) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

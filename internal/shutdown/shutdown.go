@@ -1,0 +1,112 @@
+// Package shutdown is the one SIGINT/SIGTERM path shared by the borg
+// CLI, the borgd worker daemon and the borgsvc job server. It
+// deduplicates the flush-on-signal logic those commands used to copy:
+// cleanup hooks registered on a Flusher run exactly once — on the
+// normal exit path or on the first signal — so interrupted runs keep
+// their telemetry, journals and checkpoints.
+package shutdown
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// Signals are the termination signals every daemon honors.
+var Signals = []os.Signal{os.Interrupt, syscall.SIGTERM}
+
+// Flusher runs registered cleanup hooks exactly once, in registration
+// order. The zero value is ready to use; all methods are safe for
+// concurrent use, because a signal goroutine may race the normal exit
+// path.
+type Flusher struct {
+	mu   sync.Mutex
+	fns  []func()
+	done bool
+}
+
+// Add registers a hook. A hook added after the flush already ran is
+// invoked immediately, so nothing registered is ever skipped.
+func (f *Flusher) Add(fn func()) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		fn()
+		return
+	}
+	f.fns = append(f.fns, fn)
+	f.mu.Unlock()
+}
+
+// Flush runs the hooks once, in registration order; later calls are
+// no-ops.
+func (f *Flusher) Flush() {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	f.done = true
+	fns := f.fns
+	f.fns = nil
+	f.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// NotifyContext returns a context cancelled on the first termination
+// signal, like signal.NotifyContext, additionally reporting that
+// signal to onSignal (may be nil) from the watching goroutine — the
+// daemons' "signal received; shutting down" log line. stop releases
+// the signal registration and cancels the context.
+func NotifyContext(parent context.Context, onSignal func(os.Signal)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, Signals...)
+	go func() {
+		select {
+		case sig := <-ch:
+			if onSignal != nil {
+				onSignal(sig)
+			}
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	stop := func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	return ctx, stop
+}
+
+// ExitAfterFlush installs the CLI path: on the first termination
+// signal, report it, run the Flusher's hooks, and exit with the
+// conventional 128+signum code. Commands whose run loop can be
+// interrupted cooperatively should prefer NotifyContext; this is for
+// drivers that cannot be stopped mid-stride (the virtual-time runs)
+// but whose telemetry must still survive the interrupt.
+func ExitAfterFlush(f *Flusher, onSignal func(os.Signal)) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, Signals...)
+	go func() {
+		sig := <-ch
+		if onSignal != nil {
+			onSignal(sig)
+		}
+		f.Flush()
+		os.Exit(ExitCode(sig))
+	}()
+}
+
+// ExitCode maps a termination signal to the conventional shell exit
+// code (130 for SIGINT, 143 for SIGTERM).
+func ExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
+}

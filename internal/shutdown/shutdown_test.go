@@ -1,0 +1,77 @@
+package shutdown
+
+import (
+	"context"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestFlusherRunsOnceInOrder(t *testing.T) {
+	var f Flusher
+	var got []int
+	f.Add(func() { got = append(got, 1) })
+	f.Add(func() { got = append(got, 2) })
+	f.Flush()
+	f.Flush() // idempotent
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("hooks ran %v, want [1 2] exactly once", got)
+	}
+	// A hook added after the flush runs immediately.
+	f.Add(func() { got = append(got, 3) })
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("late hook: got %v", got)
+	}
+}
+
+func TestFlusherConcurrentFlush(t *testing.T) {
+	var f Flusher
+	var n int
+	f.Add(func() { n++ })
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Flush()
+		}()
+	}
+	wg.Wait()
+	if n != 1 {
+		t.Fatalf("hook ran %d times under concurrent flush", n)
+	}
+}
+
+func TestNotifyContextCancelsOnSignal(t *testing.T) {
+	sigC := make(chan os.Signal, 1)
+	ctx, stop := NotifyContext(context.Background(), func(s os.Signal) { sigC <- s })
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after SIGTERM")
+	}
+	select {
+	case s := <-sigC:
+		if s != syscall.SIGTERM {
+			t.Fatalf("onSignal saw %v, want SIGTERM", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("onSignal never ran")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if c := ExitCode(os.Interrupt); c != 130 {
+		t.Fatalf("SIGINT exit code = %d, want 130", c)
+	}
+	if c := ExitCode(syscall.SIGTERM); c != 143 {
+		t.Fatalf("SIGTERM exit code = %d, want 143", c)
+	}
+}

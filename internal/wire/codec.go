@@ -85,14 +85,25 @@ type Welcome struct {
 	HeartbeatMillis uint32
 }
 
+// MultiProblem is the Welcome.Problem sentinel of a multi-tenant
+// session: the master multiplexes many problems over one fleet, so
+// each Evaluate names its own (Evaluate.Problem) and the worker
+// resolves per grant instead of once at handshake. The Welcome
+// dimension fields are 0 and unchecked in this mode; per-grant
+// failures come back as empty Results, not dropped connections.
+const MultiProblem = "*"
+
 // Evaluate grants one evaluation lease to a worker. Lease is the
 // master's lease identifier (unique per dispatch — the dedup key of
 // the fault-tolerance protocol), SolID/Operator are the solution's
-// algorithm-level bookkeeping, echoed back in the Result.
+// algorithm-level bookkeeping, echoed back in the Result. Problem
+// names the problem to evaluate in a MultiProblem session; it is
+// empty in single-problem sessions, where the handshake fixed it.
 type Evaluate struct {
 	Lease    uint64
 	SolID    uint64
 	Operator int32
+	Problem  string
 	Vars     []float64
 }
 
@@ -159,6 +170,7 @@ func (m *Evaluate) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Lease)
 	dst = appendU64(dst, m.SolID)
 	dst = appendU32(dst, uint32(m.Operator))
+	dst = appendString(dst, m.Problem)
 	return appendF64s(dst, m.Vars)
 }
 
@@ -317,6 +329,7 @@ func DecodeFrame(payload []byte) (Message, error) {
 			Lease:    r.u64(),
 			SolID:    r.u64(),
 			Operator: int32(r.u32()),
+			Problem:  r.str(),
 			Vars:     r.f64s(),
 		}
 		return r.finish(m)

@@ -23,6 +23,8 @@ func sampleMessages() []Message {
 		&Welcome{Problem: ""},
 		&Evaluate{Lease: 1, SolID: 2, Operator: -1, Vars: []float64{0, 0.5, 1}},
 		&Evaluate{Lease: math.MaxUint64, Vars: nil},
+		&Evaluate{Lease: 9, Problem: "DTLZ2_5", Vars: []float64{0.25}},
+		&Welcome{WorkerID: 3, Problem: MultiProblem},
 		&Result{Lease: 3, SolID: 4, Operator: 5, EvalNanos: 123456, Objs: []float64{1, 2}, Constrs: []float64{0.25}},
 		&Result{Objs: []float64{math.Inf(1), math.NaN(), -0}},
 		Stop{},
@@ -67,7 +69,7 @@ func TestRoundTripRandomized(t *testing.T) {
 		msgs := []Message{
 			&Hello{WorkerID: r.Uint64()},
 			&Welcome{WorkerID: r.Uint64(), Problem: "UF11", NumVars: uint32(r.Intn(1000)), NumObjs: uint32(r.Intn(16))},
-			&Evaluate{Lease: r.Uint64(), SolID: r.Uint64(), Operator: int32(r.Intn(7) - 1), Vars: randFloats()},
+			&Evaluate{Lease: r.Uint64(), SolID: r.Uint64(), Operator: int32(r.Intn(7) - 1), Problem: []string{"", "ZDT1", MultiProblem}[r.Intn(3)], Vars: randFloats()},
 			&Result{Lease: r.Uint64(), EvalNanos: r.Uint64(), Objs: randFloats(), Constrs: randFloats()},
 		}
 		for _, m := range msgs {

@@ -272,3 +272,81 @@ func TestRunWorkerRejectsProblemMismatch(t *testing.T) {
 		t.Fatalf("want dimension-mismatch error, got %v", err)
 	}
 }
+
+// TestRunWorkerMultiProblem drives a multi-problem session: the master
+// welcomes with the MultiProblem sentinel and names a different problem
+// on each grant; an unresolvable name fails only its lease (empty
+// Result), not the connection.
+func TestRunWorkerMultiProblem(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	opt := Options{Heartbeat: -1, IdleTimeout: 5 * time.Second}
+	zdt1 := problems.NewZDT(1)
+	dtlz2 := problems.NewDTLZ2(5)
+
+	results := make(chan *Result, 3)
+	go func() {
+		nc, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn, _, err := ServerHandshake(nc, opt, func(h Hello) (*Welcome, error) {
+			return &Welcome{WorkerID: 1, Problem: MultiProblem}, nil
+		})
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		send := func(lease uint64, name string, nvars int) bool {
+			vars := make([]float64, nvars)
+			for i := range vars {
+				vars[i] = 0.5
+			}
+			if err := conn.Send(&Evaluate{Lease: lease, Problem: name, Vars: vars}); err != nil {
+				return false
+			}
+			m, err := conn.Recv()
+			if err != nil {
+				return false
+			}
+			if r, ok := m.(*Result); ok {
+				results <- r
+			}
+			return true
+		}
+		// Two different problems over one connection, then a bogus name.
+		if !send(1, zdt1.Name(), zdt1.NumVars()) {
+			return
+		}
+		if !send(2, dtlz2.Name(), dtlz2.NumVars()) {
+			return
+		}
+		if !send(3, "NOSUCH", 4) {
+			return
+		}
+		_ = conn.Send(Stop{})
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := RunWorker(ctx, WorkerConfig{Addr: l.Addr().String(), Conn: opt}); err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	want := []struct {
+		lease uint64
+		objs  int
+	}{{1, zdt1.NumObjs()}, {2, dtlz2.NumObjs()}, {3, 0}}
+	for _, w := range want {
+		select {
+		case r := <-results:
+			if r.Lease != w.lease || len(r.Objs) != w.objs {
+				t.Fatalf("lease %d: got lease=%d objs=%d, want %d objs", w.lease, r.Lease, len(r.Objs), w.objs)
+			}
+		default:
+			t.Fatalf("master never saw result for lease %d", w.lease)
+		}
+	}
+}

@@ -98,16 +98,22 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		wait = backoff
 		workerID = welcome.WorkerID
 
-		problem, err := resolve(welcome.Problem)
-		if err == nil {
-			if problem.NumVars() != int(welcome.NumVars) || problem.NumObjs() != int(welcome.NumObjs) {
-				err = fmt.Errorf("wire: problem %s resolves to %dv/%do locally, master expects %dv/%do",
-					welcome.Problem, problem.NumVars(), problem.NumObjs(), welcome.NumVars, welcome.NumObjs)
+		// A MultiProblem master names the problem per grant; the worker
+		// resolves lazily in serve and reports per-grant failures as
+		// empty Results instead of dropping the session.
+		var problem problems.Problem
+		if welcome.Problem != MultiProblem {
+			problem, err = resolve(welcome.Problem)
+			if err == nil {
+				if problem.NumVars() != int(welcome.NumVars) || problem.NumObjs() != int(welcome.NumObjs) {
+					err = fmt.Errorf("wire: problem %s resolves to %dv/%do locally, master expects %dv/%do",
+						welcome.Problem, problem.NumVars(), problem.NumObjs(), welcome.NumVars, welcome.NumObjs)
+				}
 			}
-		}
-		if err != nil {
-			conn.Close()
-			return err // reconnecting cannot fix a problem mismatch
+			if err != nil {
+				conn.Close()
+				return err // reconnecting cannot fix a problem mismatch
+			}
 		}
 
 		hb := cfg.Conn.Heartbeat
@@ -134,6 +140,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // Evaluate, compute the objectives (and constraint violations for
 // constrained problems), hold the optional artificial delay, send the
 // Result. Returns errStopped on a Stop, or the transport error.
+//
+// A nil problem makes the session multi-problem: each grant names its
+// own problem, resolved on first use and cached for the connection. A
+// grant that cannot be evaluated — unknown name, dimension mismatch —
+// answers with an empty Result (Objs == nil) so the master fails only
+// that job's lease, not the whole session.
 func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *WorkerConfig, workerID uint64) error {
 	// Unblock the reader when the context dies.
 	watch := make(chan struct{})
@@ -150,7 +162,11 @@ func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *Worke
 	// across workers: splitmix64 seeding maps similar seeds to
 	// unrelated xoshiro states.
 	delayRng := rng.New(cfg.Seed ^ (workerID * 0x9e3779b97f4a7c15))
-	cp, constrained := problem.(problems.Constrained)
+	resolve := cfg.Resolve
+	if resolve == nil {
+		resolve = problems.ByName
+	}
+	cache := make(map[string]problems.Problem) // multi-problem resolutions; nil = known-bad
 
 	for {
 		m, err := conn.Recv()
@@ -159,18 +175,40 @@ func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *Worke
 		}
 		switch req := m.(type) {
 		case *Evaluate:
-			if len(req.Vars) != problem.NumVars() {
-				return fmt.Errorf("wire: evaluate with %d vars, problem %s wants %d",
-					len(req.Vars), problem.Name(), problem.NumVars())
+			p := problem
+			if p == nil {
+				var hit bool
+				if p, hit = cache[req.Problem]; !hit {
+					var rerr error
+					if p, rerr = resolve(req.Problem); rerr != nil {
+						cfg.logf("wire: worker %d cannot resolve problem %q: %v", workerID, req.Problem, rerr)
+						p = nil
+					}
+					cache[req.Problem] = p
+				}
+			}
+			if p == nil || len(req.Vars) != p.NumVars() {
+				if problem != nil {
+					// Single-problem sessions validated dimensions at
+					// the handshake; a mismatch is a protocol error.
+					return fmt.Errorf("wire: evaluate with %d vars, problem %s wants %d",
+						len(req.Vars), problem.Name(), problem.NumVars())
+				}
+				// Multi-problem: fail this lease, keep the session.
+				empty := &Result{Lease: req.Lease, SolID: req.SolID, Operator: req.Operator}
+				if err := conn.Send(empty); err != nil {
+					return err
+				}
+				continue
 			}
 			start := time.Now()
-			objs := make([]float64, problem.NumObjs())
+			objs := make([]float64, p.NumObjs())
 			var constrs []float64
-			if constrained {
+			if cp, constrained := p.(problems.Constrained); constrained {
 				constrs = make([]float64, cp.NumConstraints())
 				cp.EvaluateWithConstraints(req.Vars, objs, constrs)
 			} else {
-				problem.Evaluate(req.Vars, objs)
+				p.Evaluate(req.Vars, objs)
 			}
 			if cfg.Delay != nil {
 				d := time.Duration(cfg.Delay.Sample(delayRng) * float64(time.Second))
