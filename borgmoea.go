@@ -43,6 +43,7 @@ import (
 	"borgmoea/internal/core"
 	"borgmoea/internal/experiment"
 	"borgmoea/internal/fault"
+	"borgmoea/internal/federation"
 	"borgmoea/internal/jobs"
 	"borgmoea/internal/master"
 	"borgmoea/internal/metrics"
@@ -226,6 +227,50 @@ type (
 
 // NewScalingAdvisor constructs a live scalability advisor.
 var NewScalingAdvisor = advisor.New
+
+// Multi-master federation (see internal/federation): k island masters
+// — each a full asynchronous master-slave instance over its own worker
+// pool — exchange ε-archive members in a ring over TCP and optionally
+// stream archive deltas to a merging root. The paper's Eq. 4 ceiling
+// P_UB = T_F/(2·T_C + T_A) binds each island separately, so the
+// federation's aggregate useful processor count approaches k·P_UB.
+// cmd/borgfed runs a federation; borgtop -fed watches one.
+type (
+	// FederationConfig describes one TCP federation run.
+	FederationConfig = federation.Config
+	// FederationResult summarizes a federation run.
+	FederationResult = federation.Result
+	// FederationReplayResult is the offline reconstruction of a
+	// federated run from its BMEL and migrant sidecar logs.
+	FederationReplayResult = federation.ReplayResult
+	// MigrantLog is the per-island sidecar log of outgoing migrants
+	// that, together with the BMEL log, makes a federated run
+	// replayable.
+	MigrantLog = federation.MigrantLog
+	// ScalingFederation rolls per-island scalability advisors up into
+	// one federated analysis (the federation-level /debug/scaling).
+	ScalingFederation = advisor.Federation
+	// FederationScalingReport is the federated roll-up's response body.
+	FederationScalingReport = advisor.FederationReport
+)
+
+var (
+	// RunFederation executes a multi-master federation over loopback or
+	// LAN TCP.
+	RunFederation = federation.Run
+	// ReplayFederation reconstructs a federated run offline from its
+	// per-island logs.
+	ReplayFederation = federation.Replay
+	// NewMigrantLog returns an empty migrant sidecar log.
+	NewMigrantLog = federation.NewMigrantLog
+	// ReadMigrantLog deserializes a log written with MigrantLog.WriteTo.
+	ReadMigrantLog = federation.ReadMigrantLog
+	// NewScalingFederation returns an empty federated advisor roll-up.
+	NewScalingFederation = advisor.NewFederation
+	// CompareFederationScaling runs the DES federation-vs-single-master
+	// experiment past the single-master processor bound.
+	CompareFederationScaling = experiment.CompareFederation
+)
 
 // Multi-tenant job service (see internal/jobs): a JobScheduler owns a
 // shared borgd fleet and multiplexes many concurrent Borg runs over

@@ -1,0 +1,274 @@
+// Command borgfed launches a multi-master federation: k island
+// masters in one process, each a full asynchronous master-slave Borg
+// instance over its own TCP worker pool, exchanging ε-archive members
+// in a ring and optionally streaming archive deltas to a merging root.
+// The paper's Eq. 4 ceiling P_UB = T_F/(2·T_C+T_A) binds each island
+// separately, so the federation's aggregate useful processor count
+// approaches k·P_UB — this is the tool that takes a run past the
+// single-master bound on real sockets.
+//
+// Usage:
+//
+//	borgfed -islands 4 -workers 8 -evals 25000 -migrate 500
+//	borgfed -islands 4 -evals 25000 -listen :7070,:7071,:7072,:7073   # external borgd fleets
+//	borgfed -islands 2 -workers 4 -debug-addr localhost:6060          # live federated /debug/scaling
+//	borgfed -islands 2 -workers 4 -log-dir run/                       # record BMEL + migrant logs
+//	borgfed -replay-dir run/ -islands 2 -problem DTLZ2 -objectives 3  # replay a recorded federation
+//
+// With -debug-addr the federated scalability roll-up serves
+// /debug/scaling (watch it with: borgtop -fed -addr localhost:6060;
+// ?island=i narrows to one island). With -log-dir every island writes
+// island-<i>.bmel and island-<i>.migrants; -replay-dir reconstructs
+// the identical merged front from those files, offline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"borgmoea"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		problemName = flag.String("problem", "DTLZ2", "problem: DTLZ1-7, ZDT1-4/6 or UF1-11")
+		objectives  = flag.Int("objectives", 3, "objective count (DTLZ problems)")
+		epsilon     = flag.Float64("epsilon", 0.1, "archive epsilon (uniform)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		islands     = flag.Int("islands", 2, "island master count k")
+		evals       = flag.Uint64("evals", 10000, "function evaluation budget per island")
+		migrate     = flag.Uint64("migrate", 500, "migration epoch: exchange one archive member around the ring every this many accepts per island (0 = off)")
+		workers     = flag.Int("workers", 4, "in-process workers per island (0 = external borgd fleets dial the printed addresses)")
+		delay       = flag.Float64("delay", 0, "mean synthetic per-evaluation delay in seconds for in-process workers (0 = none)")
+		delayCV     = flag.Float64("delay-cv", 0.1, "synthetic delay coefficient of variation (with -delay)")
+		simTA       = flag.Float64("sim-ta", 0, "extra simulated master critical-section seconds per accept (stretches T_A, lowering each island's P_UB)")
+		listen      = flag.String("listen", "", "comma-separated per-island worker listen addresses (default 127.0.0.1:0 each)")
+		leaseT      = flag.Duration("lease-timeout", 0, "master lease timeout (0 = off; set it when external workers can fail)")
+		wallLimit   = flag.Duration("wall-limit", 0, "abort the run after this wall time (0 = 5m default)")
+		root        = flag.Bool("root", true, "run the merging root the islands stream archive deltas to")
+		deltaEvery  = flag.Uint64("delta-every", 500, "stream recent archive members to the root every this many accepts per island (0 = off)")
+		debugAddr   = flag.String("debug-addr", "", "serve the federated /debug/scaling (plus /debug/vars, /debug/pprof) on this address (e.g. localhost:6060)")
+		logDir      = flag.String("log-dir", "", "write per-island BMEL event logs and migrant sidecar logs into this directory")
+		replayDir   = flag.String("replay-dir", "", "replay a recorded federation from this directory instead of running (pass the original -islands/-problem/-objectives/-epsilon/-seed)")
+		outPath     = flag.String("out", "", "save the merged archive as JSON to this path")
+		printFront  = flag.Bool("front", false, "print the merged Pareto approximation")
+		verbose     = flag.Bool("v", false, "verbose (debug-level) logging")
+	)
+	flag.Parse()
+	logger := borgmoea.NewLogger(os.Stderr, *verbose)
+	fail := func(code int, msg string, args ...any) int {
+		logger.Error(msg, args...)
+		return code
+	}
+
+	problem, err := borgmoea.LookupProblem(*problemName, *objectives)
+	if err != nil {
+		return fail(2, err.Error())
+	}
+	if *islands < 1 {
+		return fail(2, "-islands must be at least 1")
+	}
+	algCfg := borgmoea.Config{Epsilons: borgmoea.UniformEpsilons(problem.NumObjs(), *epsilon)}
+
+	if *replayDir != "" {
+		return replay(logger, *replayDir, problem, algCfg, *seed, *islands, *outPath, *printFront)
+	}
+
+	cfg := borgmoea.FederationConfig{
+		Problem:        problem,
+		Algorithm:      algCfg,
+		Seed:           *seed,
+		Islands:        *islands,
+		Evaluations:    *evals,
+		MigrationEvery: *migrate,
+		Workers:        *workers,
+		LeaseTimeout:   *leaseT,
+		WallLimit:      *wallLimit,
+		Root:           *root,
+		DeltaEvery:     *deltaEvery,
+		Logf:           borgmoea.LogfAdapter(logger),
+	}
+	if !*root {
+		cfg.DeltaEvery = 0
+	}
+	if *delay > 0 {
+		cfg.WorkerDelay = borgmoea.GammaFromMeanCV(*delay, *delayCV)
+	}
+	if *simTA > 0 {
+		cfg.SimulateTA = borgmoea.GammaFromMeanCV(*simTA, 0.1)
+	}
+	if *listen != "" {
+		addrs := strings.Split(*listen, ",")
+		if len(addrs) != *islands {
+			return fail(2, fmt.Sprintf("-listen names %d addresses for %d islands", len(addrs), *islands))
+		}
+		cfg.ListenAddrs = addrs
+	}
+	if *workers == 0 {
+		cfg.OnListen = func(island int, addr string) {
+			logger.Info("island listening for workers", "island", island, "addr", addr,
+				"hint", fmt.Sprintf("start workers with: borgd -connect %s", addr))
+		}
+	}
+	if *logDir != "" {
+		if err := os.MkdirAll(*logDir, 0o755); err != nil {
+			return fail(1, err.Error())
+		}
+		cfg.Logs = make([]*borgmoea.ProtocolLog, *islands)
+		cfg.MigrantLogs = make([]*borgmoea.MigrantLog, *islands)
+		for i := range cfg.Logs {
+			cfg.Logs[i] = borgmoea.NewProtocolLog()
+			cfg.MigrantLogs[i] = borgmoea.NewMigrantLog()
+		}
+	}
+	if *debugAddr != "" {
+		cfg.Metrics = borgmoea.NewMetrics()
+		cfg.Federation = borgmoea.NewScalingFederation()
+		srv, err := borgmoea.ServeDebug(*debugAddr, cfg.Metrics,
+			borgmoea.WithDebugHandler("/debug/scaling", cfg.Federation.Handler()))
+		if err != nil {
+			return fail(1, err.Error())
+		}
+		defer srv.Close()
+		logger.Info("debug listener up", "addr", srv.Addr(),
+			"scaling", fmt.Sprintf("http://%s/debug/scaling", srv.Addr()),
+			"hint", fmt.Sprintf("watch with: borgtop -fed -addr %s", srv.Addr()))
+	}
+
+	start := time.Now()
+	res, err := borgmoea.RunFederation(cfg)
+	if err != nil {
+		return fail(1, err.Error())
+	}
+
+	fmt.Printf("federation: islands=%d  P=%d  N=%d  T_P=%.2fs  migrants=%d  merged-archive=%d\n",
+		*islands, res.Processors, res.TotalEvaluations, res.ElapsedTime, res.Migrants, res.MergedArchive.Size())
+	fr := res.Federation.Report()
+	if fr.SingleMasterPUB > 0 {
+		fmt.Printf("scaling: single-master P_UB=%.1f  aggregate-speedup=%.1f  effective-processors=%.1f  ceiling-ratio=%.2f\n",
+			fr.SingleMasterPUB, fr.AggregateObservedSpeedup, fr.AggregateEffectiveProcessors, fr.CeilingRatio)
+	}
+	if res.Root != nil {
+		fmt.Printf("root: deltas=%d  live-archive=%d  completed-seen=%d\n",
+			res.Root.Deltas(), res.Root.Size(), res.Root.Completed())
+	}
+	for i, el := range res.IslandElapsed {
+		logger.Info("island done", "island", i, "elapsed", fmt.Sprintf("%.2fs", el),
+			"evals", res.Islands[i].Evaluations(), "archive", res.Islands[i].Archive().Size())
+	}
+	logger.Info("wall time", "elapsed", time.Since(start).Round(time.Millisecond).String())
+
+	if *logDir != "" {
+		for i := range cfg.Logs {
+			if err := writeFileWith(islandLogPath(*logDir, i, "bmel"), func(w io.Writer) error {
+				_, err := cfg.Logs[i].WriteTo(w)
+				return err
+			}); err != nil {
+				return fail(1, "writing event log", "island", i, "err", err)
+			}
+			if err := writeFileWith(islandLogPath(*logDir, i, "migrants"), func(w io.Writer) error {
+				_, err := cfg.MigrantLogs[i].WriteTo(w)
+				return err
+			}); err != nil {
+				return fail(1, "writing migrant log", "island", i, "err", err)
+			}
+		}
+		logger.Info("federation logs written", "dir", *logDir,
+			"hint", fmt.Sprintf("replay with: borgfed -replay-dir %s -islands %d -problem %s -objectives %d -epsilon %g -seed %d",
+				*logDir, *islands, *problemName, *objectives, *epsilon, *seed))
+	}
+
+	return emitFront(logger, res.MergedFront, res.MergedArchive, *outPath, *printFront)
+}
+
+// replay reconstructs a recorded federation from -log-dir files and
+// prints the merged front it reproduces.
+func replay(logger *slog.Logger, dir string, problem borgmoea.Problem, algCfg borgmoea.Config, seed uint64, islands int, outPath string, printFront bool) int {
+	fail := func(code int, msg string, args ...any) int {
+		logger.Error(msg, args...)
+		return code
+	}
+	logs := make([]*borgmoea.ProtocolLog, islands)
+	mlogs := make([]*borgmoea.MigrantLog, islands)
+	for i := 0; i < islands; i++ {
+		var err error
+		if logs[i], err = readFileWith(islandLogPath(dir, i, "bmel"), borgmoea.ReadProtocolLog); err != nil {
+			return fail(1, "reading event log", "island", i, "err", err)
+		}
+		if mlogs[i], err = readFileWith(islandLogPath(dir, i, "migrants"), borgmoea.ReadMigrantLog); err != nil {
+			return fail(1, "reading migrant log", "island", i, "err", err)
+		}
+	}
+	rep, err := borgmoea.ReplayFederation(problem, algCfg, seed, logs, mlogs)
+	if err != nil {
+		return fail(1, err.Error())
+	}
+	var evals uint64
+	for _, b := range rep.Islands {
+		evals += b.Evaluations()
+	}
+	fmt.Printf("replayed federation: islands=%d  N=%d  merged-archive=%d\n",
+		islands, evals, rep.MergedArchive.Size())
+	return emitFront(logger, rep.MergedFront, rep.MergedArchive, outPath, printFront)
+}
+
+// emitFront prints/saves the merged front per the output flags.
+func emitFront(logger *slog.Logger, front [][]float64, arch *borgmoea.Archive, outPath string, printFront bool) int {
+	if printFront {
+		for _, f := range front {
+			for j, v := range f {
+				if j > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Printf("%.6f", v)
+			}
+			fmt.Println()
+		}
+	}
+	if outPath != "" {
+		if err := writeFileWith(outPath, func(w io.Writer) error {
+			return borgmoea.SaveArchive(w, arch)
+		}); err != nil {
+			logger.Error("saving archive", "err", err)
+			return 1
+		}
+		logger.Info("merged archive saved", "path", outPath)
+	}
+	return 0
+}
+
+func islandLogPath(dir string, island int, ext string) string {
+	return filepath.Join(dir, fmt.Sprintf("island-%d.%s", island, ext))
+}
+
+// writeFileWith creates path and streams content into it via write.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readFileWith opens path and decodes it via read.
+func readFileWith[T any](path string, read func(io.Reader) (T, error)) (T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	defer f.Close()
+	return read(f)
+}

@@ -9,8 +9,14 @@
 //
 //	borgtop -addr localhost:6060             # follow a live master (-debug-addr)
 //	borgtop -addr localhost:6060 -job j000001  # one job on a borgsvc server
+//	borgtop -fed -addr localhost:6060        # follow a borgfed federation roll-up
 //	borgtop -file scaling.jsonl              # follow an -advise-out journal
 //	borgtop -addr localhost:6060 -once       # one report, no screen control
+//
+// -fed renders the federated view of a borgfed -debug-addr endpoint:
+// the pooled timing fit, the single-master P_UB the federation is
+// sailing past, aggregate speedup/effective processors, and one row
+// per island.
 package main
 
 import (
@@ -37,6 +43,7 @@ func run() int {
 		file  = flag.String("file", "", "advisor JSONL journal to follow (borg -advise-out path)")
 		every = flag.Duration("every", time.Second, "refresh interval")
 		once  = flag.Bool("once", false, "render one report and exit (no screen control)")
+		fed   = flag.Bool("fed", false, "the endpoint is a borgfed federation: render the multi-island roll-up")
 	)
 	flag.Parse()
 	if (*addr == "") == (*file == "") {
@@ -47,10 +54,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "borgtop: -job needs -addr (a borgsvc server)")
 		return 2
 	}
+	if *fed && *addr == "" {
+		fmt.Fprintln(os.Stderr, "borgtop: -fed needs -addr (a borgfed -debug-addr endpoint)")
+		return 2
+	}
 	if *every < 100*time.Millisecond {
 		*every = 100 * time.Millisecond
 	}
 
+	if *fed {
+		return runFed(*addr, *every, *once)
+	}
 	for {
 		rep, err := load(*addr, *job, *file)
 		if err != nil {
@@ -71,6 +85,93 @@ func run() int {
 		}
 		time.Sleep(*every)
 	}
+}
+
+// runFed is the -fed loop: poll a borgfed roll-up and render the
+// federated dashboard.
+func runFed(addr string, every time.Duration, once bool) int {
+	for {
+		fr, err := fetchFed(addr)
+		if err != nil {
+			if once {
+				fmt.Fprintf(os.Stderr, "borgtop: %v\n", err)
+				return 1
+			}
+			fmt.Printf("\x1b[H\x1b[2Jborgtop: waiting for data: %v\n", err)
+		} else {
+			out := renderFed(fr)
+			if once {
+				fmt.Print(out)
+				return 0
+			}
+			fmt.Print("\x1b[H\x1b[2J" + out)
+		}
+		time.Sleep(every)
+	}
+}
+
+func fetchFed(addr string) (*borgmoea.FederationScalingReport, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/scaling"
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var fr borgmoea.FederationScalingReport
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	if fr.Islands == 0 {
+		return nil, fmt.Errorf("%s: no islands attached yet (is this a borgfed endpoint?)", url)
+	}
+	return &fr, nil
+}
+
+// renderFed formats the federated roll-up screen: the aggregate view
+// against the single-master ceiling, then one row per island.
+func renderFed(fr *borgmoea.FederationScalingReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "borg federation   islands=%d  P=%d", fr.Islands, fr.Processors)
+	if fr.Budget > 0 {
+		fmt.Fprintf(&sb, "   N=%d/%d", fr.Completed, fr.Budget)
+	} else {
+		fmt.Fprintf(&sb, "   N=%d", fr.Completed)
+	}
+	fmt.Fprintf(&sb, "   t=%s\n\n", fmtSec(fr.Elapsed))
+
+	t := fr.Times
+	fmt.Fprintf(&sb, "pooled   T_F=%s  T_A=%s  T_C=%s   (%d samples)\n",
+		fmtSec(t.TF), fmtSec(t.TA), fmtSec(t.TC), t.Samples)
+	fmt.Fprintf(&sb, "ceiling  single-master P_UB=%.1f   federation effective processors=%.1f   ratio=%.2fx\n",
+		fr.SingleMasterPUB, fr.AggregateEffectiveProcessors, fr.CeilingRatio)
+
+	// The headline bar: aggregate speedup against the single-master
+	// bound. Past 1.0 the federation is earning processors one master
+	// cannot.
+	scale := fr.SingleMasterPUB
+	if scale <= 0 {
+		scale = 1
+	}
+	fmt.Fprintf(&sb, "speedup  aggregate %7.2f |%s| %.1fx the single-master bound\n",
+		fr.AggregateObservedSpeedup, ascii.Bar(fr.AggregateObservedSpeedup/(2*scale), 30),
+		fr.AggregateObservedSpeedup/scale)
+	fmt.Fprintf(&sb, "         efficiency %.2f over %d federated processors\n\n", fr.AggregateEfficiency, fr.Processors)
+
+	sb.WriteString("islands  (N, t, observed speedup, effective P, master-util)\n")
+	for i, r := range fr.Reports {
+		fmt.Fprintf(&sb, "  %3d  N=%-8d t=%-8s S=%-7.2f |%s| effP=%-6.1f util=%.0f%%\n",
+			i, r.Completed, fmtSec(r.Elapsed), r.ObservedSpeedup,
+			ascii.Bar(r.ObservedSpeedup/scale, 16), r.EffectiveProcessors, 100*r.MasterUtilization)
+	}
+	return sb.String()
 }
 
 // load fetches the newest report from the configured source.

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/model"
+	"borgmoea/internal/parallel"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/stats"
+)
+
+// FederationConfig parameterizes CompareFederation: one monolithic
+// master over TotalProcessors vs a federation of Islands masters, each
+// over TotalProcessors/Islands, same timing regime and same total
+// evaluation budget — both on the DES cluster, so P ≥ 4096 runs in a
+// unit test.
+type FederationConfig struct {
+	// Problem and Epsilons configure the Borg instances. Nil problem
+	// defaults to DTLZ2 with 2 objectives (cheap to evaluate; the
+	// experiment is about the protocol, not the search).
+	Problem  problems.Problem
+	Epsilons []float64
+	// TotalProcessors is P, split evenly across Islands (each island
+	// gets one master plus TotalProcessors/Islands − 1 workers).
+	TotalProcessors int
+	Islands         int
+	// Evaluations is the total budget, split evenly across islands in
+	// the federated leg.
+	Evaluations uint64
+	// Times sets the controlled T_F, T_A and T_C (constants, so the
+	// analytical P_UB is exact).
+	Times model.Times
+	// MigrationEvery is the per-island migration cadence (0 disables).
+	MigrationEvery uint64
+	Seed           uint64
+}
+
+// FederationPoint is one leg of the comparison.
+type FederationPoint struct {
+	Processors  int
+	Evaluations uint64
+	// Elapsed is the leg's virtual T_P; Speedup is T_S/T_P against the
+	// serial algorithm, Efficiency the speedup per processor.
+	Elapsed    float64
+	Speedup    float64
+	Efficiency float64
+}
+
+// FederationComparison is the paper-extending result: the single
+// master pinned at its Eq. 4 ceiling while the federation, with the
+// identical processor count and budget, runs far past it.
+type FederationComparison struct {
+	Times model.Times
+	// PUB is the analytical single-master bound P_UB = T_F/(2·T_C+T_A).
+	PUB       float64
+	Islands   int
+	Single    FederationPoint
+	Federated FederationPoint
+	Migrants  uint64
+}
+
+func (c *FederationComparison) String() string {
+	return fmt.Sprintf("P=%d P_UB=%.1f: single speedup %.1f (%.2fx P_UB) vs %d-island federation %.1f (%.2fx P_UB)",
+		c.Single.Processors, c.PUB, c.Single.Speedup, c.Single.Speedup/c.PUB,
+		c.Islands, c.Federated.Speedup, c.Federated.Speedup/c.PUB)
+}
+
+// CompareFederation runs both legs on the DES cluster and reports the
+// speedups against the analytical ceiling.
+func CompareFederation(cfg FederationConfig) (*FederationComparison, error) {
+	if cfg.TotalProcessors < 4 {
+		return nil, fmt.Errorf("experiment: need at least 4 processors, got %d", cfg.TotalProcessors)
+	}
+	if cfg.Islands < 1 || cfg.TotalProcessors%cfg.Islands != 0 {
+		return nil, fmt.Errorf("experiment: %d processors do not split evenly into %d islands", cfg.TotalProcessors, cfg.Islands)
+	}
+	if cfg.Evaluations == 0 || cfg.Evaluations%uint64(cfg.Islands) != 0 {
+		return nil, fmt.Errorf("experiment: budget %d does not split evenly into %d islands", cfg.Evaluations, cfg.Islands)
+	}
+	problem := cfg.Problem
+	if problem == nil {
+		problem = problems.NewDTLZ2(2)
+	}
+	eps := cfg.Epsilons
+	if eps == nil {
+		eps = core.UniformEpsilons(problem.NumObjs(), 0.1)
+	}
+	base := parallel.Config{
+		Problem:     problem,
+		Algorithm:   core.Config{Epsilons: eps},
+		Evaluations: cfg.Evaluations,
+		TF:          stats.NewConstant(cfg.Times.TF),
+		TA:          stats.NewConstant(cfg.Times.TA),
+		TC:          stats.NewConstant(cfg.Times.TC),
+		Seed:        cfg.Seed,
+	}
+	serial := model.SerialTime(cfg.Evaluations, cfg.Times)
+	out := &FederationComparison{
+		Times:   cfg.Times,
+		PUB:     model.ProcessorUpperBound(cfg.Times),
+		Islands: cfg.Islands,
+	}
+
+	single := base
+	single.Processors = cfg.TotalProcessors
+	sres, err := parallel.RunAsync(single)
+	if err != nil {
+		return nil, err
+	}
+	out.Single = FederationPoint{
+		Processors:  cfg.TotalProcessors,
+		Evaluations: sres.Evaluations,
+		Elapsed:     sres.ElapsedTime,
+		Speedup:     serial / sres.ElapsedTime,
+		Efficiency:  serial / sres.ElapsedTime / float64(cfg.TotalProcessors),
+	}
+
+	fedBase := base
+	fedBase.Processors = cfg.TotalProcessors / cfg.Islands
+	fedBase.Evaluations = cfg.Evaluations / uint64(cfg.Islands)
+	fres, err := parallel.RunIslands(parallel.IslandsConfig{
+		Base:           fedBase,
+		Islands:        cfg.Islands,
+		MigrationEvery: cfg.MigrationEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Migrants = fres.Migrants
+	out.Federated = FederationPoint{
+		Processors:  cfg.TotalProcessors,
+		Evaluations: fres.TotalEvaluations,
+		Elapsed:     fres.ElapsedTime,
+		Speedup:     serial / fres.ElapsedTime,
+		Efficiency:  serial / fres.ElapsedTime / float64(cfg.TotalProcessors),
+	}
+	return out, nil
+}

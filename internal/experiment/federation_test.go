@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"borgmoea/internal/model"
+)
+
+// TestCompareFederationBeatsPUB is the DES half of the ISSUE's
+// acceptance demonstration at cluster scale: P = 4096 processors,
+// T_F = 100ms, T_A = 1ms, T_C = 0.1ms, so the paper's Eq. 4 ceiling is
+// P_UB = 0.1/(2·1e-4 + 1e-3) ≈ 83. The single master saturates right
+// at that bound no matter that it holds 4096 processors; splitting the
+// identical processor count and budget across 64 federated islands
+// runs the aggregate speedup far past it.
+func TestCompareFederationBeatsPUB(t *testing.T) {
+	times := model.Times{TF: 0.1, TA: 1e-3, TC: 1e-4}
+	cmp, err := CompareFederation(FederationConfig{
+		TotalProcessors: 4096,
+		Islands:         64,
+		Evaluations:     16384,
+		Times:           times,
+		MigrationEvery:  64,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := model.ProcessorUpperBound(times)
+	if math.Abs(cmp.PUB-pub) > 1e-9 || math.Abs(pub-83.333) > 0.01 {
+		t.Fatalf("P_UB = %.3f, want 83.333", cmp.PUB)
+	}
+
+	// Both legs spent the full budget.
+	if cmp.Single.Evaluations != 16384 || cmp.Federated.Evaluations != 16384 {
+		t.Fatalf("budgets differ: single %d, federated %d", cmp.Single.Evaluations, cmp.Federated.Evaluations)
+	}
+	if cmp.Migrants == 0 {
+		t.Fatal("federated leg exchanged no migrants")
+	}
+
+	// The single master is pinned at its ceiling: with P ≫ P_UB the
+	// master's critical section is the bottleneck, so observed speedup
+	// cannot meaningfully exceed P_UB.
+	if cmp.Single.Speedup >= 1.5*pub {
+		t.Fatalf("single master speedup %.1f exceeds 1.5x P_UB %.1f — the ceiling did not bind", cmp.Single.Speedup, pub)
+	}
+	// The federation, with the same 4096 processors and budget, runs
+	// far past the bound.
+	if cmp.Federated.Speedup <= 3*pub {
+		t.Fatalf("federated speedup %.1f does not beat 3x P_UB %.1f", cmp.Federated.Speedup, pub)
+	}
+	if cmp.Federated.Speedup <= cmp.Single.Speedup {
+		t.Fatalf("federated speedup %.1f not above single-master %.1f", cmp.Federated.Speedup, cmp.Single.Speedup)
+	}
+
+	s := cmp.String()
+	for _, want := range []string{"P=4096", "P_UB=83.3", "64-island"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+// TestCompareFederationValidation covers the config error paths.
+func TestCompareFederationValidation(t *testing.T) {
+	times := model.Times{TF: 0.1, TA: 1e-3, TC: 1e-4}
+	for name, cfg := range map[string]FederationConfig{
+		"too few processors": {TotalProcessors: 2, Islands: 1, Evaluations: 64, Times: times},
+		"uneven islands":     {TotalProcessors: 100, Islands: 3, Evaluations: 99, Times: times},
+		"uneven budget":      {TotalProcessors: 64, Islands: 4, Evaluations: 63, Times: times},
+		"zero budget":        {TotalProcessors: 64, Islands: 4, Times: times},
+	} {
+		if _, err := CompareFederation(cfg); err == nil {
+			t.Errorf("%s: accepted an invalid config", name)
+		}
+	}
+}

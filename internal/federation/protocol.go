@@ -1,0 +1,94 @@
+// Package federation shards the serial master the paper's Eq. 4
+// bounds: N islands, each a full asynchronous master-slave Borg
+// instance running the shared state machine (internal/master) over its
+// own worker pool, exchange ε-archive members in a ring over
+// internal/wire and optionally report archive deltas up to a merging
+// root. The single-master processor ceiling P_UB = T_F/(2·T_C + T_A)
+// applies per island, so k islands raise the federation's useful
+// processor count toward k·P_UB — the speedup-past-the-bound
+// demonstration ROADMAP item 1 calls for.
+//
+// The migration protocol is deliberately synchronous on migration
+// epochs: at its e-th migration boundary (accepted-evaluation count
+// n = e·MigrationEvery) an island first sends its epoch-e emigrant to
+// its ring successor, then — unless the budget completed on that very
+// accept — blocks until the epoch-e migrant from its predecessor
+// arrives, and folds it in as an EvMigrant event. Send-before-wait
+// keeps the ring deadlock-free (every island can always produce its
+// epoch-e emigrant without waiting), and pinning the injection to a
+// fixed point in the accept stream makes the event logs canonical:
+// the DES islands driver (parallel.RunIslands) and the TCP federation
+// produce byte-identical logical event sequences for the same seed,
+// and any federated run replays offline — BMEL logs plus migrant
+// sidecar logs — to the identical merged Result.
+package federation
+
+import (
+	"borgmoea/internal/core"
+	"borgmoea/internal/rng"
+	"borgmoea/internal/wire"
+)
+
+// IslandAlgSeed returns island isl's algorithm seed — the golden-ratio
+// stride RunIslands has always used, shared here so the DES and TCP
+// transports instantiate identical Borg streams.
+func IslandAlgSeed(seed uint64, isl int) uint64 {
+	return seed + uint64(isl)*0x9e3779b97f4a7c15
+}
+
+// NewMigrationRNG returns island isl's dedicated emigrant-selection
+// stream. It is split from every other stream — the DES master's
+// T_A/T_C sampling in particular — because both transports must draw
+// from it at exactly the same points (one Intn per migration epoch)
+// for the selected emigrant to be transport-independent.
+func NewMigrationRNG(seed uint64, isl int) *rng.Source {
+	return rng.New(seed ^ (uint64(isl+1) * 0x6d696772)) // "migr"
+}
+
+// Emigrant selects island isl's epoch-e emigrant: a random ε-archive
+// member, or — if the archive is empty, possible under constrained
+// problems with no feasible solution yet — the just-accepted solution,
+// so the ring never stalls. The returned Migrant references the
+// solution's slices; it must be serialized (or deep-copied) before
+// the algorithm runs again.
+func Emigrant(isl int, epoch uint64, arch *core.Archive, r *rng.Source, accepted *core.Solution) *wire.Migrant {
+	s := accepted
+	if n := arch.Size(); n > 0 {
+		s = arch.Members()[r.Intn(n)]
+	}
+	return &wire.Migrant{
+		Island:   uint32(isl),
+		Epoch:    epoch,
+		SolID:    s.ID,
+		Operator: int32(s.Operator),
+		Vars:     s.Vars,
+		Objs:     s.Objs,
+		Constrs:  s.Constrs,
+	}
+}
+
+// MigrantSolution converts a decoded Migrant frame into an evaluated
+// solution ready for Borg.InjectEvaluated. The frame's slices were
+// freshly allocated by the decoder, so they transfer without copies.
+func MigrantSolution(m *wire.Migrant) *core.Solution {
+	return &core.Solution{
+		Vars:     m.Vars,
+		Objs:     m.Objs,
+		Constrs:  m.Constrs,
+		Operator: int(m.Operator),
+		ID:       m.SolID,
+	}
+}
+
+// MergeArchives returns the ε-nondominated union of the island
+// archives, folded in island order — the canonical merged Result every
+// transport (and Replay) computes identically.
+func MergeArchives(epsilons []float64, islands []*core.Borg) *core.Archive {
+	merged := core.NewArchive(epsilons, 0)
+	for _, b := range islands {
+		for _, m := range b.Archive().Members() {
+			merged.Add(m)
+		}
+	}
+	return merged
+}

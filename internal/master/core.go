@@ -35,6 +35,15 @@ const (
 	// lease it still holds is presumed lost and resubmitted; the worker
 	// can return later via EvJoin.
 	EvLeave
+	// EvMigrant: an ε-archive member arrived from a peer island in a
+	// federation. Worker is the source island's id (a namespace disjoint
+	// from this core's worker ids) and Item the migration epoch. The
+	// core charges no evaluation and grants nothing — it invokes
+	// OnMigrant, under which the driver folds the staged solution into
+	// the algorithm — but recording the event in the BMEL log pins the
+	// injection point in the accept stream, which is what lets a
+	// federated run replay to the identical merged Result.
+	EvMigrant
 )
 
 func (k EventKind) String() string {
@@ -53,6 +62,8 @@ func (k EventKind) String() string {
 		return "ready"
 	case EvLeave:
 		return "leave"
+	case EvMigrant:
+		return "migrant"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -162,6 +173,13 @@ type Config struct {
 	// advisor. It runs after OnAccept (and after completion may have
 	// been decided), so it observes and never steers the protocol.
 	OnAcceptFrom func(worker int, completed uint64, at float64)
+	// OnMigrant runs under every EvMigrant with the source island and
+	// migration epoch. Live federation drivers stage the decoded
+	// migrant solution and inject it here; Replay looks the same epoch
+	// up in the recorded migrant sidecar log — either way the
+	// algorithm sees the injection at the identical point in the event
+	// stream.
+	OnMigrant func(source int, epoch uint64)
 }
 
 // DefaultMaxProbes is the bounded number of last-resort sends to a
@@ -252,6 +270,8 @@ func (c *Core) Handle(ev Event) []Action {
 		c.ready(ev)
 	case EvLeave:
 		c.leave(ev)
+	case EvMigrant:
+		c.migrant(ev)
 	}
 	return c.acts
 }
@@ -444,6 +464,17 @@ func (c *Core) leave(ev Event) {
 	c.stats.Leaves++
 	c.cfg.Meters.Live.Set(float64(c.reg.Live()))
 	c.dispatch(ev.At)
+}
+
+// migrant folds a peer island's archive member in: no evaluation
+// charged, no lease involved, no grant emitted — only the OnMigrant
+// hook, whose side effect (injecting the staged solution into the
+// algorithm) is the whole point of the event. The migrants meter
+// counts sends and stays with the drivers, like generations.
+func (c *Core) migrant(ev Event) {
+	if c.cfg.OnMigrant != nil {
+		c.cfg.OnMigrant(ev.Worker, ev.Item)
+	}
 }
 
 // --- internals ------------------------------------------------------

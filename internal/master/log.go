@@ -268,6 +268,11 @@ type ReplayConfig struct {
 	Meters       Meters
 	OnAccept     func(completed uint64)
 	OnAcceptFrom func(worker int, completed uint64, at float64)
+	// OnMigrant re-injects federated migrants at their recorded epochs:
+	// the replaying caller resolves (source, epoch) against the migrant
+	// sidecar log the original run kept and folds the same solution
+	// back into the algorithm.
+	OnMigrant func(source int, epoch uint64)
 }
 
 // Replay re-feeds a recorded event stream to a fresh Core and returns
@@ -290,6 +295,7 @@ func Replay(log *Log, rc ReplayConfig) (*Core, error) {
 		Meters:       rc.Meters,
 		OnAccept:     rc.OnAccept,
 		OnAcceptFrom: rc.OnAcceptFrom,
+		OnMigrant:    rc.OnMigrant,
 	})
 	for _, ev := range log.Events {
 		if ev.Kind == EvResult && rc.Evaluate != nil {

@@ -54,6 +54,14 @@ const (
 	// TagPing and TagPong are transport-level heartbeats.
 	TagPing
 	TagPong
+	// TagMigrant carries one ε-archive member from an island master to
+	// its ring successor in a federation — the TCP lift of the
+	// in-process island migration side channel.
+	TagMigrant
+	// TagDelta carries a batch of archive members from an island master
+	// up to the federation root, which merges them into the global
+	// ε-archive for live monitoring.
+	TagDelta
 )
 
 func (t Tag) String() string {
@@ -72,6 +80,10 @@ func (t Tag) String() string {
 		return "ping"
 	case TagPong:
 		return "pong"
+	case TagMigrant:
+		return "migrant"
+	case TagDelta:
+		return "delta"
 	}
 	return fmt.Sprintf("tag(%d)", uint8(t))
 }

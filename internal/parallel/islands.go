@@ -6,8 +6,10 @@ import (
 	"borgmoea/internal/cluster"
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
+	"borgmoea/internal/federation"
 	"borgmoea/internal/master"
 	"borgmoea/internal/rng"
+	"borgmoea/internal/wire"
 )
 
 // IslandsConfig parameterizes the hierarchical (multi-island) topology
@@ -27,8 +29,19 @@ type IslandsConfig struct {
 	Islands int
 	// MigrationEvery exchanges one archive member to the next island
 	// in the ring after every such number of accepted evaluations on
-	// an island (0 disables migration).
+	// an island (0 disables migration). Migration follows the
+	// synchronous epoch protocol shared with the TCP federation (see
+	// internal/federation): send to the ring successor first, then
+	// block for the predecessor's migrant of the same epoch and fold
+	// it in as an EvMigrant event.
 	MigrationEvery uint64
+	// Logs, when non-nil, must have length Islands: island isl records
+	// its BMEL event stream into Logs[isl]. MigrantLogs likewise
+	// captures outgoing migrants per island. For the same seed these
+	// match the TCP federation's logs canonically — the cross-
+	// transport equivalence the federation tests pin down.
+	Logs        []*master.Log
+	MigrantLogs []*federation.MigrantLog
 }
 
 // IslandsResult summarizes a multi-island run.
@@ -97,11 +110,15 @@ func (a *islandAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 // Borg instances under one virtual clock. Each island master runs its
 // own instance of the shared state machine (internal/master) with
 // worker ids local to the island; the driver maps them onto global
-// cluster ranks. With migration enabled, island masters send a random
-// archive member to the next island's master, which folds it into its
-// population and archive without charging a function evaluation (only
-// T_C and T_A) — migrants are a driver-level side channel and never
-// enter the state machine.
+// cluster ranks. With migration enabled, island masters exchange
+// migrants on the synchronous epoch protocol: at each boundary the
+// master serializes a random archive member as a wire.Migrant frame
+// (no Solution clone — the frame is the copy), sends it to the ring
+// successor, then blocks for the predecessor's migrant of the same
+// epoch and folds it in under an EvMigrant event — algorithm time
+// charged, but no function evaluation. Recording those events makes
+// migration part of the replayable BMEL stream instead of a side
+// channel.
 func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 	if cfg.Islands < 1 {
 		return nil, fmt.Errorf("parallel: need at least 1 island, got %d", cfg.Islands)
@@ -119,6 +136,12 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 	if !base.Fault.Empty() {
 		return nil, fmt.Errorf("parallel: RunIslands does not support fault injection; use RunAsync or RunSync")
 	}
+	if cfg.Logs != nil && len(cfg.Logs) != cfg.Islands {
+		return nil, fmt.Errorf("parallel: Logs must have one entry per island")
+	}
+	if cfg.MigrantLogs != nil && len(cfg.MigrantLogs) != cfg.Islands {
+		return nil, fmt.Errorf("parallel: MigrantLogs must have one entry per island")
+	}
 
 	k := cfg.Islands
 	perP := base.Processors
@@ -132,7 +155,9 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		IslandElapsed: make([]float64, k),
 	}
 
-	// Migrants ride outside the canonical protocol vocabulary.
+	// Migrant frames ride the mailbox outside the canonical protocol
+	// vocabulary, as encoded wire bytes — the same bytes the TCP
+	// federation puts on the network.
 	const tagMigrant = 100
 
 	// Per-process timing recorders: one T_A recorder per island master,
@@ -146,14 +171,15 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		isl := isl
 		masterRank := isl * perP
 		algCfg := base.Algorithm
-		algCfg.Seed = base.Seed + uint64(isl)*0x9e3779b97f4a7c15
+		algCfg.Seed = federation.IslandAlgSeed(base.Seed, isl)
 		b, err := core.New(base.Problem, algCfg)
 		if err != nil {
 			return nil, err
 		}
 		res.Islands[isl] = b
 
-		mRng := rng.New(base.Seed ^ (uint64(isl+1) * 0x6d61)) // per-island master stream
+		mRng := rng.New(base.Seed ^ (uint64(isl+1) * 0x6d61)) // per-island master stream (T_A, T_C)
+		migRng := federation.NewMigrationRNG(base.Seed, isl)  // emigrant selection, shared with TCP
 		taRec := &tfRecorder{capture: base.CaptureTimings, hist: meters.TA}
 		taRecs[isl] = taRec
 		sampleTC := func() float64 {
@@ -196,20 +222,30 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		// the driver adds masterRank when touching the cluster.
 		node := cl.Node(masterRank)
 		nextMaster := ((isl + 1) % k) * perP
+		var ilog *master.Log
+		if cfg.Logs != nil {
+			ilog = cfg.Logs[isl]
+		}
+		var mlog *federation.MigrantLog
+		if cfg.MigrantLogs != nil {
+			mlog = cfg.MigrantLogs[isl]
+		}
 		eng.Go(fmt.Sprintf("i%dmaster", isl), func(p *des.Process) {
-			var m *master.Core
-			m = master.NewCore(master.Config{
+			// staged carries the migrant solution into the OnMigrant
+			// hook under Handle — the same injection point federation
+			// replays resolve from the migrant sidecar log.
+			var staged *core.Solution
+			m := master.NewCore(master.Config{
 				Budget: base.Evaluations,
 				Policy: master.EagerOffspring,
 				Alg:    &islandAlg{b: b, p: p, node: node, sampleTA: sampleTA},
 				Meters: meters,
-				OnAccept: func(n uint64) {
-					if cfg.MigrationEvery > 0 && k > 1 && n%cfg.MigrationEvery == 0 && b.Archive().Size() > 0 {
-						emigrant := b.Archive().Members()[mRng.Intn(b.Archive().Size())].Clone()
-						node.HoldBusy(p, sampleTC(), "comm")
-						node.Send(nextMaster, tagMigrant, emigrant)
-						res.Migrants++
-						meters.Migrants.Inc()
+				Log:    ilog,
+				OnMigrant: func(source int, epoch uint64) {
+					if staged != nil {
+						b.InjectEvaluated(staged)
+						node.HoldBusy(p, sampleTA(), "algo")
+						staged = nil
 					}
 				},
 			})
@@ -223,27 +259,106 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 						node.Send(masterRank+a.Worker, tagStop, nil)
 					case master.ActComplete:
 						res.IslandElapsed[isl] = p.Now()
+						ilog.SetElapsed(p.Now())
 					}
 				}
+			}
+			// recv charges the one-way T_C exactly once per message at
+			// first receive; messages backlogged during a migration wait
+			// are not re-charged when the main loop gets to them.
+			recv := func() *cluster.Message {
+				msg := node.Recv(p)
+				node.HoldBusy(p, sampleTC(), "comm")
+				return msg
+			}
+			var backlog []*cluster.Message
+			pendingMig := make(map[uint64]*wire.Migrant)
+			var lastEpoch uint64
+			var migBuf []byte // frame scratch, reused per epoch
+			decode := func(payload any) *wire.Migrant {
+				mg, err := wire.DecodeFrame(payload.([]byte)[4:])
+				if err != nil {
+					panic(fmt.Sprintf("parallel: island %d migrant frame: %v", isl, err))
+				}
+				return mg.(*wire.Migrant)
+			}
+			// takeMigrant blocks until the predecessor's epoch-e migrant
+			// arrives, buffering early migrants of later epochs and
+			// backlogging every other message for the main loop.
+			takeMigrant := func(epoch uint64) *wire.Migrant {
+				if mg, ok := pendingMig[epoch]; ok {
+					delete(pendingMig, epoch)
+					return mg
+				}
+				for {
+					msg := recv()
+					if msg.Tag == tagMigrant {
+						mg := decode(msg.Payload)
+						if mg.Epoch == epoch {
+							return mg
+						}
+						pendingMig[mg.Epoch] = mg
+						continue
+					}
+					backlog = append(backlog, msg)
+				}
+			}
+			// afterAccept is the synchronous epoch protocol at accept
+			// count n: serialize the emigrant straight into the pooled
+			// frame buffer (no Solution clone), send to the successor,
+			// then — unless the budget just completed — wait for the
+			// predecessor's migrant of the same epoch and fold it in as
+			// an EvMigrant event. Send-before-wait keeps the ring
+			// deadlock-free.
+			afterAccept := func(n uint64, accepted *core.Solution) {
+				if cfg.MigrationEvery == 0 || k <= 1 || n%cfg.MigrationEvery != 0 {
+					return
+				}
+				epoch := n / cfg.MigrationEvery
+				if epoch <= lastEpoch {
+					return
+				}
+				lastEpoch = epoch
+				mg := federation.Emigrant(isl, epoch, b.Archive(), migRng, accepted)
+				migBuf = wire.AppendFrame(migBuf[:0], mg)
+				node.HoldBusy(p, sampleTC(), "comm")
+				node.Send(nextMaster, tagMigrant, append([]byte(nil), migBuf...))
+				mlog.Record(mg)
+				res.Migrants++
+				meters.Migrants.Inc()
+				if m.Done() {
+					return
+				}
+				in := takeMigrant(epoch)
+				staged = federation.MigrantSolution(in)
+				exec(m.Handle(master.Event{Kind: master.EvMigrant, Worker: int(in.Island), Item: epoch, At: p.Now()}))
 			}
 			for w := 1; w < perP; w++ {
 				exec(m.Handle(master.Event{Kind: master.EvJoin, Worker: w, At: p.Now()}))
 			}
 			for !m.Done() {
-				msg := node.Recv(p)
-				node.HoldBusy(p, sampleTC(), "comm")
+				var msg *cluster.Message
+				if len(backlog) > 0 {
+					msg = backlog[0]
+					backlog = backlog[1:]
+				} else {
+					msg = recv()
+				}
 				switch msg.Tag {
 				case tagMigrant:
-					// Fold the migrant in: algorithm time, but no
-					// function evaluation charged — and no state-machine
-					// event, since no lease was granted.
-					b.InjectEvaluated(msg.Payload.(*core.Solution))
-					node.HoldBusy(p, sampleTA(), "algo")
+					// Outside a boundary wait: the predecessor runs
+					// ahead; hold its frame for the epoch we will reach.
+					mg := decode(msg.Payload)
+					pendingMig[mg.Epoch] = mg
 				case tagResult:
 					item := msg.Payload.(*master.Item)
+					prev := m.Completed()
 					exec(m.Handle(master.Event{
 						Kind: master.EvResult, Worker: msg.From - masterRank, Item: item.ID, At: p.Now(),
 					}))
+					if n := m.Completed(); n > prev {
+						afterAccept(n, item.S)
+					}
 				}
 			}
 		})
@@ -279,13 +394,8 @@ func RunIslands(cfg IslandsConfig) (*IslandsResult, error) {
 		res.MeanTF = tfSum / float64(tfN)
 	}
 
-	// Merge: ε-nondominated union of all island archives.
-	merged := core.NewArchive(base.Algorithm.Epsilons, 0)
-	for _, b := range res.Islands {
-		for _, m := range b.Archive().Members() {
-			merged.Add(m)
-		}
-	}
-	res.MergedFront = merged.Objectives()
+	// Merge: ε-nondominated union of all island archives, via the same
+	// helper the federation (and its replays) use.
+	res.MergedFront = federation.MergeArchives(base.Algorithm.Epsilons, res.Islands).Objectives()
 	return res, nil
 }

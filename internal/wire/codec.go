@@ -55,6 +55,8 @@ const (
 	TagStop     = master.TagStop
 	TagPing     = master.TagPing
 	TagPong     = master.TagPong
+	TagMigrant  = master.TagMigrant
+	TagDelta    = master.TagDelta
 )
 
 // Message is one protocol message. Implementations are the exported
@@ -123,6 +125,46 @@ type Result struct {
 // Stop tells a worker to shut down cleanly.
 type Stop struct{}
 
+// Migrant carries one ε-archive member between federated island
+// masters — the wire form of the in-process island migration side
+// channel. Island is the sending island's id, Epoch the migration
+// round (accepted-evaluation count divided by the migration cadence):
+// together they name the EvMigrant event the receiver records, so a
+// federated run's BMEL logs plus its migrant sidecar logs replay to
+// the identical merged Result. SolID and Operator preserve the
+// solution's algorithm-level bookkeeping (operator credit on archive
+// entry) across the hop.
+type Migrant struct {
+	Island   uint32
+	Epoch    uint64
+	SolID    uint64
+	Operator int32
+	Vars     []float64
+	Objs     []float64
+	Constrs  []float64
+}
+
+// DeltaMember is one archive member inside a Delta batch.
+type DeltaMember struct {
+	Operator int32
+	Vars     []float64
+	Objs     []float64
+	Constrs  []float64
+}
+
+// Delta carries a batch of archive members from an island master up
+// to the federation root, which folds them into the global ε-archive
+// for live monitoring. Seq orders a single island's deltas; Completed
+// is the island's accepted-evaluation count when the batch was cut.
+// Deltas are monitoring traffic only — the root never feeds anything
+// back — so they do not participate in replay.
+type Delta struct {
+	Island    uint32
+	Seq       uint64
+	Completed uint64
+	Members   []DeltaMember
+}
+
 // Ping and Pong are heartbeat probes exchanged by the connection layer
 // whenever a link is otherwise idle; they never surface from Recv.
 type (
@@ -137,6 +179,8 @@ func (*Result) Tag() Tag   { return TagResult }
 func (Stop) Tag() Tag      { return TagStop }
 func (Ping) Tag() Tag      { return TagPing }
 func (Pong) Tag() Tag      { return TagPong }
+func (*Migrant) Tag() Tag  { return TagMigrant }
+func (*Delta) Tag() Tag    { return TagDelta }
 
 // --- encoding -------------------------------------------------------
 
@@ -187,20 +231,54 @@ func (Stop) appendBody(dst []byte) []byte { return dst }
 func (Ping) appendBody(dst []byte) []byte { return dst }
 func (Pong) appendBody(dst []byte) []byte { return dst }
 
-// EncodeFrame serializes a message as one wire frame:
+func (m *Migrant) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.Island)
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU64(dst, m.SolID)
+	dst = appendU32(dst, uint32(m.Operator))
+	dst = appendF64s(dst, m.Vars)
+	dst = appendF64s(dst, m.Objs)
+	return appendF64s(dst, m.Constrs)
+}
+
+func (m *Delta) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.Island)
+	dst = appendU64(dst, m.Seq)
+	dst = appendU64(dst, m.Completed)
+	dst = appendU32(dst, uint32(len(m.Members)))
+	for i := range m.Members {
+		dm := &m.Members[i]
+		dst = appendU32(dst, uint32(dm.Operator))
+		dst = appendF64s(dst, dm.Vars)
+		dst = appendF64s(dst, dm.Objs)
+		dst = appendF64s(dst, dm.Constrs)
+	}
+	return dst
+}
+
+// AppendFrame serializes a message as one wire frame appended to dst:
 //
 //	uint32 length | version(1) tag(1) body... crc32(4)
 //
 // where length counts everything after itself and the CRC (IEEE) is
-// computed over version+tag+body.
+// computed over version+tag+body. Appending lets hot paths — the
+// connection send loop, island migration — reuse one scratch buffer
+// instead of allocating a frame per message.
+func AppendFrame(dst []byte, m Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, Version, byte(m.Tag()))
+	dst = m.appendBody(dst)
+	crc := crc32.ChecksumIEEE(dst[start+4:])
+	dst = appendU32(dst, crc)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
+}
+
+// EncodeFrame serializes a message as one freshly allocated wire
+// frame. See AppendFrame for the layout.
 func EncodeFrame(m Message) []byte {
-	payload := make([]byte, 4, 64)
-	payload = append(payload, Version, byte(m.Tag()))
-	payload = m.appendBody(payload)
-	crc := crc32.ChecksumIEEE(payload[4:])
-	payload = appendU32(payload, crc)
-	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
-	return payload
+	return AppendFrame(make([]byte, 0, 64), m)
 }
 
 // --- decoding -------------------------------------------------------
@@ -349,6 +427,39 @@ func DecodeFrame(payload []byte) (Message, error) {
 		return r.finish(Ping{})
 	case TagPong:
 		return r.finish(Pong{})
+	case TagMigrant:
+		m := &Migrant{
+			Island:   r.u32(),
+			Epoch:    r.u64(),
+			SolID:    r.u64(),
+			Operator: int32(r.u32()),
+			Vars:     r.f64s(),
+			Objs:     r.f64s(),
+			Constrs:  r.f64s(),
+		}
+		return r.finish(m)
+	case TagDelta:
+		m := &Delta{Island: r.u32(), Seq: r.u64(), Completed: r.u64()}
+		n := int(r.u32())
+		if r.err == nil {
+			// A member is at least an operator plus three empty slices;
+			// reject hostile counts before allocating.
+			const minMember = 4 + 3*4
+			if n*minMember > len(r.b) {
+				r.fail("delta member count %d exceeds remaining %d bytes", n, len(r.b))
+			} else if n > 0 {
+				m.Members = make([]DeltaMember, n)
+				for i := range m.Members {
+					m.Members[i] = DeltaMember{
+						Operator: int32(r.u32()),
+						Vars:     r.f64s(),
+						Objs:     r.f64s(),
+						Constrs:  r.f64s(),
+					}
+				}
+			}
+		}
+		return r.finish(m)
 	}
 	return nil, fmt.Errorf("wire: unknown message tag %d", uint8(tag))
 }

@@ -30,6 +30,13 @@ func sampleMessages() []Message {
 		Stop{},
 		Ping{},
 		Pong{},
+		&Migrant{Island: 3, Epoch: 7, SolID: 99, Operator: 2, Vars: []float64{0.1, 0.9}, Objs: []float64{1, 2, 3}},
+		&Migrant{Epoch: 1, Operator: -1, Objs: []float64{math.Inf(-1)}, Constrs: []float64{0}},
+		&Delta{Island: 1, Seq: 5, Completed: 640},
+		&Delta{Island: 2, Seq: 1, Completed: 10, Members: []DeltaMember{
+			{Operator: 0, Vars: []float64{0.5}, Objs: []float64{1, 2}},
+			{Operator: -1, Objs: []float64{math.NaN()}, Constrs: []float64{3}},
+		}},
 	}
 }
 
@@ -113,15 +120,16 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	valid := EncodeFrame(&Evaluate{Lease: 1, Vars: []float64{1, 2, 3}})[4:]
 
 	cases := map[string][]byte{
-		"empty":     {},
-		"one byte":  {Version},
-		"short":     {Version, byte(TagStop), 0, 0, 0},
-		"bad crc":   flip(valid, len(valid)-1),
-		"bad body":  flip(valid, 10),
-		"version":   flip(valid, 0),
-		"trailing":  withCRC(append([]byte{Version, byte(TagStop)}, 0xff)),
-		"unknown":   withCRC([]byte{Version, 0x7f}),
-		"huge vars": withCRC(append([]byte{Version, byte(TagEvaluate)}, hugeCountBody()...)),
+		"empty":        {},
+		"one byte":     {Version},
+		"short":        {Version, byte(TagStop), 0, 0, 0},
+		"bad crc":      flip(valid, len(valid)-1),
+		"bad body":     flip(valid, 10),
+		"version":      flip(valid, 0),
+		"trailing":     withCRC(append([]byte{Version, byte(TagStop)}, 0xff)),
+		"unknown":      withCRC([]byte{Version, 0x7f}),
+		"huge vars":    withCRC(append([]byte{Version, byte(TagEvaluate)}, hugeCountBody()...)),
+		"huge members": withCRC(append([]byte{Version, byte(TagDelta)}, hugeDeltaBody()...)),
 	}
 	for name, payload := range cases {
 		m, err := DecodeFrame(payload)
@@ -176,4 +184,56 @@ func hugeCountBody() []byte {
 	b = appendU32(b, 0) // operator
 	b = appendU32(b, 1<<30)
 	return b
+}
+
+// hugeDeltaBody builds a Delta body whose member count claims far more
+// archive members than the body could hold — the decoder must reject
+// it before allocating.
+func hugeDeltaBody() []byte {
+	var b []byte
+	b = appendU32(b, 1)     // island
+	b = appendU64(b, 1)     // seq
+	b = appendU64(b, 100)   // completed
+	b = appendU32(b, 1<<30) // member count
+	return b
+}
+
+// TestDecodeTruncatedDelta hardens the nested delta decoder: a valid
+// multi-member frame cut at every byte offset is a clean error — never
+// a panic, never a partial message — and so is a frame whose inner
+// member slices over-claim.
+func TestDecodeTruncatedDelta(t *testing.T) {
+	frame := EncodeFrame(&Delta{Island: 9, Seq: 3, Completed: 512, Members: []DeltaMember{
+		{Operator: 1, Vars: []float64{0.1, 0.2, 0.3}, Objs: []float64{1, 2}},
+		{Operator: -1, Vars: []float64{0.4}, Objs: []float64{3, 4}, Constrs: []float64{0}},
+	}})[4:]
+	// Raw truncations trip the CRC; re-checksummed truncations reach
+	// the body decoder. Both must fail cleanly at every cut point.
+	content := frame[:len(frame)-4]
+	for cut := 0; cut < len(frame); cut++ {
+		if m, err := DecodeFrame(frame[:cut]); err == nil {
+			t.Fatalf("raw truncation at %d accepted: %v", cut, m)
+		}
+	}
+	for cut := 2; cut < len(content); cut++ {
+		m, err := DecodeFrame(withCRC(content[:cut]))
+		if err == nil {
+			t.Fatalf("truncated body at %d accepted: %v", cut, m)
+		}
+		if m != nil {
+			t.Fatalf("truncated body at %d returned non-nil message", cut)
+		}
+	}
+	// Inner member slice over-claims: member 2's objs count says 1<<20.
+	var b []byte
+	b = appendU32(b, 1)     // island
+	b = appendU64(b, 1)     // seq
+	b = appendU64(b, 1)     // completed
+	b = appendU32(b, 1)     // member count
+	b = appendU32(b, 0)     // operator
+	b = appendU32(b, 0)     // vars: empty
+	b = appendU32(b, 1<<20) // objs: hostile count
+	if m, err := DecodeFrame(withCRC(append([]byte{Version, byte(TagDelta)}, b...))); err == nil {
+		t.Fatalf("hostile inner count accepted: %v", m)
+	}
 }

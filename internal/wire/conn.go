@@ -139,6 +139,7 @@ type Conn struct {
 	met      connMetrics
 	pingNano atomic.Int64 // send time of the ping awaiting its pong
 	wmu      sync.Mutex
+	wbuf     []byte // frame scratch, reused under wmu
 	done     chan struct{}
 	once     sync.Once
 }
@@ -157,19 +158,21 @@ func newConn(nc net.Conn, opt Options) *Conn {
 // RemoteAddr reports the peer's address.
 func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 
-// Send frames and writes one message under the write deadline.
+// Send frames and writes one message under the write deadline. The
+// frame is encoded into a per-connection scratch buffer guarded by
+// the write lock, so steady-state sends allocate nothing.
 func (c *Conn) Send(m Message) error {
-	frame := EncodeFrame(m)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	c.wbuf = AppendFrame(c.wbuf[:0], m)
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.opt.writeTimeout())); err != nil {
 		return err
 	}
-	if _, err := c.nc.Write(frame); err != nil {
+	if _, err := c.nc.Write(c.wbuf); err != nil {
 		return err
 	}
 	c.met.framesSent.Inc()
-	c.met.bytesSent.Add(uint64(len(frame)))
+	c.met.bytesSent.Add(uint64(len(c.wbuf)))
 	return nil
 }
 

@@ -49,3 +49,45 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeFederation focuses the same decoder invariants on the
+// federation frames (Migrant, Delta), whose nested member layout has
+// more length fields — and therefore more truncation and over-claim
+// shapes — than the flat worker-protocol messages. CI runs this as a
+// second fuzz smoke.
+func FuzzDecodeFederation(f *testing.F) {
+	seeds := []Message{
+		&Migrant{Island: 1, Epoch: 2, SolID: 3, Operator: 4, Vars: []float64{0.5, 0.25}, Objs: []float64{1, 2, 3}},
+		&Migrant{Operator: -1, Constrs: []float64{0}},
+		&Delta{Island: 2, Seq: 9, Completed: 4096},
+		&Delta{Island: 1, Seq: 1, Completed: 64, Members: []DeltaMember{
+			{Operator: 5, Vars: []float64{0.1}, Objs: []float64{2, 4}},
+			{Operator: -1, Objs: []float64{8, 16}, Constrs: []float64{1}},
+		}},
+	}
+	for _, m := range seeds {
+		f.Add(EncodeFrame(m)[4:])
+	}
+	valid := EncodeFrame(seeds[3])[4:]
+	for cut := 0; cut <= len(valid); cut += 2 {
+		f.Add(valid[:cut])
+	}
+	for i := 0; i < len(valid); i += 3 {
+		f.Add(flip(valid, i))
+	}
+	f.Add(withCRC(append([]byte{Version, byte(TagDelta)}, hugeDeltaBody()...)))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := DecodeFrame(payload)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("error %v returned alongside message %v", err, m)
+			}
+			return
+		}
+		re := EncodeFrame(m)
+		if !bytes.Equal(re[4:], payload) {
+			t.Fatalf("accepted non-canonical payload:\n  in  %x\n  out %x", payload, re[4:])
+		}
+	})
+}
