@@ -207,6 +207,60 @@ var (
 	ValidateChromeTrace = obs.ValidateChromeTrace
 )
 
+// Distributed evaluation tracing (see internal/obs): attach a
+// TraceCollector to ParallelConfig.Trace (or FederationConfig.Tracers)
+// and every evaluation becomes one trace — a span context minted at
+// grant time travels to the worker on the wire, and the collector
+// assembles per-evaluation span trees whose children are the paper's
+// model terms (queue wait, T_C send/recv, T_F, T_A). The collector's
+// sidecar (TraceSidecar) plus the BMEL protocol log reconstruct the
+// identical forest offline (TracesFromProtocolLog); cmd/borgtrace
+// renders the attribution and Chrome trace exports.
+type (
+	// TraceCollector assembles distributed evaluation traces.
+	TraceCollector = obs.Collector
+	// TraceCollectorConfig sets the collector's run id, sampling rate
+	// and span budget.
+	TraceCollectorConfig = obs.CollectorConfig
+	// TraceSpan is one node of an assembled trace tree.
+	TraceSpan = obs.Span
+	// TraceForest is an assembled, deterministically ordered set of
+	// trace trees.
+	TraceForest = obs.Forest
+	// TraceSidecar is the collector's replayable duration sidecar (the
+	// BTRC file next to a BMEL log).
+	TraceSidecar = obs.TraceLog
+	// TraceTermStats aggregates one model term across a forest.
+	TraceTermStats = obs.TermStats
+	// TraceAttribution is a forest's per-term critical-path breakdown
+	// (the empirical Eq. 2 decomposition).
+	TraceAttribution = obs.Attribution
+	// SpanContext is the trace identity an evaluation carries across
+	// process boundaries.
+	SpanContext = obs.SpanContext
+	// ContinuousProfiler captures periodic pprof CPU/heap snapshots
+	// into a bounded on-disk ring, served under /debug/profiles/.
+	ContinuousProfiler = obs.Profiler
+	// ProfileConfig tunes the profiler's cadence and retention.
+	ProfileConfig = obs.ProfileConfig
+)
+
+var (
+	// NewTraceCollector constructs a live trace collector.
+	NewTraceCollector = obs.NewCollector
+	// ReadTraceSidecar deserializes a sidecar written with
+	// TraceSidecar.WriteTo.
+	ReadTraceSidecar = obs.ReadTraceLog
+	// TracesFromProtocolLog reconstructs a run's trace forest offline
+	// from its BMEL protocol log and BTRC sidecar.
+	TracesFromProtocolLog = obs.TracesFromLog
+	// WriteChromeTraceForests renders one or more forests as a merged
+	// Chrome trace_event file with cross-process flow arrows.
+	WriteChromeTraceForests = obs.WriteChromeForests
+	// StartContinuousProfiler starts the pprof snapshot ring.
+	StartContinuousProfiler = obs.StartProfiler
+)
+
 // Live scalability advisor (see internal/advisor): attach a
 // ScalingAdvisor to ParallelConfig.Advisor and the async drivers
 // stream their timing telemetry through the paper's analytical model —
@@ -417,6 +471,14 @@ var (
 type (
 	// ProtocolLog records a master run's protocol events for replay.
 	ProtocolLog = master.Log
+	// MasterEvent is one recorded master protocol event (the OnRecord
+	// hook's argument).
+	MasterEvent = master.Event
+	// ProtocolLogWriter streams a BMEL log to disk at event
+	// granularity — wire it to a recording ProtocolLog through the
+	// OnRecord hook and an interrupted run keeps every complete
+	// record.
+	ProtocolLogWriter = master.LogWriter
 )
 
 var (
@@ -425,6 +487,9 @@ var (
 	NewProtocolLog = master.NewLog
 	// ReadProtocolLog deserializes a log written with ProtocolLog.WriteTo.
 	ReadProtocolLog = master.ReadLog
+	// NewProtocolLogWriter writes the streaming header and returns the
+	// event-granular writer.
+	NewProtocolLogWriter = master.NewLogWriter
 	// ReplayAsync re-executes a recorded run from its event log.
 	ReplayAsync = parallel.ReplayAsync
 )

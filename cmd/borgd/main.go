@@ -11,10 +11,14 @@
 //	borgd -connect master:7070 -delay 0.05 -delay-cv 0.5   # synthetic T_F
 //	borgd -connect master:7070 -debug-addr localhost:6061  # live metrics + pprof
 //	borgd -connect master:7070 -advise-out worker.jsonl    # periodic metric snapshots
+//	borgd -connect master:7070 -profile-dir prof/          # continuous pprof snapshot ring
 //
 // -advise-out journals the worker's transport and evaluation telemetry
 // as one JSON snapshot per second; a final snapshot is flushed on
 // SIGINT/SIGTERM, so an interrupted worker keeps its telemetry.
+// -profile-dir captures periodic pprof CPU and heap snapshots into a
+// bounded on-disk ring; with -debug-addr the ring is served under
+// /debug/profiles/ (index as JSON, raw files for go tool pprof).
 package main
 
 import (
@@ -43,6 +47,9 @@ func run() int {
 		debugAddr   = flag.String("debug-addr", "", "serve live /debug/vars, /debug/metrics and /debug/pprof on this address (e.g. localhost:6061)")
 		adviseOut   = flag.String("advise-out", "", "journal periodic metric snapshots as JSONL to this path")
 		adviseEvery = flag.Duration("advise-every", time.Second, "interval between -advise-out snapshots (min 1s)")
+		profDir     = flag.String("profile-dir", "", "continuously capture pprof CPU+heap snapshots into this directory (served under /debug/profiles/ with -debug-addr)")
+		profEvery   = flag.Duration("profile-every", 30*time.Second, "interval between -profile-dir capture epochs")
+		profKeep    = flag.Int("profile-keep", 8, "capture epochs retained in the -profile-dir ring")
 	)
 	flag.Parse()
 	logger := borgmoea.NewLogger(os.Stderr, *verbose)
@@ -68,8 +75,28 @@ func run() int {
 		// -advise-out journal.
 		cfg.Conn.Metrics = borgmoea.NewMetrics()
 	}
+	var prof *borgmoea.ContinuousProfiler
+	if *profDir != "" {
+		var err error
+		prof, err = borgmoea.StartContinuousProfiler(borgmoea.ProfileConfig{
+			Dir:   *profDir,
+			Every: *profEvery,
+			Keep:  *profKeep,
+			Logf:  borgmoea.LogfAdapter(logger),
+		})
+		if err != nil {
+			logger.Error("starting profiler", "err", err)
+			return 1
+		}
+		defer prof.Close()
+		logger.Info("continuous profiling", "dir", *profDir, "every", profEvery.String(), "keep", *profKeep)
+	}
 	if *debugAddr != "" {
-		srv, err := borgmoea.ServeDebug(*debugAddr, cfg.Conn.Metrics)
+		var opts []borgmoea.DebugOption
+		if prof != nil {
+			opts = append(opts, borgmoea.WithDebugHandler("/debug/profiles/", prof.Handler()))
+		}
+		srv, err := borgmoea.ServeDebug(*debugAddr, cfg.Conn.Metrics, opts...)
 		if err != nil {
 			logger.Error("debug listener failed", "err", err)
 			return 1

@@ -13,13 +13,22 @@
 //	borgfed -islands 4 -evals 25000 -listen :7070,:7071,:7072,:7073   # external borgd fleets
 //	borgfed -islands 2 -workers 4 -debug-addr localhost:6060          # live federated /debug/scaling
 //	borgfed -islands 2 -workers 4 -log-dir run/                       # record BMEL + migrant logs
+//	borgfed -islands 2 -workers 4 -log-dir run/ -trace-rate 1         # + distributed evaluation traces
 //	borgfed -replay-dir run/ -islands 2 -problem DTLZ2 -objectives 3  # replay a recorded federation
 //
 // With -debug-addr the federated scalability roll-up serves
 // /debug/scaling (watch it with: borgtop -fed -addr localhost:6060;
 // ?island=i narrows to one island). With -log-dir every island writes
 // island-<i>.bmel and island-<i>.migrants; -replay-dir reconstructs
-// the identical merged front from those files, offline.
+// the identical merged front from those files, offline. -trace-rate
+// samples distributed per-evaluation traces (advisor-flagged
+// stragglers are always kept); with -log-dir each island adds an
+// island-<i>.trace sidecar that cmd/borgtrace turns into the run's
+// critical-path attribution, offline.
+//
+// BMEL logs stream to disk at event granularity and every sidecar is
+// flushed on SIGINT/SIGTERM, so an interrupted federation keeps its
+// telemetry up to the signal.
 package main
 
 import (
@@ -30,9 +39,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"borgmoea"
+	"borgmoea/internal/shutdown"
 )
 
 func main() { os.Exit(run()) }
@@ -56,6 +67,7 @@ func run() int {
 		root        = flag.Bool("root", true, "run the merging root the islands stream archive deltas to")
 		deltaEvery  = flag.Uint64("delta-every", 500, "stream recent archive members to the root every this many accepts per island (0 = off)")
 		debugAddr   = flag.String("debug-addr", "", "serve the federated /debug/scaling (plus /debug/vars, /debug/pprof) on this address (e.g. localhost:6060)")
+		traceRate   = flag.Float64("trace-rate", 0, "distributed-trace sampling rate in [0,1]; with -log-dir every island also writes an island-<i>.trace sidecar for offline borgtrace analysis (0 = tracing off)")
 		logDir      = flag.String("log-dir", "", "write per-island BMEL event logs and migrant sidecar logs into this directory")
 		replayDir   = flag.String("replay-dir", "", "replay a recorded federation from this directory instead of running (pass the original -islands/-problem/-objectives/-epsilon/-seed)")
 		outPath     = flag.String("out", "", "save the merged archive as JSON to this path")
@@ -68,6 +80,16 @@ func run() int {
 		logger.Error(msg, args...)
 		return code
 	}
+
+	// The federation run cannot be stopped mid-stride, so the first
+	// termination signal runs the flusher hooks registered below —
+	// closing streamed event logs, writing migrant and trace sidecars —
+	// and exits; a completed run flushes the same hooks on the way out.
+	var flusher shutdown.Flusher
+	defer flusher.Flush()
+	shutdown.ExitAfterFlush(&flusher, func(s os.Signal) {
+		logger.Warn("signal received; flushing federation logs", "signal", s.String())
+	})
 
 	problem, err := borgmoea.LookupProblem(*problemName, *objectives)
 	if err != nil {
@@ -127,6 +149,41 @@ func run() int {
 		for i := range cfg.Logs {
 			cfg.Logs[i] = borgmoea.NewProtocolLog()
 			cfg.MigrantLogs[i] = borgmoea.NewMigrantLog()
+			if err := streamEventLog(&flusher, logger, islandLogPath(*logDir, i, "bmel"), cfg.Logs[i]); err != nil {
+				return fail(1, "creating event log", "island", i, "err", err)
+			}
+			mlog, path := cfg.MigrantLogs[i], islandLogPath(*logDir, i, "migrants")
+			flusher.Add(func() {
+				if err := writeFileWith(path, func(w io.Writer) error {
+					_, err := mlog.WriteTo(w)
+					return err
+				}); err != nil {
+					logger.Error("writing migrant log", "path", path, "err", err)
+				}
+			})
+		}
+	}
+	if *traceRate > 0 {
+		cfg.Tracers = make([]*borgmoea.TraceCollector, *islands)
+		for i := range cfg.Tracers {
+			cfg.Tracers[i] = borgmoea.NewTraceCollector(borgmoea.TraceCollectorConfig{
+				RunID: *seed ^ uint64(i),
+				Rate:  *traceRate,
+			})
+			if *logDir == "" {
+				continue
+			}
+			// The sidecar snapshot is mutex-guarded, so the hook is safe
+			// to run from the signal path while islands are still live.
+			col, path := cfg.Tracers[i], islandLogPath(*logDir, i, "trace")
+			flusher.Add(func() {
+				if err := writeFileWith(path, func(w io.Writer) error {
+					_, err := col.TraceLog().WriteTo(w)
+					return err
+				}); err != nil {
+					logger.Error("writing trace sidecar", "path", path, "err", err)
+				}
+			})
 		}
 	}
 	if *debugAddr != "" {
@@ -166,24 +223,23 @@ func run() int {
 	}
 	logger.Info("wall time", "elapsed", time.Since(start).Round(time.Millisecond).String())
 
-	if *logDir != "" {
-		for i := range cfg.Logs {
-			if err := writeFileWith(islandLogPath(*logDir, i, "bmel"), func(w io.Writer) error {
-				_, err := cfg.Logs[i].WriteTo(w)
-				return err
-			}); err != nil {
-				return fail(1, "writing event log", "island", i, "err", err)
-			}
-			if err := writeFileWith(islandLogPath(*logDir, i, "migrants"), func(w io.Writer) error {
-				_, err := cfg.MigrantLogs[i].WriteTo(w)
-				return err
-			}); err != nil {
-				return fail(1, "writing migrant log", "island", i, "err", err)
-			}
+	if *traceRate > 0 {
+		for i, col := range cfg.Tracers {
+			att := col.Forest().Attribution()
+			logger.Info("island traces", "island", i, "evals", att.Evals,
+				"tf", share(att.TF.Share), "tc", share(att.TCSend.Share+att.TCRecv.Share),
+				"wait", share(att.Wait.Share), "ta", share(att.TA.Share))
 		}
+	}
+	flusher.Flush()
+	if *logDir != "" {
 		logger.Info("federation logs written", "dir", *logDir,
 			"hint", fmt.Sprintf("replay with: borgfed -replay-dir %s -islands %d -problem %s -objectives %d -epsilon %g -seed %d",
 				*logDir, *islands, *problemName, *objectives, *epsilon, *seed))
+		if *traceRate > 0 {
+			logger.Info("trace sidecars written", "dir", *logDir,
+				"hint", fmt.Sprintf("attribute with: borgtrace -dir %s -islands %d", *logDir, *islands))
+		}
 	}
 
 	return emitFront(logger, res.MergedFront, res.MergedArchive, *outPath, *printFront)
@@ -244,6 +300,58 @@ func emitFront(logger *slog.Logger, front [][]float64, arch *borgmoea.Archive, o
 	}
 	return 0
 }
+
+// streamEventLog wires the log's OnRecord hook to a streaming BMEL
+// writer: the island's event log is on disk at event granularity, so a
+// signal (or crash) costs at most the trailing partial record, which
+// the replay reader tolerates. The registered flusher hook closes the
+// file; the mutex covers the signal goroutine racing the recording
+// island goroutine.
+func streamEventLog(flusher *shutdown.Flusher, logger *slog.Logger, path string, log *borgmoea.ProtocolLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var (
+		mu      sync.Mutex
+		lw      *borgmoea.ProtocolLogWriter
+		initErr error
+		closed  bool
+	)
+	log.OnRecord = func(ev borgmoea.MasterEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if closed || initErr != nil {
+			return
+		}
+		if lw == nil {
+			// First event: the recording Core stamped log.Meta when it
+			// was constructed, before anything could be recorded.
+			if lw, initErr = borgmoea.NewProtocolLogWriter(f, log.Meta); initErr != nil {
+				return
+			}
+		}
+		lw.Record(ev)
+	}
+	flusher.Add(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		closed = true
+		switch {
+		case initErr != nil:
+			logger.Error("streaming event log", "path", path, "err", initErr)
+		case lw != nil && lw.Err() != nil:
+			logger.Error("streaming event log", "path", path, "err", lw.Err())
+		}
+		if err := f.Close(); err != nil {
+			logger.Error("closing event log", "path", path, "err", err)
+		}
+	})
+	return nil
+}
+
+// share formats a critical-path share for the trace summary lines.
+func share(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
 func islandLogPath(dir string, island int, ext string) string {
 	return filepath.Join(dir, fmt.Sprintf("island-%d.%s", island, ext))

@@ -17,6 +17,11 @@
 // fleet redials in. /healthz stays green through a drain while
 // /readyz flips to 503 the moment shutdown starts, so a load balancer
 // stops sending submissions before in-flight requests finish.
+//
+// -trace-rate samples distributed per-evaluation traces for every job
+// (each job mints its own trace ids from its job id); -profile-dir
+// runs the continuous pprof snapshot ring, served under
+// /debug/profiles/ next to the job API.
 package main
 
 import (
@@ -42,6 +47,10 @@ func run() int {
 		maxQueue    = flag.Int("max-queue", 1024, "queued jobs before submissions are rejected with 429")
 		ckEvery     = flag.Uint64("checkpoint-every", 64, "archive snapshot cadence in accepted evaluations (with -state-dir)")
 		drainT      = flag.Duration("drain-timeout", 5*time.Second, "graceful HTTP drain on shutdown")
+		traceRate   = flag.Float64("trace-rate", 0, "distributed-trace sampling rate in [0,1] applied to every job (0 = tracing off)")
+		profDir     = flag.String("profile-dir", "", "continuously capture pprof CPU+heap snapshots into this directory, served under /debug/profiles/")
+		profEvery   = flag.Duration("profile-every", 30*time.Second, "interval between -profile-dir capture epochs")
+		profKeep    = flag.Int("profile-keep", 8, "capture epochs retained in the -profile-dir ring")
 		verbose     = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
@@ -55,6 +64,7 @@ func run() int {
 		MaxQueue:        *maxQueue,
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckEvery,
+		TraceRate:       *traceRate,
 		Metrics:         reg,
 		Logf:            borgmoea.LogfAdapter(logger),
 	})
@@ -62,7 +72,25 @@ func run() int {
 		logger.Error("starting scheduler", "err", err)
 		return 1
 	}
-	srv, err := borgmoea.ServeDebug(*apiAddr, reg, sched.DebugOptions()...)
+	opts := sched.DebugOptions()
+	var prof *borgmoea.ContinuousProfiler
+	if *profDir != "" {
+		prof, err = borgmoea.StartContinuousProfiler(borgmoea.ProfileConfig{
+			Dir:   *profDir,
+			Every: *profEvery,
+			Keep:  *profKeep,
+			Logf:  borgmoea.LogfAdapter(logger),
+		})
+		if err != nil {
+			sched.Close()
+			logger.Error("starting profiler", "err", err)
+			return 1
+		}
+		defer prof.Close()
+		opts = append(opts, borgmoea.WithDebugHandler("/debug/profiles/", prof.Handler()))
+		logger.Info("continuous profiling", "dir", *profDir, "every", profEvery.String(), "keep", *profKeep)
+	}
+	srv, err := borgmoea.ServeDebug(*apiAddr, reg, opts...)
 	if err != nil {
 		sched.Close()
 		logger.Error("api listener failed", "err", err)

@@ -84,6 +84,12 @@ type Config struct {
 	// (advisor.predicted_speedup, advisor.drift_score, …) so they ride
 	// along in /debug/vars, -metrics-out and the Prometheus endpoint.
 	Registry *obs.Registry
+	// OnStraggler, when set, is called once per worker the first time
+	// the straggler detector flags it — from Report or a periodic
+	// snapshot, outside the advisor's lock. The tracing layer wires it
+	// to obs.Collector.ForceWorker so a struggling worker's
+	// evaluations are traced regardless of the sampling rate.
+	OnStraggler func(worker int)
 }
 
 func (c *Config) fillDefaults() {
@@ -161,6 +167,7 @@ type Advisor struct {
 	tfP99              *obs.P2Quantile
 
 	workers map[int]*workerStat
+	flagged map[int]bool // workers OnStraggler already fired for
 	live    int
 
 	completed uint64
@@ -181,6 +188,7 @@ func New(cfg Config) *Advisor {
 		tfP90:   obs.NewP2Quantile(0.90),
 		tfP99:   obs.NewP2Quantile(0.99),
 		workers: make(map[int]*workerStat),
+		flagged: make(map[int]bool),
 		drift:   obs.NewEWMA(driftAlpha),
 	}
 }
@@ -303,12 +311,35 @@ func (a *Advisor) ObserveAccept(worker int, completed uint64, at float64) {
 		a.mirror(snap)
 		fire = a.cfg.OnSnapshot != nil
 	}
+	var fresh []int
+	if fire {
+		fresh = a.newlyFlagged(snap.Stragglers)
+	}
 	cb := a.cfg.OnSnapshot
+	onStrag := a.cfg.OnStraggler
 	a.mu.Unlock()
+	if onStrag != nil {
+		for _, w := range fresh {
+			onStrag(w)
+		}
+	}
 	if fire {
 		cb(snap)
 	}
 	_ = worker // attribution lives in ObserveTF; kept for future per-worker accept rates
+}
+
+// newlyFlagged records which of the given stragglers have not been
+// reported through OnStraggler yet; callers hold a.mu.
+func (a *Advisor) newlyFlagged(stragglers []int) []int {
+	var fresh []int
+	for _, w := range stragglers {
+		if !a.flagged[w] {
+			a.flagged[w] = true
+			fresh = append(fresh, w)
+		}
+	}
+	return fresh
 }
 
 // Report computes the current analysis. Safe to call at any time, from
@@ -318,7 +349,6 @@ func (a *Advisor) Report() Report {
 		return Report{}
 	}
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	r := a.report()
 	if a.drift.Count() > 0 {
 		r.DriftSmoothed = sanitize(a.drift.Value())
@@ -327,6 +357,14 @@ func (a *Advisor) Report() Report {
 	}
 	r.DriftAlert = a.alert(r.DriftSmoothed)
 	a.mirror(r)
+	fresh := a.newlyFlagged(r.Stragglers)
+	onStrag := a.cfg.OnStraggler
+	a.mu.Unlock()
+	if onStrag != nil {
+		for _, w := range fresh {
+			onStrag(w)
+		}
+	}
 	return r
 }
 

@@ -82,6 +82,17 @@ type Config struct {
 	Logs        []*master.Log
 	MigrantLogs []*MigrantLog
 
+	// Tracers, when non-nil, must have length Islands (nil entries
+	// disable tracing for that island): island isl mints one
+	// distributed trace per evaluation into Tracers[isl] — span
+	// contexts travel to workers on the wire, migrants carry their
+	// sender's context around the ring, and the collector attributes
+	// the paper's model terms (T_C, T_F, T_A) per evaluation. Each
+	// island's advisor force-samples workers it flags as stragglers.
+	// Paired with Logs, the collector's TraceLog sidecar reconstructs
+	// the identical forest offline (obs.TracesFromLog).
+	Tracers []*obs.Collector
+
 	// Federation, when set, is the advisor roll-up the per-island
 	// advisors attach to (serve its Handler while the run is live);
 	// nil creates one, returned in Result.Federation.
@@ -161,6 +172,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.MigrantLogs != nil && len(cfg.MigrantLogs) != cfg.Islands {
 		return nil, fmt.Errorf("federation: MigrantLogs must have one entry per island")
+	}
+	if cfg.Tracers != nil && len(cfg.Tracers) != cfg.Islands {
+		return nil, fmt.Errorf("federation: Tracers must have one entry per island")
 	}
 	if cfg.Conn.Metrics == nil {
 		cfg.Conn.Metrics = cfg.Metrics
@@ -242,7 +256,17 @@ func Run(cfg Config) (*Result, error) {
 		}
 		res.Islands[isl] = b
 
-		adv := advisor.New(advisor.Config{Budget: cfg.Evaluations})
+		advCfg := advisor.Config{Budget: cfg.Evaluations}
+		var trace *obs.Collector
+		if cfg.Tracers != nil {
+			trace = cfg.Tracers[isl]
+		}
+		if trace != nil {
+			// Advisor-flagged stragglers are always traced, whatever the
+			// sampling rate says.
+			advCfg.OnStraggler = trace.ForceWorker
+		}
+		adv := advisor.New(advCfg)
 		fed.Attach(adv)
 
 		ic := islandContext{
@@ -255,6 +279,7 @@ func Run(cfg Config) (*Result, error) {
 			peerLn:   peerLns[isl],
 			succAddr: peerAddrs[(isl+1)%k],
 			root:     root,
+			trace:    trace,
 		}
 		if cfg.Logs != nil {
 			ic.log = cfg.Logs[isl]

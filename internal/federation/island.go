@@ -11,6 +11,7 @@ import (
 	"borgmoea/internal/advisor"
 	"borgmoea/internal/core"
 	"borgmoea/internal/master"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 	"borgmoea/internal/stats"
 	"borgmoea/internal/wire"
@@ -30,6 +31,7 @@ type islandContext struct {
 	root     *Root
 	log      *master.Log
 	mlog     *MigrantLog
+	trace    *obs.Collector // nil disables tracing for this island
 }
 
 // islandResult is one island's contribution to the federation Result.
@@ -80,10 +82,14 @@ type fedAlg struct {
 	simR *rng.Source
 	busy float64
 	n    uint64
+	// curItem is the lease id of the result being folded in (stashed by
+	// the island loop before Handle); the accept critical section
+	// attributes its T_A to that evaluation's trace.
+	curItem uint64
 }
 
 // section wraps one master critical section, charging its T_A.
-func (a *fedAlg) section(fn func()) {
+func (a *fedAlg) section(fn func()) float64 {
 	start := time.Now()
 	fn()
 	if a.sim != nil {
@@ -94,6 +100,7 @@ func (a *fedAlg) section(fn func()) {
 	a.n++
 	a.ic.meters.TA.Observe(ta)
 	a.adv.ObserveTA(ta)
+	return ta
 }
 
 func (a *fedAlg) Suggest() *core.Solution {
@@ -103,15 +110,17 @@ func (a *fedAlg) Suggest() *core.Solution {
 }
 
 func (a *fedAlg) Accept(s *core.Solution) {
-	a.section(func() { a.b.Accept(s) })
+	ta := a.section(func() { a.b.Accept(s) })
+	a.ic.trace.ObserveTA(a.curItem, ta)
 }
 
 func (a *fedAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 	var next *core.Solution
-	a.section(func() {
+	ta := a.section(func() {
 		a.b.Accept(s)
 		next = a.b.Suggest()
 	})
+	a.ic.trace.ObserveTA(a.curItem, ta)
 	return next
 }
 
@@ -296,6 +305,9 @@ func runIsland(ic islandContext) (islandResult, error) {
 			}
 		},
 	}
+	if ic.trace != nil {
+		mcfg.Tracer = ic.trace
+	}
 	m := master.NewCore(mcfg)
 
 	byID := make(map[uint64]*islandSession)
@@ -328,10 +340,22 @@ func runIsland(ic islandContext) (islandResult, error) {
 					SolID:    a.Item.S.ID,
 					Operator: int32(a.Item.S.Operator),
 					Vars:     a.Item.S.Vars,
+					Trace:    a.Item.Trace,
 				}
+				sendStart := time.Now()
 				if err := s.conn.Send(ev); err != nil {
 					drop(s, err)
 					exec(m.Handle(master.Event{Kind: master.EvGone, Worker: a.Worker, At: since()}))
+					continue
+				}
+				if ic.trace != nil {
+					// The measured send time is the direct T_C sample: it
+					// feeds both the trace (per-evaluation attribution)
+					// and the advisor fit, so borgtrace's per-term means
+					// and /debug/scaling agree by construction.
+					tc := time.Since(sendStart).Seconds()
+					ic.trace.ObserveTCSend(a.Item.ID, tc)
+					ic.adv.ObserveTC(tc)
 				}
 			case master.ActStop:
 				if s := byID[uint64(a.Worker)]; s != nil && !s.gone {
@@ -399,6 +423,10 @@ func runIsland(ic islandContext) (islandResult, error) {
 			if epoch > lastEpoch {
 				lastEpoch = epoch
 				mg := Emigrant(ic.isl, epoch, b.Archive(), migRng, accepted)
+				// The emigrant span context rides the wire to the ring
+				// successor, which links it into its own forest — the
+				// cross-island flow arrow in a merged Chrome export.
+				mg.Trace = ic.trace.ObserveEmigrant(epoch, since())
 				if err := writeFrame(succ, mg); err != nil {
 					migErr = fmt.Errorf("send migrant epoch %d: %w", epoch, err)
 					return
@@ -412,10 +440,16 @@ func runIsland(ic islandContext) (islandResult, error) {
 						migErr = err
 						return
 					}
+					ic.trace.LinkMigrant(epoch, in.Trace)
 					staged = MigrantSolution(in)
 					exec(m.Handle(master.Event{Kind: master.EvMigrant, Worker: int(in.Island), Item: epoch, At: since()}))
 				}
 			}
+		}
+		if ic.trace != nil && n%stragglerCheckEvery == 0 {
+			// Poll the straggler detector so flagged workers start
+			// force-sampling even when nothing serves /debug/scaling.
+			ic.adv.Report()
 		}
 		if rootConn != nil && n > 0 && n%cfg.DeltaEvery == 0 {
 			deltaSeq++
@@ -498,8 +532,10 @@ func runIsland(ic islandContext) (islandResult, error) {
 				sol.Constrs = msg.Constrs
 				accepted = sol
 				evalSec := float64(msg.EvalNanos) / 1e9
-				ic.meters.TF.Observe(evalSec)
+				ic.meters.TF.ObserveExemplar(evalSec, sampledTraceID(item))
 				ic.adv.ObserveTF(int(s.id), evalSec)
+				ic.trace.ObserveTF(item.ID, evalSec)
+				alg.curItem = item.ID
 			}
 			prev := m.Completed()
 			exec(m.Handle(master.Event{Kind: master.EvResult, Worker: int(s.id), Item: msg.Lease, At: since()}))
@@ -530,6 +566,19 @@ func runIsland(ic islandContext) (islandResult, error) {
 		ir.elapsed = since()
 	}
 	return ir, migErr
+}
+
+// stragglerCheckEvery is how many accepts pass between polls of the
+// advisor's straggler detector when tracing is on.
+const stragglerCheckEvery = 64
+
+// sampledTraceID returns the item's trace id when its evaluation is
+// sampled, else 0 (ObserveExemplar treats 0 as "no exemplar").
+func sampledTraceID(item *master.Item) uint64 {
+	if item.Trace.Sampled() {
+		return item.Trace.TraceID
+	}
+	return 0
 }
 
 // archiveDelta packages the most recent archive members (capped at

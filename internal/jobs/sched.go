@@ -75,6 +75,11 @@ type Config struct {
 	CheckpointEvery uint64
 	// Metrics receives the scheduler's counters and gauges.
 	Metrics *obs.Registry
+	// TraceRate, when positive, gives every job its own distributed-
+	// trace collector sampling evaluations at this rate (1 = every
+	// evaluation; see internal/obs). Advisor-flagged stragglers are
+	// always traced. Collectors are reachable via Traces.
+	TraceRate float64
 	// Logf, when set, receives lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -105,7 +110,8 @@ type job struct {
 	mcore *master.Core
 	log   *master.Log
 	adv   *advisor.Advisor
-	ck    *ckpt // nil without StateDir
+	trace *obs.Collector // nil unless Config.TraceRate > 0
+	ck    *ckpt          // nil without StateDir
 
 	// stride scheduling: next pass value and per-grant increment.
 	pass, stride uint64
@@ -522,7 +528,12 @@ func (s *Scheduler) onResult(w *fleetWorker, msg *wire.Result) {
 		item.S.Constrs = msg.Constrs
 		sec := float64(msg.EvalNanos) / 1e9
 		j.adv.ObserveTF(int(w.id), sec)
-		s.hEval.Observe(sec)
+		j.trace.ObserveTF(ref.item, sec)
+		var exemplar uint64
+		if item.Trace.Sampled() {
+			exemplar = item.Trace.TraceID
+		}
+		s.hEval.ObserveExemplar(sec, exemplar)
 	}
 	s.exec(j, j.mcore.Handle(master.Event{Kind: master.EvResult, Worker: int(w.id), Item: ref.item, At: s.now()}))
 	if !w.gone && len(w.leases) == 0 {
@@ -620,11 +631,15 @@ func (s *Scheduler) exec(j *job, acts []master.Action) {
 				Operator: int32(a.Item.S.Operator),
 				Problem:  j.problem.Name(),
 				Vars:     a.Item.S.Vars,
+				Trace:    a.Item.Trace,
 			}
+			sendStart := time.Now()
 			if err := w.conn.Send(ev); err != nil {
 				s.cfg.logf("jobs: send to worker %d failed: %v", a.Worker, err)
 				s.dropWorker(w)
+				continue
 			}
+			j.trace.ObserveTCSend(a.Item.ID, time.Since(sendStart).Seconds())
 		case master.ActComplete:
 			s.finishJob(j)
 		case master.ActStop:
@@ -734,10 +749,18 @@ func (s *Scheduler) startJob(j *job) {
 		return
 	}
 	j.borg = b
-	j.adv = advisor.New(advisor.Config{})
+	advCfg := advisor.Config{}
+	if s.cfg.TraceRate > 0 {
+		j.trace = obs.NewCollector(obs.CollectorConfig{
+			RunID: traceRunID(j.id),
+			Rate:  s.cfg.TraceRate,
+		})
+		advCfg.OnStraggler = j.trace.ForceWorker
+	}
+	j.adv = advisor.New(advCfg)
 	j.adv.Configure(0, j.spec.Evaluations)
 	j.log = master.NewLog()
-	j.mcore = master.NewCore(master.Config{
+	mcfg := master.Config{
 		Budget:       j.spec.Evaluations,
 		LeaseTimeout: s.leaseSec,
 		Policy:       master.ScheduledOffspring,
@@ -745,7 +768,11 @@ func (s *Scheduler) startJob(j *job) {
 		Log:          j.log,
 		OnAccept:     s.onAcceptHook(j),
 		OnAcceptFrom: s.onAcceptFromHook(j),
-	})
+	}
+	if j.trace != nil {
+		mcfg.Tracer = j.trace
+	}
+	j.mcore = master.NewCore(mcfg)
 	if j.ck != nil {
 		if err := j.ck.openLog(j.log); err != nil {
 			s.failJob(j, fmt.Sprintf("opening checkpoint log: %v", err))
@@ -1034,6 +1061,33 @@ func (s *Scheduler) Result(id string) ([]byte, error) {
 			return nil, fmt.Errorf("jobs: %s has no results yet", id)
 		}
 		return data, rerr
+	}
+	return out, nil
+}
+
+// traceRunID derives a stable per-job trace run id from the job id
+// (FNV-1a), so a job's trace ids are reproducible across restarts.
+func traceRunID(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Traces returns the live trace collector of every job that has one
+// (Config.TraceRate > 0), keyed by job id.
+func (s *Scheduler) Traces() (map[string]*obs.Collector, error) {
+	out := make(map[string]*obs.Collector)
+	if derr := s.do(func() {
+		for id, j := range s.jobs {
+			if j.trace != nil {
+				out[id] = j.trace
+			}
+		}
+	}); derr != nil {
+		return nil, derr
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"borgmoea/internal/core"
+	"borgmoea/internal/obs"
 )
 
 // EventKind discriminates protocol events fed to the Core.
@@ -180,6 +181,16 @@ type Config struct {
 	// algorithm sees the injection at the identical point in the event
 	// stream.
 	OnMigrant func(source int, epoch uint64)
+	// Tracer, when set, receives the distributed-tracing hooks: every
+	// grant mints a span context (stamped on the Item, carried on the
+	// wire), results/expiries close the span, resubmissions link the
+	// clone's lineage, migrants record cross-island arrivals. The Core
+	// calls it only with event data and timestamps it already logs, so
+	// replaying the BMEL stream through the same tracer reproduces the
+	// identical calls — tracing inherits the replay invariant for
+	// free. Callers must pass a non-nil implementation or leave the
+	// field nil (a typed-nil interface would defeat the nil check).
+	Tracer obs.ProtocolTracer
 }
 
 // DefaultMaxProbes is the bounded number of last-resort sends to a
@@ -391,6 +402,9 @@ func (c *Core) result(ev Event) {
 		// worker parks instead — the scheduler speaks for it.
 		c.stats.Duplicates++
 		c.cfg.Meters.Dups.Inc()
+		if c.cfg.Tracer != nil {
+			c.cfg.Tracer.TraceResult(ev.Worker, ev.Item, ev.At, false)
+		}
 		if c.cfg.Policy != ScheduledOffspring && w.state != StateBusy {
 			c.reg.MarkIdle(ev.Worker)
 		}
@@ -398,6 +412,9 @@ func (c *Core) result(ev Event) {
 		return
 	}
 	c.release(l)
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.TraceResult(ev.Worker, ev.Item, ev.At, true)
+	}
 	w.probes = 0
 	if c.cfg.Policy == EagerOffspring {
 		next := c.cfg.Alg.AcceptSuggest(l.item.S)
@@ -472,6 +489,9 @@ func (c *Core) leave(ev Event) {
 // algorithm) is the whole point of the event. The migrants meter
 // counts sends and stays with the drivers, like generations.
 func (c *Core) migrant(ev Event) {
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.TraceMigrant(ev.Worker, ev.Item, ev.At)
+	}
 	if c.cfg.OnMigrant != nil {
 		c.cfg.OnMigrant(ev.Worker, ev.Item)
 	}
@@ -486,6 +506,9 @@ func (c *Core) newItem(s *core.Solution) *Item {
 
 func (c *Core) grant(worker int, item *Item, at float64) {
 	w := c.reg.lookup(worker)
+	if c.cfg.Tracer != nil {
+		item.Trace = c.cfg.Tracer.TraceGrant(worker, item.ID, at)
+	}
 	c.nextSeq++
 	l := &lease{item: item, worker: worker, seq: c.nextSeq}
 	w.lease = l
@@ -523,7 +546,14 @@ func (c *Core) lose(l *lease) {
 	c.stats.Lost++
 	c.stats.Resubmissions++
 	c.cfg.Meters.Resub.Inc()
-	c.pending = append(c.pending, c.newItem(l.item.S.Clone()))
+	clone := c.newItem(l.item.S.Clone())
+	clone.ResubmitOf = l.item.ID
+	if c.cfg.Tracer != nil {
+		// Linked before the clone is granted, so the grant's minted
+		// context already carries the lineage-root trace id.
+		c.cfg.Tracer.TraceResubmit(l.item.ID, clone.ID)
+	}
+	c.pending = append(c.pending, clone)
 }
 
 // retire records a terminal death (transport-declared). Reports
@@ -628,6 +658,9 @@ func (c *Core) expire(now float64) {
 		c.cfg.Meters.LeaseExp.Inc()
 		if c.cfg.Emit != nil {
 			c.cfg.Emit("lease.expire", fmt.Sprintf("worker=%d id=%d", l.worker, l.item.ID))
+		}
+		if c.cfg.Tracer != nil {
+			c.cfg.Tracer.TraceExpire(l.worker, l.item.ID, now)
 		}
 		c.lose(l)
 		c.reg.MarkSuspect(l.worker)

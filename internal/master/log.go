@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/obs"
 )
 
 // LogMeta is the configuration slice a recorded run carries with it:
@@ -249,6 +252,28 @@ func ReadLog(r io.Reader) (*Log, error) {
 	return l, nil
 }
 
+// traceStubAlg is the throwaway Algorithm ReplayTrace replays with:
+// the Core's protocol decisions — and therefore its tracer calls — do
+// not depend on solution contents, so empty suggestions suffice.
+type traceStubAlg struct{}
+
+func (traceStubAlg) Suggest() *core.Solution { return &core.Solution{} }
+func (traceStubAlg) Accept(*core.Solution)   {}
+func (traceStubAlg) AcceptSuggest(*core.Solution) *core.Solution {
+	return &core.Solution{}
+}
+
+// ReplayTrace re-feeds the recorded event stream through a fresh Core
+// with only the tracer attached, re-deriving the exact tracer-call
+// sequence of the live run (span contexts are minted deterministically
+// from event data). It implements obs.LogSource, so
+// obs.TracesFromLog(log, sidecar) reconstructs a run's trace forest
+// entirely offline.
+func (l *Log) ReplayTrace(t obs.ProtocolTracer) error {
+	_, err := Replay(l, ReplayConfig{Alg: traceStubAlg{}, Tracer: t})
+	return err
+}
+
 // ReplayConfig parameterizes Replay.
 type ReplayConfig struct {
 	// Alg is the optimizer adapter, seeded exactly as the recorded run
@@ -273,6 +298,11 @@ type ReplayConfig struct {
 	// sidecar log the original run kept and folds the same solution
 	// back into the algorithm.
 	OnMigrant func(source int, epoch uint64)
+	// Tracer re-derives the recorded run's trace hooks: because the
+	// Core mints span contexts deterministically from event data, the
+	// replayed hooks are identical to the live ones (obs.TracesFromLog
+	// rides this).
+	Tracer obs.ProtocolTracer
 }
 
 // Replay re-feeds a recorded event stream to a fresh Core and returns
@@ -296,6 +326,7 @@ func Replay(log *Log, rc ReplayConfig) (*Core, error) {
 		OnAccept:     rc.OnAccept,
 		OnAcceptFrom: rc.OnAcceptFrom,
 		OnMigrant:    rc.OnMigrant,
+		Tracer:       rc.Tracer,
 	})
 	for _, ev := range log.Events {
 		if ev.Kind == EvResult && rc.Evaluate != nil {

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export of trace forests. Unlike the Recorder's
+// single-process journal export (trace.go), a forest renders truly
+// cross-process: each island's master is one pid, its worker fleet a
+// second pid with one thread per worker, and flow events ("s"/"f")
+// draw the grant → compute → result arrows across them — plus
+// emigrant → migrant arrows between islands in a merged export.
+
+// WriteChromeTrace exports a single forest (master pid 1, workers
+// pid 2) in Chrome trace_event JSON.
+func (f Forest) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeForests(w, []string{"island"}, []Forest{f})
+}
+
+// WriteChromeForests exports several forests — typically one per
+// island — into one Chrome trace. Forest i's master is pid 2i+1, its
+// workers pid 2i+2; migration links between forests connect as flow
+// arrows because emigrant and migrant spans share the emigrant's
+// trace id.
+func WriteChromeForests(w io.Writer, labels []string, forests []Forest) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	first := true
+	emit := func(e chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc.Encode(e)
+	}
+	for i, f := range forests {
+		label := fmt.Sprintf("island %d", i)
+		if i < len(labels) {
+			label = labels[i]
+		}
+		if err := emitForest(emit, f, 2*i+1, label); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func emitForest(emit func(chromeEvent) error, f Forest, masterPID int, label string) error {
+	workerPID := masterPID + 1
+	meta := []chromeEvent{
+		{Name: "process_name", Phase: "M", PID: masterPID,
+			Args: map[string]any{"name": label + " master"}},
+		{Name: "process_name", Phase: "M", PID: workerPID,
+			Args: map[string]any{"name": label + " workers"}},
+	}
+	workers := map[int]bool{}
+	for _, s := range f {
+		if s.Name == "eval" {
+			workers[s.Worker] = true
+		}
+	}
+	tids := make([]int, 0, len(workers))
+	for w := range workers {
+		tids = append(tids, w)
+	}
+	sort.Ints(tids)
+	for _, w := range tids {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: workerPID, TID: w,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", w)},
+		})
+	}
+	for _, e := range meta {
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+
+	span := func(s *Span, pid, tid int, cat string) chromeEvent {
+		start, dur := s.Start, s.End-s.Start
+		if start < 0 { // wall-clock jitter can push a derived start past 0
+			start = 0
+		}
+		if dur < 0 {
+			dur = 0
+		}
+		ce := chromeEvent{
+			Name: s.Name, TS: start * 1e6, PID: pid, TID: tid, Cat: cat,
+			Args: map[string]any{
+				"trace_id": fmt.Sprintf("%016x", s.TraceID),
+				"item":     s.Item,
+			},
+		}
+		if dur > 0 {
+			ce.Phase, ce.Dur = "X", dur*1e6
+		} else {
+			ce.Phase, ce.Scope = "i", "t"
+		}
+		return ce
+	}
+	flow := func(phase, name, id string, ts float64, pid, tid int) chromeEvent {
+		ce := chromeEvent{
+			Name: name, Phase: phase, TS: ts * 1e6, PID: pid, TID: tid,
+			Cat: "flow", ID: id,
+		}
+		if phase == "f" {
+			ce.BindPoint = "e" // bind to the enclosing slice
+		}
+		return ce
+	}
+
+	for _, root := range f {
+		switch root.Name {
+		case "migrant":
+			ce := span(root, masterPID, 0, "migration")
+			ce.Args["source"] = root.Worker
+			if err := emit(ce); err != nil {
+				return err
+			}
+			if root.LinkID != 0 {
+				err := emit(flow("f", "migrate", fmt.Sprintf("%016x", root.LinkID),
+					root.Start, masterPID, 0))
+				if err != nil {
+					return err
+				}
+			}
+			continue
+		case "emigrant":
+			if err := emit(span(root, masterPID, 0, "migration")); err != nil {
+				return err
+			}
+			err := emit(flow("s", "migrate", fmt.Sprintf("%016x", root.TraceID),
+				root.Start, masterPID, 0))
+			if err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Evaluation tree: the root and tf live on the worker's
+		// thread, the master-side terms on the master pid, with grant
+		// and result flow arrows tying them together.
+		if err := emit(span(root, workerPID, root.Worker, "eval")); err != nil {
+			return err
+		}
+		var tf *Span
+		for _, ch := range root.Children {
+			pid, tid := masterPID, 0
+			if ch.Name == "tf" {
+				pid, tid, tf = workerPID, root.Worker, ch
+			}
+			if err := emit(span(ch, pid, tid, "eval")); err != nil {
+				return err
+			}
+		}
+		if tf != nil {
+			id := fmt.Sprintf("%016x.%x", root.TraceID, root.Item)
+			tfStart, tfEnd := tf.Start, tf.End
+			if tfStart < 0 {
+				tfStart = 0
+			}
+			if tfEnd < 0 {
+				tfEnd = 0
+			}
+			for _, e := range []chromeEvent{
+				flow("s", "grant", id+".g", root.Start, masterPID, 0),
+				flow("f", "grant", id+".g", tfStart, workerPID, root.Worker),
+				flow("s", "result", id+".r", tfEnd, workerPID, root.Worker),
+				flow("f", "result", id+".r", root.End, masterPID, 0),
+			} {
+				if err := emit(e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMintTraceIDDeterministicAndNonZero(t *testing.T) {
+	if got, want := MintTraceID(7, 42), MintTraceID(7, 42); got != want {
+		t.Fatalf("minting is not deterministic: %x vs %x", got, want)
+	}
+	if MintTraceID(7, 42) == MintTraceID(8, 42) {
+		t.Fatal("different run ids minted the same trace id")
+	}
+	if MintTraceID(7, 42) == MintTraceID(7, 43) {
+		t.Fatal("different keys minted the same trace id")
+	}
+	for key := uint64(0); key < 1000; key++ {
+		if MintTraceID(0, key) == 0 {
+			t.Fatalf("key %d minted trace id 0 (reserved for untraced)", key)
+		}
+	}
+}
+
+func TestSampleHead(t *testing.T) {
+	id := MintTraceID(1, 1)
+	if SampleHead(id, 0) {
+		t.Fatal("rate 0 sampled a trace")
+	}
+	if !SampleHead(id, 1) {
+		t.Fatal("rate 1 skipped a trace")
+	}
+	// The decision is a pure function of the id: stable across calls.
+	if SampleHead(id, 0.5) != SampleHead(id, 0.5) {
+		t.Fatal("sampling decision is not deterministic")
+	}
+	// Over many ids the sampled fraction approaches the rate.
+	const n = 20000
+	hits := 0
+	for key := uint64(0); key < n; key++ {
+		if SampleHead(MintTraceID(3, key), 0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("rate 0.3 sampled %.3f of traces", frac)
+	}
+}
+
+// driveEval walks one evaluation through the collector's protocol and
+// observation hooks with fixed durations.
+func driveEval(c *Collector, worker int, item uint64, grantAt, endAt float64) SpanContext {
+	ctx := c.TraceGrant(worker, item, grantAt)
+	c.ObserveTCSend(item, 0.001)
+	c.ObserveTF(item, 0.5)
+	c.ObserveQueueWait(item, 0.01)
+	c.ObserveTCRecv(item, 0.002)
+	c.TraceResult(worker, item, endAt, true)
+	c.ObserveTA(item, 0.003)
+	return ctx
+}
+
+func TestCollectorAssemblesEvalTree(t *testing.T) {
+	c := NewCollector(CollectorConfig{RunID: 9, Rate: 1})
+	ctx := driveEval(c, 2, 1, 10.0, 11.0)
+	if !ctx.Valid() || !ctx.Sampled() {
+		t.Fatalf("rate-1 grant returned %+v, want a valid sampled context", ctx)
+	}
+
+	f := c.Forest()
+	if len(f) != 1 {
+		t.Fatalf("forest has %d roots, want 1", len(f))
+	}
+	root := f[0]
+	if root.Name != "eval" || root.TraceID != ctx.TraceID || root.Worker != 2 {
+		t.Fatalf("unexpected root span %+v", root)
+	}
+	if root.Start != 10.0 {
+		t.Fatalf("root starts at %v, want grant time 10.0", root.Start)
+	}
+	// The root covers grant to archive-insert: result time plus T_A.
+	if want := 11.0 + 0.003; math.Abs(root.End-want) > 1e-12 {
+		t.Fatalf("root ends at %v, want %v", root.End, want)
+	}
+	wantOrder := []string{"tc.send", "tf", "queue.wait", "tc.recv", "ta"}
+	if len(root.Children) != len(wantOrder) {
+		t.Fatalf("root has %d children, want %d", len(root.Children), len(wantOrder))
+	}
+	for i, name := range wantOrder {
+		ch := root.Children[i]
+		if ch.Name != name {
+			t.Fatalf("child %d is %q, want %q", i, ch.Name, name)
+		}
+		if ch.TraceID != root.TraceID || ch.Parent != root.SpanID {
+			t.Fatalf("child %q not linked to root: %+v", name, ch)
+		}
+	}
+	// tf is placed backwards from the result time through the queued
+	// and inbound-transport delays.
+	tf := root.Children[1]
+	if want := 11.0 - 0.002 - 0.01 - 0.5; math.Abs(tf.Start-want) > 1e-12 {
+		t.Fatalf("tf starts at %v, want %v", tf.Start, want)
+	}
+
+	att := f.Attribution()
+	if att.Evals != 1 || att.Expired != 0 {
+		t.Fatalf("attribution %+v, want 1 completed eval", att)
+	}
+	if att.TF.N != 1 || math.Abs(att.TF.Sum-0.5) > 1e-12 {
+		t.Fatalf("attribution TF %+v, want one 0.5s sample", att.TF)
+	}
+	if att.Wall <= 0 || att.TF.Share <= 0 {
+		t.Fatalf("attribution has no wall/share: %+v", att)
+	}
+}
+
+func TestCollectorResubmitSharesTrace(t *testing.T) {
+	c := NewCollector(CollectorConfig{RunID: 5, Rate: 1})
+	parent := c.TraceGrant(1, 10, 0)
+	c.TraceExpire(1, 10, 2.0)
+	c.TraceResubmit(10, 11)
+	clone := c.TraceGrant(3, 11, 2.5)
+	c.TraceResult(3, 11, 3.0, true)
+
+	if clone.TraceID != parent.TraceID {
+		t.Fatalf("resubmitted clone minted trace %x, want parent's %x", clone.TraceID, parent.TraceID)
+	}
+	if clone.SpanID == parent.SpanID {
+		t.Fatal("clone reused the parent's span id")
+	}
+	f := c.Forest()
+	if len(f) != 2 {
+		t.Fatalf("forest has %d roots, want expired parent + completed clone", len(f))
+	}
+	var expired int
+	for _, s := range f {
+		if s.TraceID != parent.TraceID {
+			t.Fatalf("span %+v not in the lineage trace", s)
+		}
+		if s.Status == "expired" {
+			expired++
+		}
+	}
+	if expired != 1 {
+		t.Fatalf("%d expired spans, want 1", expired)
+	}
+}
+
+func TestCollectorEmissionForcing(t *testing.T) {
+	c := NewCollector(CollectorConfig{RunID: 1, Rate: 0})
+	driveEval(c, 1, 100, 0, 1)
+	driveEval(c, 2, 101, 0, 1)
+	if f := c.Forest(); len(f) != 0 {
+		t.Fatalf("rate-0 forest has %d spans, want 0", len(f))
+	}
+	// Expiry forces emission regardless of the rate.
+	c.TraceGrant(3, 102, 2)
+	c.TraceExpire(3, 102, 4)
+	// So does flagging a worker as a straggler.
+	c.ForceWorker(2)
+	f := c.Forest()
+	if len(f) != 2 {
+		t.Fatalf("forest has %d spans, want the expired eval and worker 2's", len(f))
+	}
+	for _, s := range f {
+		if s.Worker != 2 && s.Status != "expired" {
+			t.Fatalf("span %+v is neither forced nor expired", s)
+		}
+	}
+}
+
+func TestCollectorStaleResultIgnored(t *testing.T) {
+	c := NewCollector(CollectorConfig{RunID: 1, Rate: 1})
+	c.TraceGrant(1, 7, 0)
+	c.TraceResult(1, 7, 1, false) // stale: lease already gone
+	f := c.Forest()
+	if len(f) != 1 || f[0].Status != "open" {
+		t.Fatalf("stale result closed the span: %+v", f[0])
+	}
+}
+
+func TestCollectorSpanLimit(t *testing.T) {
+	c := NewCollector(CollectorConfig{RunID: 1, Rate: 1, Limit: 4})
+	for i := uint64(1); i <= 10; i++ {
+		c.TraceGrant(0, i, float64(i))
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("limit 4 dropped nothing across 10 grants")
+	}
+	if f := c.Forest(); len(f) != 4 {
+		t.Fatalf("forest has %d spans, want the 4 under the limit", len(f))
+	}
+}
+
+// replayProtocol re-feeds the same protocol hook sequence driveEval and
+// friends produced — standing in for master.Log.ReplayTrace, which this
+// package cannot import.
+func TestSidecarReconstructsForest(t *testing.T) {
+	protocol := func(tr ProtocolTracer) {
+		tr.TraceGrant(1, 1, 0.5)
+		tr.TraceResult(1, 1, 1.5, true)
+		tr.TraceGrant(2, 2, 0.6)
+		tr.TraceExpire(2, 2, 5.0)
+		tr.TraceResubmit(2, 3)
+		tr.TraceGrant(1, 3, 5.1)
+		tr.TraceResult(1, 3, 6.0, true)
+		tr.TraceMigrant(4, 1, 7.0)
+	}
+	live := NewCollector(CollectorConfig{RunID: 77, Rate: 0.5})
+	protocol(live)
+	// Live-only observations: durations, a forced worker, migration
+	// links — exactly what the sidecar must carry.
+	live.ObserveTCSend(1, 0.001)
+	live.ObserveTF(1, 0.9)
+	live.ObserveTA(1, 0.002)
+	live.ObserveTF(3, 0.8)
+	live.ForceWorker(1)
+	live.LinkMigrant(1, SpanContext{TraceID: 0xabc, SpanID: 0xdef, Flags: FlagSampled})
+	live.ObserveEmigrant(1, 6.5)
+
+	var liveJSON bytes.Buffer
+	if err := live.Forest().WriteJSONL(&liveJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize the sidecar, read it back, replay the protocol.
+	var disk bytes.Buffer
+	if _, err := live.TraceLog().WriteTo(&disk); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := ReadTraceLog(bytes.NewReader(disk.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.RunID != 77 || tl.Rate != 0.5 {
+		t.Fatalf("sidecar header %+v, want run 77 rate 0.5", tl)
+	}
+	recon := NewCollectorFromLog(tl)
+	protocol(recon)
+	var reconJSON bytes.Buffer
+	if err := recon.Forest().WriteJSONL(&reconJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveJSON.Bytes(), reconJSON.Bytes()) {
+		t.Fatalf("reconstructed forest differs from live:\nlive:\n%s\nreconstructed:\n%s", &liveJSON, &reconJSON)
+	}
+
+	// A torn trailing record is tolerated and costs only itself.
+	torn := disk.Bytes()[:disk.Len()-5]
+	tl2, err := ReadTraceLog(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn sidecar rejected: %v", err)
+	}
+	if len(tl2.Recs) != len(tl.Recs)-1 {
+		t.Fatalf("torn sidecar kept %d records, want %d", len(tl2.Recs), len(tl.Recs)-1)
+	}
+
+	// Garbage is rejected cleanly.
+	if _, err := ReadTraceLog(bytes.NewReader([]byte("BOGUS sidecar"))); err == nil {
+		t.Fatal("bogus magic accepted")
+	}
+}
+
+func TestChromeForestExport(t *testing.T) {
+	// Island A evaluates and emigrates; island B links the migrant in.
+	a := NewCollector(CollectorConfig{RunID: 1, Rate: 1})
+	driveEval(a, 1, 1, 0, 1)
+	emCtx := a.ObserveEmigrant(1, 1.5)
+
+	b := NewCollector(CollectorConfig{RunID: 2, Rate: 1})
+	driveEval(b, 1, 1, 0, 1)
+	b.LinkMigrant(1, emCtx)
+	b.TraceMigrant(0, 1, 1.6)
+
+	var buf bytes.Buffer
+	if err := WriteChromeForests(&buf, []string{"isl-a", "isl-b"}, []Forest{a.Forest(), b.Forest()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("export failed Chrome trace validation: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			PID   int     `json:"pid"`
+			ID    string  `json:"id"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var flowStart, flowFinish string
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Name+"/"+e.Phase]++
+		if e.Name == "migrate" && e.Phase == "s" {
+			flowStart = e.ID
+		}
+		if e.Name == "migrate" && e.Phase == "f" {
+			flowFinish = e.ID
+		}
+	}
+	if counts["eval/X"] != 2 {
+		t.Fatalf("export has %d eval slices, want 2 (one per island)", counts["eval/X"])
+	}
+	if counts["emigrant/i"] != 1 || counts["migrant/i"] != 1 {
+		t.Fatalf("export lacks migration instants: %v", counts)
+	}
+	if counts["grant/s"] != 2 || counts["result/f"] != 2 {
+		t.Fatalf("export lacks grant/result flow arrows: %v", counts)
+	}
+	if flowStart == "" || flowStart != flowFinish {
+		t.Fatalf("emigrant flow id %q does not meet migrant flow id %q — the cross-island arrow is broken", flowStart, flowFinish)
+	}
+}
+
+func TestProfilerRingAndHandler(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiler(ProfileConfig{
+		Dir:    dir,
+		Every:  30 * time.Millisecond,
+		CPU:    5 * time.Millisecond,
+		Keep:   2,
+		Labels: map[string]string{"role": "test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Epoch() < 3 {
+		if time.Now().After(deadline) {
+			p.Close()
+			t.Fatalf("profiler reached epoch %d within 10s, want 3", p.Epoch())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	epoch := p.Epoch()
+
+	// The index lists the retained ring and carries the labels.
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("index returned %d", rec.Code)
+	}
+	var index struct {
+		Epoch    uint64            `json:"epoch"`
+		Labels   map[string]string `json:"labels"`
+		Profiles []struct {
+			Name  string `json:"name"`
+			Kind  string `json:"kind"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &index); err != nil {
+		t.Fatal(err)
+	}
+	if index.Epoch < 3 || index.Labels["role"] != "test" || len(index.Profiles) == 0 {
+		t.Fatalf("unexpected index %+v", index)
+	}
+
+	// One raw snapshot serves as a file; junk names 404.
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/"+index.Profiles[0].Name, nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("snapshot %q returned %d with %d bytes", index.Profiles[0].Name, rec.Code, rec.Body.Len())
+	}
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/../../etc/passwd", nil))
+	if rec.Code != 404 {
+		t.Fatalf("path traversal returned %d, want 404", rec.Code)
+	}
+
+	p.Close()
+
+	// The ring pruned: with Keep=2 nothing older than epoch-2 remains,
+	// and the newest epochs are on disk.
+	for _, kind := range []string{"cpu", "heap"} {
+		old := filepath.Join(dir, fmt.Sprintf("%s-%08d.pprof", kind, 1))
+		if epoch > 3 {
+			continue // a late capture may have raced the check; prune floor moved
+		}
+		if _, err := os.Stat(old); err == nil {
+			t.Fatalf("epoch-1 %s snapshot survived a Keep=2 ring at epoch %d", kind, epoch)
+		}
+	}
+	latest := filepath.Join(dir, fmt.Sprintf("heap-%08d.pprof", p.Epoch()))
+	if _, err := os.Stat(latest); err != nil {
+		t.Fatalf("latest heap snapshot missing: %v", err)
+	}
+}
+
+var _ io.WriterTo = (*TraceLog)(nil)

@@ -36,10 +36,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			cum := uint64(0)
 			for i, bound := range m.bounds {
 				cum += m.counts[i].Load()
-				fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(bound), cum)
+				fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d%s\n", pn, promFloat(bound), cum, promExemplar(m, i))
 			}
 			cum += m.counts[len(m.bounds)].Load()
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d%s\n", pn, cum, promExemplar(m, len(m.bounds)))
 			fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(m.Sum()))
 			fmt.Fprintf(bw, "%s_count %d\n", pn, cum)
 		}
@@ -66,4 +66,15 @@ func promName(name string) string {
 // promFloat renders a float the way Prometheus parsers expect.
 func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promExemplar renders bucket i's exemplar in the OpenMetrics
+// `# {trace_id="…"} value` form; classic Prometheus parsers treat the
+// suffix as a comment and ignore it.
+func promExemplar(m *Histogram, i int) string {
+	ex := m.bucketExemplar(i)
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%016x\"} %s", ex.TraceID, promFloat(ex.Value))
 }

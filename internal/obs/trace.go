@@ -201,17 +201,21 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	return bw.Flush()
 }
 
-// chromeEvent is one trace_event-format record.
+// chromeEvent is one trace_event-format record. ID and BindPoint are
+// only set on flow events ("s"/"t"/"f"), which the forest exporter
+// uses to draw cross-process arrows.
 type chromeEvent struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"`
-	Dur   float64        `json:"dur,omitempty"`
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Cat   string         `json:"cat,omitempty"`
-	Scope string         `json:"s,omitempty"`
-	Args  map[string]any `json:"args,omitempty"`
+	Name      string         `json:"name"`
+	Phase     string         `json:"ph"`
+	TS        float64        `json:"ts"`
+	Dur       float64        `json:"dur,omitempty"`
+	PID       int            `json:"pid"`
+	TID       int            `json:"tid"`
+	Cat       string         `json:"cat,omitempty"`
+	Scope     string         `json:"s,omitempty"`
+	ID        string         `json:"id,omitempty"`
+	BindPoint string         `json:"bp,omitempty"`
+	Args      map[string]any `json:"args,omitempty"`
 }
 
 // ValidateChromeTrace checks data against the Chrome trace-event
@@ -241,6 +245,10 @@ func ValidateChromeTrace(data []byte) error {
 		}
 		switch ev.Phase {
 		case "B", "E", "X", "i", "I", "M", "C":
+		case "s", "t", "f": // flow events: cross-process arrows
+			if ev.ID == "" {
+				return fmt.Errorf("obs: traceEvents[%d]: flow event without id", i)
+			}
 		default:
 			return fmt.Errorf("obs: traceEvents[%d]: unknown phase %q", i, ev.Phase)
 		}

@@ -5,6 +5,7 @@ import (
 	"borgmoea/internal/core"
 	"borgmoea/internal/des"
 	"borgmoea/internal/master"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/rng"
 )
 
@@ -17,6 +18,11 @@ type desAlg struct {
 	p     *des.Process
 	node  *cluster.Node
 	meter *taMeter
+	trace *obs.Collector // nil-safe
+	// curItem is the lease id of the result being folded in: the master
+	// loop stashes it before Handle(EvResult) so the accept critical
+	// section can attribute its T_A to the evaluation's trace.
+	curItem uint64
 }
 
 func (a *desAlg) Suggest() *core.Solution {
@@ -29,6 +35,7 @@ func (a *desAlg) Suggest() *core.Solution {
 func (a *desAlg) Accept(s *core.Solution) {
 	ta := a.meter.measure(func() { a.b.Accept(s) })
 	a.node.HoldBusy(a.p, ta, "algo")
+	a.trace.ObserveTA(a.curItem, ta)
 }
 
 func (a *desAlg) AcceptSuggest(s *core.Solution) *core.Solution {
@@ -38,6 +45,7 @@ func (a *desAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 		next = a.b.Suggest()
 	})
 	a.node.HoldBusy(a.p, ta, "algo")
+	a.trace.ObserveTA(a.curItem, ta)
 	return next
 }
 
@@ -104,11 +112,12 @@ func RunAsync(cfg Config) (*Result, error) {
 	// Master process: one shared state machine, one mailbox.
 	node := cl.Node(0)
 	eng.Go("master", func(p *des.Process) {
+		alg := &desAlg{b: b, p: p, node: node, meter: meter, trace: cfg.Trace}
 		mcfg := master.Config{
 			Budget:       cfg.Evaluations,
 			LeaseTimeout: cfg.LeaseTimeout,
 			Policy:       master.EagerOffspring,
-			Alg:          &desAlg{b: b, p: p, node: node, meter: meter},
+			Alg:          alg,
 			Meters:       meters,
 			Emit:         func(kind, detail string) { eng.Emit(kind, "master", detail) },
 			Log:          cfg.Protocol,
@@ -122,12 +131,17 @@ func RunAsync(cfg Config) (*Result, error) {
 		if adv != nil {
 			mcfg.OnAcceptFrom = adv.ObserveAccept
 		}
+		if cfg.Trace != nil {
+			mcfg.Tracer = cfg.Trace
+		}
 		m = master.NewCore(mcfg)
 		exec := func(acts []master.Action) {
 			for _, a := range acts {
 				switch a.Kind {
 				case master.ActGrant:
-					node.HoldBusy(p, sampleTC(), "comm")
+					tc := sampleTC()
+					node.HoldBusy(p, tc, "comm")
+					cfg.Trace.ObserveTCSend(a.Item.ID, tc)
 					node.Send(a.Worker, tagEvaluate, a.Item)
 				case master.ActStop:
 					node.Send(a.Worker, tagStop, nil)
@@ -163,14 +177,19 @@ func RunAsync(cfg Config) (*Result, error) {
 		for !m.Done() {
 			msg := receive()
 			wait := p.Now() - msg.ArriveAt
-			meters.QueueWait.Observe(wait)
 			adv.ObserveQueueWait(wait)
-			node.HoldBusy(p, sampleTC(), "comm")
+			tc := sampleTC()
+			node.HoldBusy(p, tc, "comm")
 			if msg.Tag == tagHello {
+				meters.QueueWait.Observe(wait)
 				exec(m.Handle(master.Event{Kind: master.EvHello, Worker: msg.From, At: p.Now()}))
 				continue
 			}
 			item := msg.Payload.(*master.Item)
+			meters.QueueWait.ObserveExemplar(wait, sampledTraceID(item))
+			cfg.Trace.ObserveQueueWait(item.ID, wait)
+			cfg.Trace.ObserveTCRecv(item.ID, tc)
+			alg.curItem = item.ID
 			exec(m.Handle(master.Event{Kind: master.EvResult, Worker: msg.From, Item: item.ID, At: p.Now()}))
 		}
 		// Drain any in-flight results so the mailbox is empty.

@@ -80,6 +80,11 @@ type distEvent struct {
 type distAlg struct {
 	b     *core.Borg
 	meter *taMeter
+	trace *obs.Collector // nil-safe
+	// curItem is the lease id of the result being folded in (see
+	// desAlg.curItem); the lazy policy's dispatch-path Suggest is not
+	// attributed to any one evaluation.
+	curItem uint64
 }
 
 func (a *distAlg) Suggest() *core.Solution {
@@ -89,7 +94,8 @@ func (a *distAlg) Suggest() *core.Solution {
 }
 
 func (a *distAlg) Accept(s *core.Solution) {
-	a.meter.measure(func() { a.b.Accept(s) })
+	ta := a.meter.measure(func() { a.b.Accept(s) })
+	a.trace.ObserveTA(a.curItem, ta)
 }
 
 func (a *distAlg) AcceptSuggest(s *core.Solution) *core.Solution {
@@ -243,11 +249,12 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	if leaseTimeout > 0 {
 		coreTimeout = leaseTimeout.Seconds()
 	}
+	alg := &distAlg{b: b, meter: meter, trace: cfg.Trace}
 	mcfg := master.Config{
 		Budget:       cfg.Evaluations,
 		LeaseTimeout: coreTimeout,
 		Policy:       master.LazyOffspring,
-		Alg:          &distAlg{b: b, meter: meter},
+		Alg:          alg,
 		Meters:       meters,
 		Emit:         func(kind, detail string) { record(obs.Event{Kind: kind, Actor: "master", Detail: detail}) },
 		Log:          cfg.Protocol,
@@ -260,6 +267,9 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	}
 	if adv != nil {
 		mcfg.OnAcceptFrom = adv.ObserveAccept
+	}
+	if cfg.Trace != nil {
+		mcfg.Tracer = cfg.Trace
 	}
 	m := master.NewCore(mcfg)
 
@@ -296,11 +306,15 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 					SolID:    a.Item.S.ID,
 					Operator: int32(a.Item.S.Operator),
 					Vars:     a.Item.S.Vars,
+					Trace:    a.Item.Trace,
 				}
+				sendStart := time.Now()
 				if err := s.conn.Send(ev); err != nil {
 					drop(s, err)
 					exec(m.Handle(master.Event{Kind: master.EvGone, Worker: a.Worker, At: since()}))
+					continue
 				}
+				cfg.Trace.ObserveTCSend(a.Item.ID, time.Since(sendStart).Seconds())
 			case master.ActStop:
 				if s := byID[uint64(a.Worker)]; s != nil && !s.gone {
 					_ = s.conn.Send(wire.Stop{})
@@ -375,8 +389,10 @@ loop:
 					evalSec := float64(msg.EvalNanos) / 1e9
 					tfSum += evalSec
 					tfN++
-					meters.TF.Observe(evalSec)
+					meters.TF.ObserveExemplar(evalSec, sampledTraceID(item))
 					adv.ObserveTF(int(s.id), evalSec)
+					cfg.Trace.ObserveTF(item.ID, evalSec)
+					alg.curItem = item.ID
 					if journal != nil {
 						// Reconstruct the worker's eval span master-side
 						// from the reported duration.

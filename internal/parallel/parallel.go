@@ -145,6 +145,14 @@ type Config struct {
 	// internal/advisor). Observation-only: it never steers the run.
 	// Honored by the async drivers; nil disables at zero cost.
 	Advisor *advisor.Advisor
+	// Trace, when set, collects one distributed trace per evaluation:
+	// the master mints span contexts at grant time, the drivers feed
+	// the collector the paper's model terms (T_C send/recv, queue
+	// wait, T_F, T_A) per item, and Collector.Forest assembles the
+	// span trees (see internal/obs). The sidecar (Collector.TraceLog)
+	// plus the Protocol log reconstruct the same forest offline via
+	// obs.TracesFromLog. Honored by the async drivers; nil disables.
+	Trace *obs.Collector
 }
 
 // normalize fills defaults and validates.

@@ -39,6 +39,28 @@ func (r *tfRecorder) record(tf float64) {
 	r.adv.ObserveTF(r.worker, tf)
 }
 
+// recordTraced is record plus an exemplar: a sampled evaluation pins
+// its trace id to the T_F histogram bucket it lands in, so /debug/
+// metrics links a latency bucket to a concrete trace.
+func (r *tfRecorder) recordTraced(tf float64, item *master.Item) {
+	r.sum += tf
+	r.n++
+	if r.capture {
+		r.samples = append(r.samples, tf)
+	}
+	r.hist.ObserveExemplar(tf, sampledTraceID(item))
+	r.adv.ObserveTF(r.worker, tf)
+}
+
+// sampledTraceID returns the item's trace id when the evaluation is
+// sampled, else 0 (ObserveExemplar treats 0 as "no exemplar").
+func sampledTraceID(item *master.Item) uint64 {
+	if item.Trace.Sampled() {
+		return item.Trace.TraceID
+	}
+	return 0
+}
+
 // newRecorders returns one recorder per worker rank 1..P−1.
 func newRecorders(cfg *Config) []*tfRecorder {
 	hist := cfg.Metrics.Histogram(mTF, nil)
@@ -90,7 +112,8 @@ func startWorkers(eng *des.Engine, cl *cluster.Cluster, cfg *Config, recs []*tfR
 				if straggler {
 					tf *= cfg.StragglerFactor
 				}
-				rec.record(tf)
+				rec.recordTraced(tf, item)
+				cfg.Trace.ObserveTF(item.ID, tf)
 				node.HoldBusy(p, tf, "eval")
 				if node.Failed() || node.Epoch() != epoch {
 					continue // crashed mid-evaluation: the work is lost

@@ -28,11 +28,25 @@ import (
 	"math"
 
 	"borgmoea/internal/master"
+	"borgmoea/internal/obs"
 )
 
 // Version is the protocol version carried in every frame. A peer
 // speaking a different version is rejected at decode time.
 const Version = 1
+
+// VersionTraced marks a frame carrying the optional trace header: a
+// length byte (always traceHeaderLen for this version) followed by
+// the span context — trace id, span id, flags — CRC-covered like the
+// rest of the frame. Only the evaluation-path messages (Evaluate,
+// Result, Migrant) may carry it, and only when the context is Valid;
+// everything else still encodes as Version 1, so tracing-off runs
+// put zero extra bytes on the wire and old logs decode unchanged.
+const VersionTraced = 2
+
+// traceHeaderLen is the trace header's payload size: trace id (8) +
+// span id (8) + flags (1).
+const traceHeaderLen = 17
 
 // MaxFrame bounds the payload (version + tag + body + CRC) of one
 // frame. It is far above any legitimate message — a 1 MiB frame holds
@@ -107,6 +121,11 @@ type Evaluate struct {
 	Operator int32
 	Problem  string
 	Vars     []float64
+	// Trace is the evaluation's span context, minted at grant time by
+	// the master core's tracer. When Valid the frame encodes as
+	// VersionTraced with the trace header; the worker echoes it on the
+	// Result so the collector can close the cross-process span.
+	Trace obs.SpanContext
 }
 
 // Result returns an evaluated solution. EvalNanos is the worker-side
@@ -120,6 +139,8 @@ type Result struct {
 	EvalNanos uint64
 	Objs      []float64
 	Constrs   []float64
+	// Trace echoes the Evaluate's span context (see Evaluate.Trace).
+	Trace obs.SpanContext
 }
 
 // Stop tells a worker to shut down cleanly.
@@ -142,6 +163,10 @@ type Migrant struct {
 	Vars     []float64
 	Objs     []float64
 	Constrs  []float64
+	// Trace is the sending island's emigrant span context; the
+	// receiver links it to its migrant span, preserving cross-island
+	// lineage in the trace forest.
+	Trace obs.SpanContext
 }
 
 // DeltaMember is one archive member inside a Delta batch.
@@ -256,18 +281,43 @@ func (m *Delta) appendBody(dst []byte) []byte {
 	return dst
 }
 
+// frameTrace returns the span context a message carries on the wire
+// (the zero context for untraced messages and message types that
+// never carry one).
+func frameTrace(m Message) obs.SpanContext {
+	switch t := m.(type) {
+	case *Evaluate:
+		return t.Trace
+	case *Result:
+		return t.Trace
+	case *Migrant:
+		return t.Trace
+	}
+	return obs.SpanContext{}
+}
+
 // AppendFrame serializes a message as one wire frame appended to dst:
 //
-//	uint32 length | version(1) tag(1) body... crc32(4)
+//	uint32 length | version(1) tag(1) [traceHdr] body... crc32(4)
 //
 // where length counts everything after itself and the CRC (IEEE) is
-// computed over version+tag+body. Appending lets hot paths — the
-// connection send loop, island migration — reuse one scratch buffer
-// instead of allocating a frame per message.
+// computed over version+tag+(header+)body. A message carrying a Valid
+// span context encodes as VersionTraced with the trace header —
+// hdrLen(1)=17, trace id(8), span id(8), flags(1) — between tag and
+// body; all others encode as Version 1. Appending lets hot paths —
+// the connection send loop, island migration — reuse one scratch
+// buffer instead of allocating a frame per message.
 func AppendFrame(dst []byte, m Message) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
-	dst = append(dst, Version, byte(m.Tag()))
+	if tc := frameTrace(m); tc.Valid() {
+		dst = append(dst, VersionTraced, byte(m.Tag()), traceHeaderLen)
+		dst = appendU64(dst, tc.TraceID)
+		dst = appendU64(dst, tc.SpanID)
+		dst = append(dst, tc.Flags)
+	} else {
+		dst = append(dst, Version, byte(m.Tag()))
+	}
 	dst = m.appendBody(dst)
 	crc := crc32.ChecksumIEEE(dst[start+4:])
 	dst = appendU32(dst, crc)
@@ -380,8 +430,8 @@ func DecodeFrame(payload []byte) (Message, error) {
 	if len(payload) < 6 { // version + tag + crc32
 		return nil, fmt.Errorf("wire: frame payload too short (%d bytes)", len(payload))
 	}
-	if payload[0] != Version {
-		return nil, fmt.Errorf("wire: protocol version %d, want %d", payload[0], Version)
+	if payload[0] != Version && payload[0] != VersionTraced {
+		return nil, fmt.Errorf("wire: protocol version %d, want %d or %d", payload[0], Version, VersionTraced)
 	}
 	content, trailer := payload[:len(payload)-4], payload[len(payload)-4:]
 	if got, want := crc32.ChecksumIEEE(content), binary.BigEndian.Uint32(trailer); got != want {
@@ -389,6 +439,33 @@ func DecodeFrame(payload []byte) (Message, error) {
 	}
 	tag := Tag(payload[1])
 	r := &bodyReader{b: content[2:]}
+
+	// VersionTraced: the trace header sits between tag and body. The
+	// decode is strict — traced tags only, exact header length, a
+	// nonzero trace id — because the encoder never produces anything
+	// else, and the fuzz invariant (successful decode ⇒ re-encoding is
+	// byte-identical) requires one canonical wire form per message.
+	var trace obs.SpanContext
+	if payload[0] == VersionTraced {
+		if tag != TagEvaluate && tag != TagResult && tag != TagMigrant {
+			return nil, fmt.Errorf("wire: %s frame cannot carry a trace header", tag)
+		}
+		hdr := r.take(1 + traceHeaderLen)
+		if hdr == nil {
+			return nil, r.err
+		}
+		if hdr[0] != traceHeaderLen {
+			return nil, fmt.Errorf("wire: trace header length %d, want %d", hdr[0], traceHeaderLen)
+		}
+		trace = obs.SpanContext{
+			TraceID: binary.BigEndian.Uint64(hdr[1:]),
+			SpanID:  binary.BigEndian.Uint64(hdr[9:]),
+			Flags:   hdr[17],
+		}
+		if !trace.Valid() {
+			return nil, fmt.Errorf("wire: traced frame with zero trace id")
+		}
+	}
 	switch tag {
 	case TagHello:
 		m := &Hello{WorkerID: r.u64()}
@@ -409,6 +486,7 @@ func DecodeFrame(payload []byte) (Message, error) {
 			Operator: int32(r.u32()),
 			Problem:  r.str(),
 			Vars:     r.f64s(),
+			Trace:    trace,
 		}
 		return r.finish(m)
 	case TagResult:
@@ -419,6 +497,7 @@ func DecodeFrame(payload []byte) (Message, error) {
 			EvalNanos: r.u64(),
 			Objs:      r.f64s(),
 			Constrs:   r.f64s(),
+			Trace:     trace,
 		}
 		return r.finish(m)
 	case TagStop:
@@ -436,6 +515,7 @@ func DecodeFrame(payload []byte) (Message, error) {
 			Vars:     r.f64s(),
 			Objs:     r.f64s(),
 			Constrs:  r.f64s(),
+			Trace:    trace,
 		}
 		return r.finish(m)
 	case TagDelta:

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"borgmoea/internal/obs"
 )
 
 // FuzzDecodeFrame feeds arbitrary (and seeded malformed) payloads to
@@ -34,6 +36,51 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{Version + 1, byte(TagStop), 0, 0, 0, 0})
 	f.Add(withCRC([]byte{Version, 0xee}))
 	f.Add(withCRC(append([]byte{Version, byte(TagEvaluate)}, hugeCountBody()...)))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := DecodeFrame(payload)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("error %v returned alongside message %v", err, m)
+			}
+			return
+		}
+		re := EncodeFrame(m)
+		if !bytes.Equal(re[4:], payload) {
+			t.Fatalf("accepted non-canonical payload:\n  in  %x\n  out %x", payload, re[4:])
+		}
+	})
+}
+
+// FuzzDecodeTraced focuses the decoder invariants on the VersionTraced
+// trace header: traced frames on every carrier tag, old-version frames
+// without the header (backward compat must stay green), headers on
+// non-carrier tags, truncated and wrong-length headers, and the
+// non-canonical zero trace id. CI runs this as a third fuzz smoke.
+func FuzzDecodeTraced(f *testing.F) {
+	tc := obs.SpanContext{TraceID: 0x1234, SpanID: 0x5678, Flags: obs.FlagSampled}
+	seeds := []Message{
+		&Evaluate{Lease: 1, Vars: []float64{0.5}, Trace: tc},
+		&Result{Lease: 1, EvalNanos: 9, Objs: []float64{1, 2}, Trace: tc},
+		&Migrant{Island: 1, Epoch: 2, Objs: []float64{3}, Trace: tc},
+		// The same messages untraced: their frames must stay Version 1.
+		&Evaluate{Lease: 1, Vars: []float64{0.5}},
+		&Result{Lease: 1, EvalNanos: 9, Objs: []float64{1, 2}},
+		&Migrant{Island: 1, Epoch: 2, Objs: []float64{3}},
+	}
+	for _, m := range seeds {
+		f.Add(EncodeFrame(m)[4:])
+	}
+	valid := EncodeFrame(seeds[0])[4:]
+	for cut := 0; cut <= len(valid); cut++ {
+		f.Add(valid[:cut])
+	}
+	for i := 0; i < len(valid); i += 2 {
+		f.Add(flip(valid, i))
+	}
+	f.Add(withCRC(append([]byte{VersionTraced, byte(TagStop)}, traceHeader(5, 6, 0)...)))
+	f.Add(withCRC(append(append([]byte{VersionTraced, byte(TagEvaluate)}, traceHeader(0, 6, 1)...), evalBody()...)))
+	f.Add(withCRC(append(append([]byte{VersionTraced, byte(TagEvaluate)}, append([]byte{16}, traceHeader(5, 6, 0)[2:]...)...), evalBody()...)))
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		m, err := DecodeFrame(payload)
