@@ -10,14 +10,57 @@ import "math"
 // opened a previously unoccupied box — Borg's stagnation signal) and
 // per-operator contribution counts (the signal for operator
 // adaptation).
+//
+// Add is the master's T_A hot path, so the box set is indexed rather
+// than scanned: a grid hash keyed on the ε-box coordinates resolves
+// same-box duels in O(1), and a cached per-box coordinate sum prunes
+// the cross-box dominance sweep to the candidates a single float
+// compare cannot exclude. All working storage is reused across calls,
+// so Add performs no heap allocations in steady state. Observable
+// behavior — acceptance decisions, member ordering (swap-remove),
+// ε-progress, operator credits — is byte-identical to the original
+// linear-scan implementation; archive_ref_test.go pins that with a
+// differential harness against a copy of the old code.
 type Archive struct {
 	epsilons []float64
 	members  []*Solution
-	boxes    [][]int64 // boxes[i] is the ε-box index of members[i]
+
+	// The ε-box index. boxData holds every member's box vector in one
+	// flat slice (stride len(epsilons)): boxData[i*m:(i+1)*m] belongs
+	// to members[i]. sums[i] caches the float64 sum of member i's box
+	// coordinates: if box x ε-dominates box y then x ≤ y coordinatewise
+	// with one strict, so sum(x) <= sum(y) even after float rounding
+	// (conversion and addition are monotone) — one compare prunes most
+	// of the dominance sweep. grid maps a box to its member index for
+	// O(1) same-box lookups; it is nil when the objective count exceeds
+	// gridDims, in which case the sum filter locates same-box members.
+	boxData []int64
+	sums    []float64
+	grid    map[gridKey]int
+
+	scratch []int64 // candidate's box vector, reused across Add calls
+	marks   []bool  // per-member removal marks, parallel to members
+
+	// infeasible is true while members holds only least-violating
+	// placeholders (before the first feasible solution arrives).
+	infeasible bool
 
 	improvements uint64 // ε-progress counter
 	numOps       int
 	opCounts     []int // archive members credited to each operator
+}
+
+// gridDims bounds the objective count for which the grid hash is kept;
+// a [gridDims]int64 array key avoids per-lookup allocations. Beyond it
+// the archive falls back to the sum-filtered scan.
+const gridDims = 8
+
+type gridKey [gridDims]int64
+
+func makeKey(box []int64) gridKey {
+	var k gridKey
+	copy(k[:], box)
+	return k
 }
 
 // NewArchive creates an archive with the given per-objective ε values
@@ -32,11 +75,16 @@ func NewArchive(epsilons []float64, numOps int) *Archive {
 			panic("core: archive epsilons must be positive")
 		}
 	}
-	return &Archive{
+	a := &Archive{
 		epsilons: append([]float64(nil), epsilons...),
+		scratch:  make([]int64, len(epsilons)),
 		numOps:   numOps,
 		opCounts: make([]int, numOps),
 	}
+	if len(epsilons) <= gridDims {
+		a.grid = make(map[gridKey]int)
+	}
+	return a
 }
 
 // Epsilons returns the archive's ε vector (not a copy; do not modify).
@@ -56,13 +104,30 @@ func (a *Archive) Improvements() uint64 { return a.improvements }
 // each operator (the live slice; callers must not modify it).
 func (a *Archive) OperatorCounts() []int { return a.opCounts }
 
-// box computes the ε-box index vector of a solution.
+// box computes the ε-box index vector of a solution into fresh
+// storage (cold paths and tests; Add uses boxInto).
 func (a *Archive) box(s *Solution) []int64 {
 	b := make([]int64, len(s.Objs))
-	for i, f := range s.Objs {
-		b[i] = int64(math.Floor(f / a.epsilons[i]))
-	}
+	a.boxInto(s, b)
 	return b
+}
+
+// boxInto fills dst with the solution's ε-box index vector and returns
+// the float64 sum of its coordinates (the dominance prefilter key).
+func (a *Archive) boxInto(s *Solution, dst []int64) float64 {
+	sum := 0.0
+	for i, f := range s.Objs {
+		b := int64(math.Floor(f / a.epsilons[i]))
+		dst[i] = b
+		sum += float64(b)
+	}
+	return sum
+}
+
+// boxAt returns member i's box vector (a view into boxData).
+func (a *Archive) boxAt(i int) []int64 {
+	m := len(a.epsilons)
+	return a.boxData[i*m : (i+1)*m]
 }
 
 // boxCompare performs Pareto comparison on box indices: -1 if x
@@ -87,6 +152,22 @@ func boxCompare(x, y []int64) int {
 	}
 }
 
+// boxDominates reports whether box x ε-dominates box y: no worse in
+// any coordinate and strictly better in at least one. Unlike
+// boxCompare it can short-circuit on the first worse coordinate.
+func boxDominates(x, y []int64) bool {
+	better := false
+	for i := range x {
+		switch {
+		case x[i] > y[i]:
+			return false
+		case x[i] < y[i]:
+			better = true
+		}
+	}
+	return better
+}
+
 func boxEqual(x, y []int64) bool {
 	for i := range x {
 		if x[i] != y[i] {
@@ -108,6 +189,23 @@ func (a *Archive) cornerDistance(s *Solution, box []int64) float64 {
 	return d
 }
 
+// lookupBox returns the index of the member occupying the given box,
+// if any. With the grid hash this is a single map probe; in the
+// high-dimensional fallback, only members whose cached sum matches are
+// compared coordinatewise (same box ⇒ same sum).
+func (a *Archive) lookupBox(box []int64, sum float64) (int, bool) {
+	if a.grid != nil {
+		i, ok := a.grid[makeKey(box)]
+		return i, ok
+	}
+	for i, si := range a.sums {
+		if si == sum && boxEqual(a.boxAt(i), box) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
 // Add offers an evaluated solution to the archive. It returns true if
 // the solution was accepted (archived), false if it was ε-dominated.
 // Accepted solutions that open a previously unoccupied, nondominated
@@ -124,48 +222,105 @@ func (a *Archive) Add(s *Solution) bool {
 	// A feasible candidate flushes any infeasible placeholders.
 	a.dropInfeasible()
 
-	sBox := a.box(s)
-	sameBox := -1
-	removed := 0
-	for i := 0; i < len(a.members); i++ {
-		m := a.members[i]
-		mBox := a.boxes[i]
-		if boxEqual(sBox, mBox) {
-			// In-box duel: dominance first, then corner distance.
-			switch Compare(s, m) {
-			case -1:
-				sameBox = i
-			case 1:
+	sum := a.boxInto(s, a.scratch)
+
+	// In-box duel. The archive's boxes are unique and mutually
+	// nondominated, so a same-box incumbent rules out any cross-box
+	// domination in either direction (it would contradict the
+	// incumbent's nondominance by transitivity): the duel alone
+	// decides the outcome.
+	if j, ok := a.lookupBox(a.scratch, sum); ok {
+		incumbent := a.members[j]
+		switch Compare(s, incumbent) {
+		case 1:
+			return false
+		case 0:
+			if !(a.cornerDistance(s, a.scratch) < a.cornerDistance(incumbent, a.boxAt(j))) {
 				return false
-			default:
-				if a.cornerDistance(s, sBox) < a.cornerDistance(m, mBox) {
-					sameBox = i
-				} else {
-					return false
+			}
+		}
+		a.removeAt(j)
+		a.appendMember(s, sum)
+		// Same-box replacement is not ε-progress.
+		return true
+	}
+
+	// Cross-box sweep, sum-pruned: a dominating box's coordinate sum
+	// cannot exceed the dominated box's, so each member needs exactly
+	// one dominance test — against the candidate when si <= sum (can
+	// the member reject it?), by the candidate when si >= sum (is the
+	// member displaced?). The two directions are mutually exclusive
+	// across the whole archive (a member dominating the candidate
+	// dominating another member would contradict the members' own
+	// nondominance by transitivity), so a rejection can only occur
+	// with no removal marks set: returning early never leaves state
+	// behind. The loop streams boxData sequentially, hand-inlined.
+	dirty := false
+	cand := a.scratch
+	m := len(a.epsilons)
+	data := a.boxData
+	off := 0
+sweep:
+	for i, si := range a.sums {
+		box := data[off : off+m : off+m]
+		off += m
+		switch {
+		case si < sum:
+			// Only the member can dominate the candidate.
+			better := false
+			for j, c := range cand {
+				if b := box[j]; b > c {
+					continue sweep
+				} else if b < c {
+					better = true
 				}
 			}
-			continue
+			if better {
+				return false // an existing box ε-dominates the candidate
+			}
+		case si > sum:
+			// Only the candidate can dominate the member.
+			better := false
+			for j, c := range cand {
+				if b := box[j]; c > b {
+					continue sweep
+				} else if c < b {
+					better = true
+				}
+			}
+			if better {
+				a.marks[i] = true
+				dirty = true
+			}
+		default:
+			// Equal sums (rare): either direction is still possible,
+			// so run both full tests.
+			if boxDominates(box, cand) {
+				return false
+			}
+			if boxDominates(cand, box) {
+				a.marks[i] = true
+				dirty = true
+			}
 		}
-		switch boxCompare(sBox, mBox) {
-		case 1:
-			return false // an existing box ε-dominates the candidate
-		case -1:
-			a.removeAt(i)
-			removed++
-			i--
+	}
+	if dirty {
+		// Replay the removals in the seed's ascending swap-remove
+		// order so the surviving members land in identical slots
+		// (member order is observable: SaveArchive bytes, federation
+		// emigrant selection).
+		for i := 0; i < len(a.members); {
+			if a.marks[i] {
+				a.removeAt(i)
+			} else {
+				i++
+			}
 		}
 	}
-	if sameBox >= 0 {
-		a.removeAt(sameBox)
-	}
-	a.members = append(a.members, s)
-	a.boxes = append(a.boxes, sBox)
-	a.credit(s, +1)
-	if sameBox < 0 {
-		// New box opened (possibly displacing dominated boxes):
-		// ε-progress in Borg's sense.
-		a.improvements++
-	}
+	a.appendMember(s, sum)
+	// New box opened (possibly displacing dominated boxes): ε-progress
+	// in Borg's sense.
+	a.improvements++
 	return true
 }
 
@@ -173,19 +328,16 @@ func (a *Archive) Add(s *Solution) bool {
 // archive has no feasible members yet.
 func (a *Archive) addInfeasible(s *Solution, v float64) bool {
 	if len(a.members) == 0 {
-		a.members = append(a.members, s)
-		a.boxes = append(a.boxes, a.box(s))
-		a.credit(s, +1)
+		a.infeasible = true
+		a.appendMember(s, a.boxInto(s, a.scratch))
 		return true
 	}
-	if a.members[0].Violation() == 0 {
+	if !a.infeasible {
 		return false // feasible members exist; reject infeasible
 	}
 	if v < a.members[0].Violation() {
 		a.removeAt(0)
-		a.members = append(a.members, s)
-		a.boxes = append(a.boxes, a.box(s))
-		a.credit(s, +1)
+		a.appendMember(s, a.boxInto(s, a.scratch))
 		return true
 	}
 	return false
@@ -194,23 +346,57 @@ func (a *Archive) addInfeasible(s *Solution, v float64) bool {
 // dropInfeasible removes infeasible placeholders (only ever present
 // before the first feasible solution arrives).
 func (a *Archive) dropInfeasible() {
-	for i := 0; i < len(a.members); i++ {
+	if !a.infeasible {
+		return
+	}
+	for i := 0; i < len(a.members); {
 		if a.members[i].Violation() > 0 {
 			a.removeAt(i)
-			i--
+		} else {
+			i++
 		}
 	}
+	a.infeasible = false
 }
 
+// appendMember appends s, whose box vector is in a.scratch and whose
+// box-coordinate sum is sum, as the last member.
+func (a *Archive) appendMember(s *Solution, sum float64) {
+	a.members = append(a.members, s)
+	a.boxData = append(a.boxData, a.scratch...)
+	a.sums = append(a.sums, sum)
+	a.marks = append(a.marks, false)
+	if a.grid != nil {
+		a.grid[makeKey(a.scratch)] = len(a.members) - 1
+	}
+	a.credit(s, +1)
+}
+
+// removeAt removes member i by swapping the last member into its slot
+// (the seed's ordering artifact, preserved because member order is
+// observable) and keeps every parallel structure — boxData, sums,
+// marks, grid — consistent.
 func (a *Archive) removeAt(i int) {
 	a.credit(a.members[i], -1)
+	m := len(a.epsilons)
 	last := len(a.members) - 1
-	a.members[i] = a.members[last]
+	if a.grid != nil {
+		delete(a.grid, makeKey(a.boxAt(i)))
+	}
+	if i != last {
+		a.members[i] = a.members[last]
+		copy(a.boxData[i*m:(i+1)*m], a.boxData[last*m:(last+1)*m])
+		a.sums[i] = a.sums[last]
+		a.marks[i] = a.marks[last]
+		if a.grid != nil {
+			a.grid[makeKey(a.boxAt(i))] = i
+		}
+	}
 	a.members[last] = nil
 	a.members = a.members[:last]
-	a.boxes[i] = a.boxes[last]
-	a.boxes[last] = nil
-	a.boxes = a.boxes[:last]
+	a.boxData = a.boxData[:last*m]
+	a.sums = a.sums[:last]
+	a.marks = a.marks[:last]
 }
 
 func (a *Archive) credit(s *Solution, delta int) {

@@ -39,6 +39,8 @@ type Borg struct {
 
 	opSelected []uint64 // times each operator was chosen (diagnostics)
 	injectOp   operators.UM
+
+	staged []*Solution // accepted-but-unapplied results (StageAccept)
 }
 
 // New constructs a Borg instance for the problem. cfg is normalized
@@ -271,6 +273,29 @@ func (b *Borg) Accept(s *Solution) {
 	if b.evaluations-b.lastCheckEvals >= uint64(b.cfg.WindowSize) {
 		b.checkRestart()
 	}
+}
+
+// StageAccept queues an evaluated solution for a later ApplyStaged
+// without touching algorithm state. The asynchronous master's
+// deferred-apply mode uses the pair to generate (and grant) the next
+// offspring before the insertion work runs, so Accept's T_A overlaps
+// the granted evaluation instead of delaying it (asynchronous-sorting
+// style, after Yakupov & Buzdalov).
+func (b *Borg) StageAccept(s *Solution) {
+	if !s.Evaluated() {
+		panic("core: StageAccept of unevaluated solution")
+	}
+	b.staged = append(b.staged, s)
+}
+
+// ApplyStaged folds every staged solution in via Accept, in staging
+// order.
+func (b *Borg) ApplyStaged() {
+	for i, s := range b.staged {
+		b.staged[i] = nil
+		b.Accept(s)
+	}
+	b.staged = b.staged[:0]
 }
 
 // InjectEvaluated folds an externally evaluated solution (e.g. an

@@ -240,8 +240,10 @@ func runIsland(ic islandContext) (islandResult, error) {
 			peerMu.Unlock()
 			go func() {
 				br := bufio.NewReader(nc)
+				var buf []byte // payload scratch; messages never alias it
 				for {
-					m, err := wire.ReadMessage(br)
+					m, next, err := wire.ReadMessageBuf(br, buf)
+					buf = next
 					if err != nil {
 						return
 					}
@@ -294,10 +296,13 @@ func runIsland(ic islandContext) (islandResult, error) {
 		Budget:       cfg.Evaluations,
 		LeaseTimeout: coreTimeout,
 		Policy:       master.EagerOffspring,
-		Alg:          alg,
-		Meters:       ic.meters,
-		Log:          ic.log,
-		OnAcceptFrom: ic.adv.ObserveAccept,
+		// Workers hold deep copies of granted work (wire frames encode
+		// the solution), so expired-lease work is reissued in place.
+		ReuseOnResubmit: true,
+		Alg:             alg,
+		Meters:          ic.meters,
+		Log:             ic.log,
+		OnAcceptFrom:    ic.adv.ObserveAccept,
 		OnMigrant: func(source int, epoch uint64) {
 			if staged != nil {
 				alg.inject(staged)

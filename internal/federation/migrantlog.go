@@ -100,8 +100,10 @@ func (l *MigrantLog) WriteTo(w io.Writer) (int64, error) {
 func ReadMigrantLog(r io.Reader) (*MigrantLog, error) {
 	br := bufio.NewReader(r)
 	l := &MigrantLog{}
+	var buf []byte // payload scratch; decoded migrants never alias it
 	for {
-		m, err := wire.ReadMessage(br)
+		m, buf2, err := wire.ReadMessageBuf(br, buf)
+		buf = buf2
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return l, nil

@@ -59,8 +59,10 @@ func (r *Root) Addr() string { return r.ln.Addr().String() }
 // serve reads one island's delta stream until it closes.
 func (r *Root) serve(nc net.Conn) {
 	br := bufio.NewReader(nc)
+	var buf []byte // payload scratch; decoded messages never alias it
 	for {
-		m, err := wire.ReadMessage(br)
+		m, next, err := wire.ReadMessageBuf(br, buf)
+		buf = next
 		if err != nil {
 			return
 		}

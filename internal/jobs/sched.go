@@ -764,10 +764,14 @@ func (s *Scheduler) startJob(j *job) {
 		Budget:       j.spec.Evaluations,
 		LeaseTimeout: s.leaseSec,
 		Policy:       master.ScheduledOffspring,
-		Alg:          &jobAlg{b: b, adv: j.adv},
-		Log:          j.log,
-		OnAccept:     s.onAcceptHook(j),
-		OnAcceptFrom: s.onAcceptFromHook(j),
+		// Fleet workers hold deep copies of granted work (wire frames
+		// encode the solution), so an expired lease's wrapper and
+		// Solution can be reissued in place instead of cloned.
+		ReuseOnResubmit: true,
+		Alg:             &jobAlg{b: b, adv: j.adv},
+		Log:             j.log,
+		OnAccept:        s.onAcceptHook(j),
+		OnAcceptFrom:    s.onAcceptFromHook(j),
 	}
 	if j.trace != nil {
 		mcfg.Tracer = j.trace

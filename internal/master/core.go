@@ -115,6 +115,20 @@ type Algorithm interface {
 	AcceptSuggest(s *core.Solution) *core.Solution
 }
 
+// StagedAlgorithm is the optional Algorithm extension deferred-apply
+// mode needs: accepted results are staged cheaply while the grant goes
+// out, and applied — in staging order — at the next Handle or an
+// explicit Core.Flush. Splitting the accept this way keeps grants from
+// queueing behind archive insertion (asynchronous-sorting style): the
+// returning worker's next evaluation overlaps the master's T_A.
+type StagedAlgorithm interface {
+	Algorithm
+	// StageAccept records an evaluated solution without folding it in.
+	StageAccept(s *core.Solution)
+	// ApplyStaged folds every staged solution in, in staging order.
+	ApplyStaged()
+}
+
 // Policy selects when the Core generates fresh offspring.
 type Policy uint8
 
@@ -156,6 +170,24 @@ type Config struct {
 	MaxProbes int
 	// Alg is the optimizer adapter (required).
 	Alg Algorithm
+	// DeferApply splits each accepted result into a cheap stage and a
+	// deferred apply (Alg must implement StagedAlgorithm; NewCore
+	// panics otherwise). Under the eager policy the next offspring is
+	// then suggested — one accept staler — and granted before the
+	// staged result is folded in; the apply runs at the next Handle or
+	// an explicit Flush, overlapping the grant's transmission and the
+	// worker's evaluation. Deferral changes where the algorithm's RNG
+	// draws interleave, so the flag is recorded in the event log's
+	// metadata and honored by Replay.
+	DeferApply bool
+	// ReuseOnResubmit re-enqueues a lost lease's Item — same wrapper,
+	// same Solution, fresh id — instead of deep-cloning the Solution.
+	// Safe only when workers hold copies rather than references to
+	// master memory (the wire transports, which deep-encode grants);
+	// in-process transports share Solution pointers with workers and
+	// must leave this off, or a straggler could scribble on a reissued
+	// solution. Late results are discarded by lease id either way.
+	ReuseOnResubmit bool
 	// Meters receives the protocol counters; the zero value is inert.
 	Meters Meters
 	// Emit, when set, receives master-side protocol annotations
@@ -236,6 +268,19 @@ type Core struct {
 	stats       Stats
 	done        bool
 	acts        []Action
+
+	// staged is cfg.Alg's StagedAlgorithm view when DeferApply is on
+	// (nil otherwise); stagedDirty marks an accept staged but not yet
+	// applied.
+	staged      StagedAlgorithm
+	stagedDirty bool
+
+	// freeItems recycles the Item wrappers of accepted results, and
+	// freeLeases the lease records of closed leases (expiry disabled
+	// only — the deadline heap lazily retains done leases otherwise),
+	// so the steady-state grant path allocates neither.
+	freeItems  []*Item
+	freeLeases []*lease
 }
 
 // NewCore returns a Core ready to Handle events. It stamps the log's
@@ -245,12 +290,20 @@ func NewCore(cfg Config) *Core {
 	if cfg.MaxProbes == 0 {
 		cfg.MaxProbes = DefaultMaxProbes
 	}
-	cfg.Log.setMeta(LogMeta{Policy: cfg.Policy, Budget: cfg.Budget, LeaseTimeout: cfg.LeaseTimeout})
-	return &Core{
+	cfg.Log.setMeta(LogMeta{Policy: cfg.Policy, Budget: cfg.Budget, LeaseTimeout: cfg.LeaseTimeout, DeferApply: cfg.DeferApply})
+	c := &Core{
 		cfg:         cfg,
 		reg:         NewRegistry(),
 		outstanding: make(map[uint64]*lease),
 	}
+	if cfg.DeferApply {
+		sa, ok := cfg.Alg.(StagedAlgorithm)
+		if !ok {
+			panic("master: DeferApply requires a StagedAlgorithm")
+		}
+		c.staged = sa
+	}
+	return c
 }
 
 // Handle applies one event and returns the actions it implies, in
@@ -261,6 +314,11 @@ func (c *Core) Handle(ev Event) []Action {
 	if c.done {
 		return nil
 	}
+	// Deferred archive work from the previous result lands here — after
+	// its grant was transmitted, before this event touches the
+	// algorithm — whether or not the driver called Flush in between, so
+	// the algorithm-call sequence is identical either way.
+	c.flush()
 	c.cfg.Log.record(ev)
 	c.acts = c.acts[:0]
 	switch ev.Kind {
@@ -290,6 +348,21 @@ func (c *Core) Handle(ev Event) []Action {
 // Done reports whether the budget has been reached.
 func (c *Core) Done() bool { return c.done }
 
+// Flush applies any archive work the last result deferred (no-op
+// otherwise). Drivers in deferred-apply mode call it right after
+// transmitting a Handle's actions so the apply overlaps the worker's
+// evaluation; skipping it only postpones the apply to the next Handle,
+// never changes semantics.
+func (c *Core) Flush() { c.flush() }
+
+func (c *Core) flush() {
+	if !c.stagedDirty {
+		return
+	}
+	c.stagedDirty = false
+	c.staged.ApplyStaged()
+}
+
 // AttachLog swaps the Core's event log mid-run. Replay leaves the
 // replayed Core logless (re-recording would duplicate the stream); a
 // resuming driver attaches the original log — already holding the
@@ -297,7 +370,7 @@ func (c *Core) Done() bool { return c.done }
 // the file on disk stays a single coherent history.
 func (c *Core) AttachLog(l *Log) {
 	c.cfg.Log = l
-	l.setMeta(LogMeta{Policy: c.cfg.Policy, Budget: c.cfg.Budget, LeaseTimeout: c.cfg.LeaseTimeout})
+	l.setMeta(LogMeta{Policy: c.cfg.Policy, Budget: c.cfg.Budget, LeaseTimeout: c.cfg.LeaseTimeout, DeferApply: c.cfg.DeferApply})
 }
 
 // LiveWorkers returns the ids of workers not marked gone, in join
@@ -411,28 +484,57 @@ func (c *Core) result(ev Event) {
 		c.dispatch(ev.At)
 		return
 	}
+	item := l.item
 	c.release(l)
 	if c.cfg.Tracer != nil {
 		c.cfg.Tracer.TraceResult(ev.Worker, ev.Item, ev.At, true)
 	}
 	w.probes = 0
 	if c.cfg.Policy == EagerOffspring {
-		next := c.cfg.Alg.AcceptSuggest(l.item.S)
+		var next *core.Solution
+		if c.staged != nil && c.stats.Completed+1 < c.cfg.Budget {
+			// Deferred apply: stage the result, suggest the next
+			// offspring from the one-accept-staler state, and grant it
+			// before the insertion work runs (it lands at Flush or the
+			// next Handle). The budget-reaching accept takes the plain
+			// path — nothing is granted after it and completion must
+			// see the applied state.
+			c.staged.StageAccept(item.S)
+			c.stagedDirty = true
+			next = c.cfg.Alg.Suggest()
+		} else {
+			next = c.cfg.Alg.AcceptSuggest(item.S)
+		}
+		c.recycleItem(item)
 		c.accepted()
 		c.acceptedFrom(ev)
 		if c.done {
 			return
 		}
-		// Fault-free, pending holds exactly the fresh offspring and
-		// this reduces to "send next to the returning worker".
-		c.pending = append(c.pending, c.newItem(next))
-		item := c.pending[0]
-		c.pending = c.pending[1:]
-		c.grant(ev.Worker, item, ev.At)
+		// Fault-free, pending is empty and this reduces to "send next
+		// to the returning worker" without touching the queue (the
+		// append-then-pop would bleed slice capacity and re-allocate
+		// every accept). With resubmitted clones queued, FIFO order
+		// still rules: the fresh offspring goes to the back.
+		item2 := c.newItem(next)
+		if len(c.pending) > 0 {
+			c.pending = append(c.pending, item2)
+			item2 = c.pending[0]
+			c.pending = c.pending[1:]
+		}
+		c.grant(ev.Worker, item2, ev.At)
 		c.dispatch(ev.At)
 		return
 	}
-	c.cfg.Alg.Accept(l.item.S)
+	if c.staged != nil {
+		// Lazy/scheduled deferred apply: dispatch-time Suggests run one
+		// accept staler; the apply lands at Flush or the next Handle.
+		c.staged.StageAccept(item.S)
+		c.stagedDirty = true
+	} else {
+		c.cfg.Alg.Accept(item.S)
+	}
+	c.recycleItem(item)
 	c.accepted()
 	c.acceptedFrom(ev)
 	if c.done {
@@ -501,7 +603,25 @@ func (c *Core) migrant(ev Event) {
 
 func (c *Core) newItem(s *core.Solution) *Item {
 	c.nextID++
+	if n := len(c.freeItems); n > 0 {
+		it := c.freeItems[n-1]
+		c.freeItems[n-1] = nil
+		c.freeItems = c.freeItems[:n-1]
+		*it = Item{ID: c.nextID, S: s}
+		return it
+	}
 	return &Item{ID: c.nextID, S: s}
+}
+
+// recycleItem returns an accepted result's wrapper to the pool. Only
+// wrappers whose solution was just handed to the algorithm are
+// recycled — every driver is done with the pointer once it feeds the
+// EvResult. Wrappers abandoned by the clone-on-resubmit path are NOT
+// recycled: an in-flight worker of an in-process transport may still
+// write into them.
+func (c *Core) recycleItem(it *Item) {
+	*it = Item{}
+	c.freeItems = append(c.freeItems, it)
 }
 
 func (c *Core) grant(worker int, item *Item, at float64) {
@@ -510,7 +630,15 @@ func (c *Core) grant(worker int, item *Item, at float64) {
 		item.Trace = c.cfg.Tracer.TraceGrant(worker, item.ID, at)
 	}
 	c.nextSeq++
-	l := &lease{item: item, worker: worker, seq: c.nextSeq}
+	var l *lease
+	if n := len(c.freeLeases); n > 0 {
+		l = c.freeLeases[n-1]
+		c.freeLeases[n-1] = nil
+		c.freeLeases = c.freeLeases[:n-1]
+		*l = lease{item: item, worker: worker, seq: c.nextSeq}
+	} else {
+		l = &lease{item: item, worker: worker, seq: c.nextSeq}
+	}
 	w.lease = l
 	w.state = StateBusy
 	c.outstanding[item.ID] = l
@@ -532,6 +660,15 @@ func (c *Core) release(l *lease) {
 		w.lease = nil
 	}
 	c.busy--
+	if c.cfg.LeaseTimeout <= 0 {
+		// With expiry disabled the lease was never pushed on the
+		// deadline heap, so nothing else can hold it (callers capture
+		// item/worker before releasing): pool it. With expiry enabled
+		// the heap lazily retains done leases until peek discards them,
+		// so those must stay unpooled.
+		*l = lease{done: true}
+		c.freeLeases = append(c.freeLeases, l)
+	}
 }
 
 // lose presumes a leased evaluation dead and re-enqueues a clone under
@@ -542,16 +679,33 @@ func (c *Core) lose(l *lease) {
 	if l.done {
 		return
 	}
+	item := l.item
 	c.release(l)
 	c.stats.Lost++
 	c.stats.Resubmissions++
 	c.cfg.Meters.Resub.Inc()
-	clone := c.newItem(l.item.S.Clone())
-	clone.ResubmitOf = l.item.ID
+	oldID := item.ID
+	var clone *Item
+	if c.cfg.ReuseOnResubmit {
+		// Wire transports deep-encode grants, so the departed worker
+		// holds a copy, never a reference into master memory: reissue
+		// the same wrapper and Solution under a fresh id instead of
+		// deep-cloning. A late original is keyed by the old lease id
+		// and discarded as a duplicate before anything could write
+		// into the reissued solution.
+		c.nextID++
+		item.ID = c.nextID
+		item.Trace = obs.SpanContext{}
+		item.ResubmitOf = oldID
+		clone = item
+	} else {
+		clone = c.newItem(item.S.Clone())
+		clone.ResubmitOf = oldID
+	}
 	if c.cfg.Tracer != nil {
 		// Linked before the clone is granted, so the grant's minted
 		// context already carries the lineage-root trace id.
-		c.cfg.Tracer.TraceResubmit(l.item.ID, clone.ID)
+		c.cfg.Tracer.TraceResubmit(oldID, clone.ID)
 	}
 	c.pending = append(c.pending, clone)
 }
@@ -580,6 +734,9 @@ func (c *Core) accepted() {
 		c.cfg.OnAccept(c.stats.Completed)
 	}
 	if c.stats.Completed >= c.cfg.Budget {
+		// The budget-reaching accept must be folded in before the run
+		// completes (drivers snapshot the algorithm at ActComplete).
+		c.flush()
 		c.complete()
 	}
 }

@@ -20,6 +20,12 @@ type LogMeta struct {
 	Policy       Policy
 	Budget       uint64
 	LeaseTimeout float64
+	// DeferApply records whether the run staged accepts and applied
+	// them deferred (Config.DeferApply). It changes where the
+	// algorithm's RNG draws interleave, so Replay must run the same
+	// mode. Encoded as the high bit of the header's policy byte, which
+	// keeps the log format at version 1 (old logs read back false).
+	DeferApply bool
 }
 
 // Log records the exact event stream a Core consumed. Because the
@@ -101,6 +107,9 @@ const (
 	logVersion = 1
 	// logEventSize is the fixed record width: kind, worker, item, at.
 	logEventSize = 1 + 4 + 8 + 8
+	// logDeferFlag marks DeferApply in the header's policy byte; the
+	// low bits stay the Policy value.
+	logDeferFlag = 0x80
 )
 
 // streamCount is the header event-count sentinel of a streamed log: a
@@ -110,7 +119,11 @@ const streamCount = ^uint64(0)
 
 func appendLogHeader(dst []byte, meta LogMeta, elapsed float64, count uint64) []byte {
 	dst = append(dst, logMagic...)
-	dst = append(dst, logVersion, byte(meta.Policy))
+	pol := byte(meta.Policy)
+	if meta.DeferApply {
+		pol |= logDeferFlag
+	}
+	dst = append(dst, logVersion, pol)
 	dst = binary.BigEndian.AppendUint64(dst, meta.Budget)
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(meta.LeaseTimeout))
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(elapsed))
@@ -218,7 +231,8 @@ func ReadLog(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("master: log version %d, want %d", hdr[4], logVersion)
 	}
 	l := &Log{Meta: LogMeta{
-		Policy:       Policy(hdr[5]),
+		Policy:       Policy(hdr[5] &^ logDeferFlag),
+		DeferApply:   hdr[5]&logDeferFlag != 0,
 		Budget:       binary.BigEndian.Uint64(hdr[6:]),
 		LeaseTimeout: math.Float64frombits(binary.BigEndian.Uint64(hdr[14:])),
 	}}
@@ -262,6 +276,8 @@ func (traceStubAlg) Accept(*core.Solution)   {}
 func (traceStubAlg) AcceptSuggest(*core.Solution) *core.Solution {
 	return &core.Solution{}
 }
+func (traceStubAlg) StageAccept(*core.Solution) {}
+func (traceStubAlg) ApplyStaged()               {}
 
 // ReplayTrace re-feeds the recorded event stream through a fresh Core
 // with only the tracer attached, re-deriving the exact tracer-call
@@ -320,6 +336,7 @@ func Replay(log *Log, rc ReplayConfig) (*Core, error) {
 		Budget:       log.Meta.Budget,
 		LeaseTimeout: log.Meta.LeaseTimeout,
 		Policy:       log.Meta.Policy,
+		DeferApply:   log.Meta.DeferApply,
 		MaxProbes:    rc.MaxProbes,
 		Alg:          rc.Alg,
 		Meters:       rc.Meters,

@@ -49,6 +49,18 @@ func (a *desAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 	return next
 }
 
+// StageAccept is the cheap half of a deferred accept: an append, not
+// worth a virtual-time charge (Config.DeferArchive).
+func (a *desAlg) StageAccept(s *core.Solution) { a.b.StageAccept(s) }
+
+// ApplyStaged is the deferred archive insertion, charged as T_A after
+// the grant instead of before it.
+func (a *desAlg) ApplyStaged() {
+	ta := a.meter.measure(func() { a.b.ApplyStaged() })
+	a.node.HoldBusy(a.p, ta, "algo")
+	a.trace.ObserveTA(a.curItem, ta)
+}
+
 // RunAsync executes the asynchronous, master-slave Borg MOEA on the
 // virtual cluster and returns its timing and search results.
 //
@@ -117,6 +129,7 @@ func RunAsync(cfg Config) (*Result, error) {
 			Budget:       cfg.Evaluations,
 			LeaseTimeout: cfg.LeaseTimeout,
 			Policy:       master.EagerOffspring,
+			DeferApply:   cfg.DeferArchive,
 			Alg:          alg,
 			Meters:       meters,
 			Emit:         func(kind, detail string) { eng.Emit(kind, "master", detail) },
@@ -191,6 +204,10 @@ func RunAsync(cfg Config) (*Result, error) {
 			cfg.Trace.ObserveTCRecv(item.ID, tc)
 			alg.curItem = item.ID
 			exec(m.Handle(master.Event{Kind: master.EvResult, Worker: msg.From, Item: item.ID, At: p.Now()}))
+			// Deferred mode: the grant's T_C hold has been charged; fold
+			// the staged result in now, charging its T_A after the send
+			// (no-op when DeferArchive is off or nothing is staged).
+			m.Flush()
 		}
 		// Drain any in-flight results so the mailbox is empty.
 		for w := 1; w < cfg.Processors; w++ {

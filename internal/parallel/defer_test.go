@@ -1,0 +1,171 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"borgmoea/internal/core"
+	"borgmoea/internal/fault"
+	"borgmoea/internal/master"
+	"borgmoea/internal/problems"
+	"borgmoea/internal/stats"
+)
+
+// deferConfig is testConfig with the deferred archive-apply path on.
+func deferConfig(p int, n uint64) Config {
+	cfg := testConfig(p, n)
+	cfg.DeferArchive = true
+	return cfg
+}
+
+// TestDeferArchiveDeterministic: the deferred accept path must be as
+// replayable as the eager one — same Config, same seed, byte-identical
+// final archives on both virtual-time drivers that honor the flag.
+func TestDeferArchiveDeterministic(t *testing.T) {
+	a := runArchive(t, RunAsync, deferConfig(8, 3000))
+	b := runArchive(t, RunAsync, deferConfig(8, 3000))
+	if !bytes.Equal(a, b) {
+		t.Error("deferred runs with identical configs produced different archives")
+	}
+}
+
+// TestDeferArchiveChangesTrajectory: deferring the apply grants from a
+// stale-by-one archive, so the search trajectory is a *different* valid
+// Borg run, not a reordering of the eager one. Pin that so a future
+// "optimization" that silently collapses the two paths back into one is
+// caught — if they ever converge, the deferred path isn't deferring.
+func TestDeferArchiveChangesTrajectory(t *testing.T) {
+	eager := runArchive(t, RunAsync, testConfig(8, 3000))
+	deferred := runArchive(t, RunAsync, deferConfig(8, 3000))
+	if bytes.Equal(eager, deferred) {
+		t.Error("deferred run produced the eager run's exact archive; the apply is not actually deferred")
+	}
+}
+
+// TestDeferArchiveCrossTransport: with one worker and a fixed seed, the
+// DES, realtime and loopback-TCP drivers in deferred mode must produce
+// the byte-identical canonical event sequence and final archive —
+// the two-phase result path lives in the shared state machine, so it
+// cannot behave differently per transport.
+func TestDeferArchiveCrossTransport(t *testing.T) {
+	const n = 300
+	mk := func() Config {
+		return Config{
+			Problem:      problems.NewDTLZ2(5),
+			Algorithm:    core.Config{Epsilons: core.UniformEpsilons(5, 0.15)},
+			Processors:   2,
+			Evaluations:  n,
+			TF:           stats.NewConstant(1e-5),
+			Seed:         42,
+			DeferArchive: true,
+			Protocol:     master.NewLog(),
+		}
+	}
+
+	desCfg := mk()
+	desRes, err := RunAsync(desCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desLog, desArch := desCfg.Protocol.CanonicalBytes(), archiveBytes(t, desRes)
+	if !desCfg.Protocol.Meta.DeferApply {
+		t.Fatal("deferred run's log header does not carry the DeferApply bit")
+	}
+
+	rtCfg := mk()
+	rtRes, err := RunAsyncRealtime(rtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(desLog, rtCfg.Protocol.CanonicalBytes()) {
+		t.Error("realtime: deferred canonical event sequence differs from DES")
+	}
+	if !bytes.Equal(desArch, archiveBytes(t, rtRes)) {
+		t.Error("realtime: deferred final archive differs from DES")
+	}
+
+	if testing.Short() {
+		t.Log("skipping the loopback-TCP leg in -short mode")
+		return
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorker(ctx, l.Addr().String(), 1, nil)
+
+	tcpCfg := mk()
+	tcpRes, err := RunAsyncDistributed(tcpCfg, DistributedConfig{
+		Listener:     l,
+		LeaseTimeout: 10 * time.Second,
+		Conn:         fastConn,
+		WallLimit:    2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(desLog, tcpCfg.Protocol.CanonicalBytes()) {
+		t.Error("TCP: deferred canonical event sequence differs from DES")
+	}
+	if !bytes.Equal(desArch, archiveBytes(t, tcpRes)) {
+		t.Error("TCP: deferred final archive differs from DES")
+	}
+}
+
+// TestDeferArchiveReplay: a deferred faulty DES run replays off-line
+// through a log serialization round trip without the caller restating
+// the mode — ReplayAsync picks DeferApply out of the BMEL header, so a
+// log is self-describing about which accept discipline produced it.
+func TestDeferArchiveReplay(t *testing.T) {
+	cfg := deferConfig(8, 3000)
+	cfg.Fault = fault.FailedFractionPlan(0.05, 0.02, 21)
+	cfg.Protocol = master.NewLog()
+	orig, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Resubmissions == 0 {
+		t.Fatal("fault plan injected no resubmissions; the replay test needs a non-trivial log")
+	}
+
+	var buf bytes.Buffer
+	if _, err := cfg.Protocol.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := master.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Meta.DeferApply {
+		t.Fatal("serialized log lost the DeferApply bit")
+	}
+
+	// Note: the replay Config carries no DeferArchive flag — the log does.
+	rep, err := ReplayAsync(testConfig(8, 3000), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluations != orig.Evaluations || rep.Resubmissions != orig.Resubmissions ||
+		rep.LostEvaluations != orig.LostEvaluations || rep.DuplicateResults != orig.DuplicateResults {
+		t.Fatalf("replayed counters diverged:\n  original %+v\n  replay   %+v", orig, rep)
+	}
+	if !bytes.Equal(archiveBytes(t, orig), archiveBytes(t, rep)) {
+		t.Fatal("replayed archive differs from the deferred original's")
+	}
+}
+
+// TestDeferArchiveLeaseTimeoutNeutral: lease bookkeeping without any
+// faults must stay invisible in deferred mode too.
+func TestDeferArchiveLeaseTimeoutNeutral(t *testing.T) {
+	base := runArchive(t, RunAsync, deferConfig(8, 3000))
+	timed := deferConfig(8, 3000)
+	timed.LeaseTimeout = 10 // far beyond any constant-T_F evaluation
+	if got := runArchive(t, RunAsync, timed); !bytes.Equal(base, got) {
+		t.Error("deferred: lease timeout without faults changed the run")
+	}
+}

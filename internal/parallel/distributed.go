@@ -103,6 +103,16 @@ func (a *distAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 	return a.Suggest()
 }
 
+// StageAccept is the cheap half of a deferred accept (Config.DeferArchive).
+func (a *distAlg) StageAccept(s *core.Solution) { a.b.StageAccept(s) }
+
+// ApplyStaged is the deferred archive insertion, metered as T_A after
+// the grant frame went out.
+func (a *distAlg) ApplyStaged() {
+	ta := a.meter.measure(func() { a.b.ApplyStaged() })
+	a.trace.ObserveTA(a.curItem, ta)
+}
+
 // RunAsyncDistributed executes the asynchronous master-slave Borg MOEA
 // over real TCP: the master listens, borgd workers dial in, and the
 // shared lease/resubmission protocol recovers evaluations lost to
@@ -254,10 +264,15 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 		Budget:       cfg.Evaluations,
 		LeaseTimeout: coreTimeout,
 		Policy:       master.LazyOffspring,
-		Alg:          alg,
-		Meters:       meters,
-		Emit:         func(kind, detail string) { record(obs.Event{Kind: kind, Actor: "master", Detail: detail}) },
-		Log:          cfg.Protocol,
+		DeferApply:   cfg.DeferArchive,
+		// Workers hold deep copies of granted work (frames encode the
+		// solution), so an expired lease's wrapper and Solution can be
+		// reissued in place instead of cloned.
+		ReuseOnResubmit: true,
+		Alg:             alg,
+		Meters:          meters,
+		Emit:            func(kind, detail string) { record(obs.Event{Kind: kind, Actor: "master", Detail: detail}) },
+		Log:             cfg.Protocol,
 		OnAccept: func(n uint64) {
 			if cfg.CheckpointEvery > 0 && n%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
 				meters.Checkpoints.Inc()
@@ -400,6 +415,9 @@ loop:
 					}
 				}
 				exec(m.Handle(master.Event{Kind: master.EvResult, Worker: int(s.id), Item: msg.Lease, At: since()}))
+				// Deferred mode: the grant frame is on the wire; fold the
+				// staged result in now (no-op when DeferArchive is off).
+				m.Flush()
 			}
 		case <-tickC:
 			exec(m.Handle(master.Event{Kind: master.EvTick, At: since()}))

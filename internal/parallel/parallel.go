@@ -64,6 +64,19 @@ type Config struct {
 	// Seed seeds all random streams of the run.
 	Seed uint64
 
+	// DeferArchive splits the master's result handling in two: the
+	// result is staged cheaply and the next grant goes out before the
+	// ε-archive insertion runs (the apply is charged as T_A right
+	// after the grant). This takes the archive-update half of T_A off
+	// the grant's critical path, the lever that moves the paper's
+	// saturation bound T_F/(2·T_C + T_A). Deferral reorders the
+	// algorithm's RNG stream relative to the default path, so deferred
+	// and non-deferred runs explore differently; the mode is recorded
+	// in the protocol log (master.LogMeta.DeferApply) and honored by
+	// ReplayAsync automatically. Honored by the async drivers
+	// (RunAsync, RunAsyncRealtime, RunAsyncDistributed).
+	DeferArchive bool
+
 	// CheckpointEvery invokes OnCheckpoint after every k completed
 	// evaluations (0 disables). Used for hypervolume trajectories.
 	CheckpointEvery uint64

@@ -44,6 +44,24 @@ func (a *rtAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 	return next
 }
 
+// StageAccept is the cheap half of a deferred accept (Config.DeferArchive).
+func (a *rtAlg) StageAccept(s *core.Solution) { a.b.StageAccept(s) }
+
+// ApplyStaged is the deferred archive insertion, timed as T_A after
+// the grant went out.
+func (a *rtAlg) ApplyStaged() {
+	t0 := time.Now()
+	a.b.ApplyStaged()
+	ta := time.Since(t0).Seconds()
+	a.taSum += ta
+	a.taN++
+	a.meters.TA.Observe(ta)
+	a.adv.ObserveTA(ta)
+	if a.events != nil {
+		a.events.Record(obs.Event{TS: a.since() - ta, Dur: ta, Kind: "algo", Actor: "master"})
+	}
+}
+
 // rtResult carries an evaluated item back to the master goroutine.
 type rtResult struct {
 	worker int
@@ -131,11 +149,12 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	res := &Result{Processors: cfg.Processors, Final: b}
 	alg := &rtAlg{b: b, meters: meters, events: events, adv: adv, since: since}
 	mcfg := master.Config{
-		Budget: cfg.Evaluations,
-		Policy: master.EagerOffspring,
-		Alg:    alg,
-		Meters: meters,
-		Log:    cfg.Protocol,
+		Budget:     cfg.Evaluations,
+		Policy:     master.EagerOffspring,
+		DeferApply: cfg.DeferArchive,
+		Alg:        alg,
+		Meters:     meters,
+		Log:        cfg.Protocol,
 		OnAccept: func(n uint64) {
 			if cfg.CheckpointEvery > 0 && n%cfg.CheckpointEvery == 0 && cfg.OnCheckpoint != nil {
 				meters.Checkpoints.Inc()
@@ -167,6 +186,9 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	for !m.Done() {
 		r := <-results
 		exec(m.Handle(master.Event{Kind: master.EvResult, Worker: r.worker, Item: r.item.ID, At: since()}))
+		// Deferred mode: the grant is already on its channel; fold the
+		// staged result in now (no-op when DeferArchive is off).
+		m.Flush()
 	}
 	close(done) // frees workers blocked on a result send
 

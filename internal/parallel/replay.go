@@ -19,6 +19,13 @@ func (a *replayAlg) AcceptSuggest(s *core.Solution) *core.Solution {
 	return a.b.Suggest()
 }
 
+// StageAccept/ApplyStaged replay logs recorded with DeferApply on
+// (master.Replay reads the mode from the log header); the split keeps
+// the algorithm's call sequence — and so its RNG stream — identical to
+// the live deferred run's.
+func (a *replayAlg) StageAccept(s *core.Solution) { a.b.StageAccept(s) }
+func (a *replayAlg) ApplyStaged()                 { a.b.ApplyStaged() }
+
 // ReplayAsync re-executes a recorded asynchronous run off-line from
 // its protocol event log (Config.Protocol, or a log deserialized with
 // master.ReadLog). cfg must carry the original run's Problem,

@@ -54,6 +54,13 @@ const traceHeaderLen = 17
 // prefix cannot make the reader allocate unbounded memory.
 const MaxFrame = 1 << 20
 
+// ReuseLimit is the largest frame payload ReadMessageBuf retains for
+// reuse across calls. Frames above it (none of the steady-state
+// evaluation traffic comes close) get a one-off allocation instead,
+// so a single oversized message cannot pin its footprint on a
+// long-lived connection's read buffer.
+const ReuseLimit = 64 << 10
+
 // Tag identifies a message type on the wire. The vocabulary is the
 // canonical one in internal/master, shared with the virtual-time
 // drivers' mailbox tags, so every transport speaks the same protocol:
@@ -376,7 +383,12 @@ func (r *bodyReader) u64() uint64 {
 	return binary.BigEndian.Uint64(b)
 }
 
-func (r *bodyReader) f64s() []float64 {
+func (r *bodyReader) f64s() []float64 { return r.f64sInto(nil) }
+
+// f64sInto decodes a float64 slice, reusing dst's backing array when
+// its capacity suffices. Empty slices decode as nil — the canonical
+// form every other decode path produces — which drops dst.
+func (r *bodyReader) f64sInto(dst []float64) []float64 {
 	n := int(r.u32())
 	if r.err != nil {
 		return nil
@@ -388,14 +400,24 @@ func (r *bodyReader) f64s() []float64 {
 	if n == 0 {
 		return nil
 	}
-	xs := make([]float64, n)
-	for i := range xs {
-		xs[i] = math.Float64frombits(r.u64())
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
 	}
-	return xs
+	for i := range dst {
+		dst[i] = math.Float64frombits(r.u64())
+	}
+	return dst
 }
 
-func (r *bodyReader) str() string {
+func (r *bodyReader) str() string { return r.strReuse("") }
+
+// strReuse decodes a string, returning prev — no allocation — when the
+// decoded bytes match it. The hot-path frames repeat the same problem
+// name (usually the empty string) on every message, so a sequential
+// reader's steady state never copies it.
+func (r *bodyReader) strReuse(prev string) string {
 	n := int(r.u32())
 	if r.err != nil {
 		return ""
@@ -404,7 +426,11 @@ func (r *bodyReader) str() string {
 		r.fail("string length %d exceeds remaining %d bytes", n, len(r.b))
 		return ""
 	}
-	return string(r.take(n))
+	b := r.take(n)
+	if string(b) == prev {
+		return prev
+	}
+	return string(b)
 }
 
 // finish verifies the body was consumed exactly.
@@ -418,12 +444,39 @@ func (r *bodyReader) finish(m Message) (Message, error) {
 	return m, nil
 }
 
+// DecodeScratch holds reusable decode targets for the hot-path
+// messages: Evaluate, Result, Migrant. DecodeFrameInto decodes into
+// them in place — reusing the message structs, their float64 slices,
+// and (when unchanged) the problem string — so a steady-state decode
+// allocates nothing. A scratch value belongs to one strictly
+// sequential consumer: each successful decode invalidates the message
+// returned by the previous one, so the caller must be done with a
+// message before decoding the next frame.
+type DecodeScratch struct {
+	eval    Evaluate
+	result  Result
+	migrant Migrant
+}
+
 // DecodeFrame parses one frame payload (everything after the length
 // prefix: version, tag, body, CRC) back into a Message. It never
 // panics on malformed input; every defect — short payload, unknown
 // version or tag, CRC mismatch, truncated or oversized body fields,
 // trailing bytes — is a clean error.
 func DecodeFrame(payload []byte) (Message, error) {
+	return decodeFrame(payload, nil)
+}
+
+// DecodeFrameInto is DecodeFrame with allocation reuse: the hot-path
+// messages decode into sc's scratch structs (see DecodeScratch for the
+// aliasing contract); everything else — handshake, control, Delta —
+// decodes fresh, exactly as DecodeFrame would. Accepted inputs, error
+// cases, and decoded values are identical to DecodeFrame's.
+func DecodeFrameInto(payload []byte, sc *DecodeScratch) (Message, error) {
+	return decodeFrame(payload, sc)
+}
+
+func decodeFrame(payload []byte, sc *DecodeScratch) (Message, error) {
 	if len(payload) > MaxFrame {
 		return nil, fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", len(payload), MaxFrame)
 	}
@@ -480,23 +533,35 @@ func DecodeFrame(payload []byte) (Message, error) {
 		}
 		return r.finish(m)
 	case TagEvaluate:
-		m := &Evaluate{
+		var m *Evaluate
+		if sc != nil {
+			m = &sc.eval
+		} else {
+			m = &Evaluate{}
+		}
+		*m = Evaluate{
 			Lease:    r.u64(),
 			SolID:    r.u64(),
 			Operator: int32(r.u32()),
-			Problem:  r.str(),
-			Vars:     r.f64s(),
+			Problem:  r.strReuse(m.Problem),
+			Vars:     r.f64sInto(m.Vars),
 			Trace:    trace,
 		}
 		return r.finish(m)
 	case TagResult:
-		m := &Result{
+		var m *Result
+		if sc != nil {
+			m = &sc.result
+		} else {
+			m = &Result{}
+		}
+		*m = Result{
 			Lease:     r.u64(),
 			SolID:     r.u64(),
 			Operator:  int32(r.u32()),
 			EvalNanos: r.u64(),
-			Objs:      r.f64s(),
-			Constrs:   r.f64s(),
+			Objs:      r.f64sInto(m.Objs),
+			Constrs:   r.f64sInto(m.Constrs),
 			Trace:     trace,
 		}
 		return r.finish(m)
@@ -507,14 +572,20 @@ func DecodeFrame(payload []byte) (Message, error) {
 	case TagPong:
 		return r.finish(Pong{})
 	case TagMigrant:
-		m := &Migrant{
+		var m *Migrant
+		if sc != nil {
+			m = &sc.migrant
+		} else {
+			m = &Migrant{}
+		}
+		*m = Migrant{
 			Island:   r.u32(),
 			Epoch:    r.u64(),
 			SolID:    r.u64(),
 			Operator: int32(r.u32()),
-			Vars:     r.f64s(),
-			Objs:     r.f64s(),
-			Constrs:  r.f64s(),
+			Vars:     r.f64sInto(m.Vars),
+			Objs:     r.f64sInto(m.Objs),
+			Constrs:  r.f64sInto(m.Constrs),
 			Trace:    trace,
 		}
 		return r.finish(m)
@@ -552,17 +623,54 @@ func WriteMessage(w io.Writer, m Message) error {
 
 // ReadMessage reads one length-prefixed frame and decodes it.
 func ReadMessage(r io.Reader) (Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+	m, _, err := ReadMessageBuf(r, nil)
+	return m, err
+}
+
+// ReadMessageBuf is ReadMessage with payload-buffer reuse: the frame
+// payload is read into buf when its capacity suffices, and the
+// (possibly grown) buffer is returned for the caller to thread into
+// the next call. Frames larger than ReuseLimit get a one-off
+// allocation that is not retained. The returned Message never aliases
+// the buffer — decoding copies every field out — so the buffer is free
+// for reuse immediately.
+func ReadMessageBuf(r io.Reader, buf []byte) (Message, []byte, error) {
+	payload, buf, err := readFrame(r, buf)
+	if err != nil {
+		return nil, buf, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	m, err := DecodeFrame(payload)
+	return m, buf, err
+}
+
+// readFrame reads one length-prefixed frame payload, into buf when
+// possible (see ReadMessageBuf for the reuse contract). The length
+// prefix is read into buf too — a stack array would escape into the
+// io.ReadFull interface call and cost an allocation per frame.
+func readFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	if cap(buf) < 4 {
+		buf = make([]byte, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrame)
+		return nil, buf, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrame)
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	switch {
+	case int(n) <= cap(buf):
+		payload = buf[:n]
+	case n <= ReuseLimit:
+		buf = make([]byte, n)
+		payload = buf
+	default:
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("wire: short frame: %w", err)
+		return nil, buf, fmt.Errorf("wire: short frame: %w", err)
 	}
-	return DecodeFrame(payload)
+	return payload, buf, nil
 }

@@ -40,6 +40,14 @@ type Options struct {
 	// ≈ RTT/2). Called from the connection's reader goroutine; keep it
 	// fast and concurrency-safe.
 	OnRTT func(seconds float64)
+	// ReuseMessages makes Recv decode the hot-path messages (Evaluate,
+	// Result, Migrant) into per-connection scratch structs, so a
+	// steady-state receive allocates nothing. Only safe when every
+	// message returned by Recv is fully consumed before the next Recv
+	// call — the worker serve loop's pattern. Leave it off when
+	// received messages are retained or handed to another goroutine
+	// (the master's reader loops).
+	ReuseMessages bool
 }
 
 // Wire-level metric names registered on Options.Metrics.
@@ -140,6 +148,8 @@ type Conn struct {
 	pingNano atomic.Int64 // send time of the ping awaiting its pong
 	wmu      sync.Mutex
 	wbuf     []byte // frame scratch, reused under wmu
+	rbuf     []byte // payload scratch, owned by the single Recv caller
+	rsc      DecodeScratch
 	done     chan struct{}
 	once     sync.Once
 }
@@ -180,12 +190,26 @@ func (c *Conn) Send(m Message) error {
 // internally: a Ping is answered with a Pong, and both refresh the
 // idle deadline without surfacing. An idle timeout, a peer close, or a
 // malformed frame all return an error — the connection is then dead.
+//
+// Frame payloads land in a per-connection buffer that decoding never
+// leaks into a Message, so receives don't allocate a payload per
+// frame. With Options.ReuseMessages the hot-path messages themselves
+// are also reused (see the option's aliasing contract).
 func (c *Conn) Recv() (Message, error) {
 	for {
 		if err := c.nc.SetReadDeadline(time.Now().Add(c.opt.idleTimeout())); err != nil {
 			return nil, err
 		}
-		m, err := ReadMessage(c.br)
+		var m Message
+		payload, next, err := readFrame(c.br, c.rbuf)
+		c.rbuf = next
+		if err == nil {
+			if c.opt.ReuseMessages {
+				m, err = DecodeFrameInto(payload, &c.rsc)
+			} else {
+				m, err = DecodeFrame(payload)
+			}
+		}
 		if err != nil {
 			if !isTransportErr(err) {
 				c.met.frameErrors.Inc()

@@ -43,13 +43,42 @@ func FuzzDecodeFrame(f *testing.F) {
 			if m != nil {
 				t.Fatalf("error %v returned alongside message %v", err, m)
 			}
+			checkScratchDecode(t, payload, false)
 			return
 		}
 		re := EncodeFrame(m)
 		if !bytes.Equal(re[4:], payload) {
 			t.Fatalf("accepted non-canonical payload:\n  in  %x\n  out %x", payload, re[4:])
 		}
+		checkScratchDecode(t, payload, true)
 	})
+}
+
+// checkScratchDecode holds DecodeFrameInto to DecodeFrame's verdict on
+// the same payload: same accept/reject decision, canonical re-encoding
+// on accept, and — decoding twice into the same scratch — no smearing
+// from the reused slices, strings, or structs.
+func checkScratchDecode(t *testing.T, payload []byte, accepted bool) {
+	t.Helper()
+	var sc DecodeScratch
+	for pass := 0; pass < 2; pass++ {
+		m, err := DecodeFrameInto(payload, &sc)
+		if err != nil {
+			if accepted {
+				t.Fatalf("scratch decode pass %d rejected an accepted payload: %v", pass, err)
+			}
+			if m != nil {
+				t.Fatalf("scratch decode error %v alongside message %v", err, m)
+			}
+			return
+		}
+		if !accepted {
+			t.Fatalf("scratch decode pass %d accepted a rejected payload: %v", pass, m)
+		}
+		if re := EncodeFrame(m); !bytes.Equal(re[4:], payload) {
+			t.Fatalf("scratch decode pass %d not canonical:\n  in  %x\n  out %x", pass, payload, re[4:])
+		}
+	}
 }
 
 // FuzzDecodeTraced focuses the decoder invariants on the VersionTraced
@@ -88,12 +117,14 @@ func FuzzDecodeTraced(f *testing.F) {
 			if m != nil {
 				t.Fatalf("error %v returned alongside message %v", err, m)
 			}
+			checkScratchDecode(t, payload, false)
 			return
 		}
 		re := EncodeFrame(m)
 		if !bytes.Equal(re[4:], payload) {
 			t.Fatalf("accepted non-canonical payload:\n  in  %x\n  out %x", payload, re[4:])
 		}
+		checkScratchDecode(t, payload, true)
 	})
 }
 
@@ -130,11 +161,13 @@ func FuzzDecodeFederation(f *testing.F) {
 			if m != nil {
 				t.Fatalf("error %v returned alongside message %v", err, m)
 			}
+			checkScratchDecode(t, payload, false)
 			return
 		}
 		re := EncodeFrame(m)
 		if !bytes.Equal(re[4:], payload) {
 			t.Fatalf("accepted non-canonical payload:\n  in  %x\n  out %x", payload, re[4:])
 		}
+		checkScratchDecode(t, payload, true)
 	})
 }

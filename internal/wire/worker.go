@@ -73,6 +73,13 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 
 	redials := cfg.Conn.Metrics.Counter(MetricRedials)
+
+	// The serve loop is strictly sequential — each grant is fully
+	// evaluated and answered before the next Recv — so the connection
+	// can decode grants into reused scratch messages.
+	connOpt := cfg.Conn
+	connOpt.ReuseMessages = true
+
 	var workerID uint64 // 0 until the master assigns one
 	wait := backoff
 	first := true
@@ -84,7 +91,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			redials.Inc()
 		}
 		first = false
-		conn, welcome, err := Dial(cfg.Addr, Hello{WorkerID: workerID}, cfg.Conn)
+		conn, welcome, err := Dial(cfg.Addr, Hello{WorkerID: workerID}, connOpt)
 		if err != nil {
 			cfg.logf("wire: dial %s: %v (retrying in %v)", cfg.Addr, err, wait)
 			if err := sleep(ctx, wait); err != nil {
@@ -168,6 +175,11 @@ func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *Worke
 	}
 	cache := make(map[string]problems.Problem) // multi-problem resolutions; nil = known-bad
 
+	// res holds the objective/constraint buffers across grants; Send
+	// copies the frame out before returning, so reusing them on the
+	// next evaluation is safe.
+	var res Result
+
 	for {
 		m, err := conn.Recv()
 		if err != nil {
@@ -202,10 +214,10 @@ func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *Worke
 				continue
 			}
 			start := time.Now()
-			objs := make([]float64, p.NumObjs())
+			objs := growF64(res.Objs, p.NumObjs())
 			var constrs []float64
 			if cp, constrained := p.(problems.Constrained); constrained {
-				constrs = make([]float64, cp.NumConstraints())
+				constrs = growF64(res.Constrs, cp.NumConstraints())
 				cp.EvaluateWithConstraints(req.Vars, objs, constrs)
 			} else {
 				p.Evaluate(req.Vars, objs)
@@ -216,7 +228,7 @@ func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *Worke
 					return err
 				}
 			}
-			res := &Result{
+			res = Result{
 				Lease:     req.Lease,
 				SolID:     req.SolID,
 				Operator:  req.Operator,
@@ -227,7 +239,7 @@ func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *Worke
 				// closes the cross-process span.
 				Trace: req.Trace,
 			}
-			if err := conn.Send(res); err != nil {
+			if err := conn.Send(&res); err != nil {
 				return err
 			}
 		case Stop:
@@ -236,6 +248,15 @@ func serve(ctx context.Context, conn *Conn, problem problems.Problem, cfg *Worke
 			// Unexpected but harmless (e.g. a duplicate Welcome).
 		}
 	}
+}
+
+// growF64 returns a length-n slice, reusing s's backing array when its
+// capacity suffices.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 // sleep holds for d or until ctx is cancelled.
