@@ -282,6 +282,50 @@ type (
 // NewScalingAdvisor constructs a live scalability advisor.
 var NewScalingAdvisor = advisor.New
 
+// Search-health observability (see internal/obs): attach a
+// QualitySampler to ParallelConfig.Quality (or FederationConfig.Quality,
+// or opt a job in via JobSpec.QualityEvery) and the drivers snapshot
+// the ε-archive on a cadence — incremental hypervolume, ε-progress
+// rate, archive/population ratio, front spread and the Borg adaptive
+// state (operator probabilities, restarts, tournament size) — emitted
+// as quality.* gauges, served at /debug/quality, and recorded as
+// EvQuality points in the BMEL log so any run's quality timeline
+// reconstructs byte-identically offline (the QLOG sidecar;
+// cmd/timeline -quality renders one). Wire QualityConfig.OnSample to
+// ScalingAdvisor.ObserveQuality for stall and restart-regression
+// alerting in the /debug/scaling report.
+type (
+	// QualitySampler snapshots a live run's search quality.
+	QualitySampler = obs.QualitySampler
+	// QualitySamplerConfig sets the sampler's cadence, reference point
+	// and hypervolume estimator bounds.
+	QualitySamplerConfig = obs.QualityConfig
+	// QualitySample is one quality snapshot.
+	QualitySample = obs.QualitySample
+	// QualityReport is the /debug/quality response body.
+	QualityReport = obs.QualityReport
+	// QualitySidecar is the sampler's replayable QLOG timeline (the
+	// BQLG file next to a BMEL log).
+	QualitySidecar = obs.QualityLog
+	// QualityHealth is the advisor's stall/regression section of an
+	// AdvisorReport.
+	QualityHealth = advisor.QualityHealth
+)
+
+var (
+	// NewQualitySampler constructs a quality sampler; attach it via
+	// ParallelConfig.Quality.
+	NewQualitySampler = obs.NewQualitySampler
+	// ReadQualitySidecar deserializes a QLOG written with
+	// QualitySidecar.WriteTo.
+	ReadQualitySidecar = obs.ReadQualityLog
+	// MeasureFront computes a front's hypervolume deterministically:
+	// exact within maxExact points, seeded Monte Carlo beyond.
+	MeasureFront = obs.MeasureFront
+	// FrontSpread is the bounding-box diagonal of a front.
+	FrontSpread = obs.FrontSpread
+)
+
 // Multi-master federation (see internal/federation): k island masters
 // — each a full asynchronous master-slave instance over its own worker
 // pool — exchange ε-archive members in a ring over TCP and optionally
@@ -301,6 +345,9 @@ type (
 	// that, together with the BMEL log, makes a federated run
 	// replayable.
 	MigrantLog = federation.MigrantLog
+	// FederationRoot is the live merging root (FederationConfig.OnRoot
+	// hands it out so merged-front quality can be served mid-run).
+	FederationRoot = federation.Root
 	// ScalingFederation rolls per-island scalability advisors up into
 	// one federated analysis (the federation-level /debug/scaling).
 	ScalingFederation = advisor.Federation
@@ -315,6 +362,9 @@ var (
 	// ReplayFederation reconstructs a federated run offline from its
 	// per-island logs.
 	ReplayFederation = federation.Replay
+	// ReplayFederationQuality is ReplayFederation with per-island
+	// quality samplers regenerating each island's QLOG timeline.
+	ReplayFederationQuality = federation.ReplayQuality
 	// NewMigrantLog returns an empty migrant sidecar log.
 	NewMigrantLog = federation.NewMigrantLog
 	// ReadMigrantLog deserializes a log written with MigrantLog.WriteTo.
@@ -580,6 +630,23 @@ var (
 	NondominatedFilter = metrics.NondominatedFilter
 	// Dominates is Pareto dominance on objective vectors.
 	Dominates = metrics.Dominates
+	// RefScale, RefPoint and RefPointFor are the shared hypervolume
+	// reference-point conventions (see internal/metrics/refpoint.go).
+	RefScale    = metrics.RefScale
+	RefPoint    = metrics.RefPoint
+	RefPointFor = metrics.RefPointFor
+	// ReferenceFront samples a problem's analytic Pareto front when
+	// one is known (nil otherwise).
+	ReferenceFront = problems.ReferenceFront
+)
+
+// Reference-point constants shared by every hypervolume consumer.
+const (
+	// DefaultRefScale is the conventional unit-box reference
+	// coordinate (ZDT problems use RefScale instead).
+	DefaultRefScale = metrics.DefaultRefScale
+	// DefaultHVSamples is the conventional Monte Carlo sample count.
+	DefaultHVSamples = metrics.DefaultHVSamples
 )
 
 // Timing distributions.

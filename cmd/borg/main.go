@@ -14,6 +14,7 @@
 //	borg -parallel 8 -trace run.trace.json        # Chrome/Perfetto timeline
 //	borg -parallel 8 -metrics-out metrics.json    # final metrics snapshot
 //	borg -parallel 8 -advise-out scaling.jsonl    # live scalability analysis
+//	borg -parallel 8 -quality-every 1000 -quality-log run.qlog  # search-quality timeline
 //	borg -transport tcp -listen :7070 -debug-addr localhost:6060
 //
 // With -debug-addr the live scalability advisor also serves
@@ -68,6 +69,9 @@ func run() int {
 		adviseEvery = flag.Float64("advise-every", 1.0, "seconds of driver time between advisor snapshots (with -advise-out; virtual seconds for -transport virtual)")
 		eventLog    = flag.String("event-log", "", "record the master's protocol event log to this path (parallel transports)")
 		replayPath  = flag.String("replay", "", "replay a recorded event log off-line instead of running; pass the original run's -problem/-objectives/-epsilon/-seed")
+		qualEvery   = flag.Uint64("quality-every", 0, "sample search quality (hypervolume, eps-progress, operator adaptation) every N accepted evaluations (parallel transports; 0 = off)")
+		qualWall    = flag.Float64("quality-wall", 0, "also sample search quality every S seconds of driver time (with or instead of -quality-every)")
+		qualLog     = flag.String("quality-log", "", "write the run's quality timeline as a QLOG sidecar to this path (implies -quality-every 1000 unless set; read with: timeline -quality)")
 	)
 	flag.Parse()
 	logger := borgmoea.NewLogger(os.Stderr, *verbose)
@@ -129,6 +133,30 @@ func run() int {
 		adv = borgmoea.NewScalingAdvisor(acfg)
 	}
 
+	// Search-quality sampler: created when a cadence or a QLOG sink
+	// asks for it. Sample points detour through the master, so a
+	// recorded event log replays to the byte-identical quality timeline
+	// (pass the same -quality flags to -replay to regenerate it).
+	var quality *borgmoea.QualitySampler
+	if *qualEvery > 0 || *qualWall > 0 || *qualLog != "" {
+		qe := *qualEvery
+		if qe == 0 && *qualWall == 0 {
+			qe = 1000
+		}
+		qcfg := borgmoea.QualitySamplerConfig{
+			Every:     qe,
+			WallEvery: *qualWall,
+			Ref:       borgmoea.RefPointFor(problem.Name(), problem.NumObjs()),
+			Metrics:   reg,
+		}
+		if adv != nil {
+			// The sampler feeds the advisor's stall/regression detector;
+			// alerts surface in /debug/scaling and the JSONL journal.
+			qcfg.OnSample = adv.ObserveQuality
+		}
+		quality = borgmoea.NewQualitySampler(qcfg)
+	}
+
 	// flusher persists whatever survives an early exit: the final
 	// metrics snapshot and the advisor's closing report. Shared by the
 	// normal path and the signal handler; hooks run at most once.
@@ -167,6 +195,9 @@ func run() int {
 		if adv != nil {
 			opts = append(opts, borgmoea.WithDebugHandler("/debug/scaling", adv.Handler()))
 		}
+		if quality != nil {
+			opts = append(opts, borgmoea.WithDebugHandler("/debug/quality", quality.Handler()))
+		}
 		srv, err := borgmoea.ServeDebug(*debugAddr, reg, opts...)
 		if err != nil {
 			return fail(1, err.Error())
@@ -193,6 +224,7 @@ func run() int {
 			Algorithm: cfg,
 			Seed:      *seed,
 			Metrics:   reg,
+			Quality:   quality,
 		}, recorded)
 		if err != nil {
 			return fail(1, err.Error())
@@ -222,6 +254,7 @@ func run() int {
 			Events:       rec,
 			Protocol:     plog,
 			Advisor:      adv,
+			Quality:      quality,
 		}
 		logger.Info("listening for workers", "addr", *listen, "hint", "start workers with: borgd -connect host:port")
 		res, err := borgmoea.RunAsyncDistributed(pcfg, borgmoea.DistributedConfig{
@@ -253,6 +286,7 @@ func run() int {
 			Events:       rec,
 			Protocol:     plog,
 			Advisor:      adv,
+			Quality:      quality,
 		}
 		if *mtbf > 0 {
 			if *mttr <= 0 {
@@ -287,8 +321,8 @@ func run() int {
 		if *transport != "virtual" {
 			return fail(2, "-transport needs -parallel (or -listen for tcp)", "transport", *transport)
 		}
-		if *tracePath != "" || *metricsOut != "" || *eventLog != "" || *adviseOut != "" {
-			logger.Warn("-trace/-metrics-out/-event-log/-advise-out instrument the parallel drivers; the serial run records nothing")
+		if *tracePath != "" || *metricsOut != "" || *eventLog != "" || *adviseOut != "" || quality != nil {
+			logger.Warn("-trace/-metrics-out/-event-log/-advise-out/-quality-* instrument the parallel drivers; the serial run records nothing")
 		}
 		alg = borgmoea.MustNewBorg(problem, cfg)
 		alg.Run(*evals, nil)
@@ -313,20 +347,27 @@ func run() int {
 			"hint", fmt.Sprintf("replay with: borg -replay %s -problem %s -objectives %d -epsilon %g -seed %d",
 				*eventLog, *problemName, *objectives, *epsilon, *seed))
 	}
+	if quality != nil && *qualLog != "" {
+		if err := writeFileWith(*qualLog, func(w io.Writer) error {
+			_, err := quality.Log().WriteTo(w)
+			return err
+		}); err != nil {
+			return fail(1, "writing quality log", "err", err)
+		}
+		logger.Info("quality log written", "path", *qualLog, "samples", len(quality.Log().Samples),
+			"hint", fmt.Sprintf("render with: timeline -quality %s", *qualLog))
+	}
 
 	front := alg.Archive().Objectives()
 	fmt.Printf("problem=%s evaluations=%d archive=%d restarts=%d\n",
 		problem.Name(), alg.Evaluations(), alg.Archive().Size(), alg.Restarts())
 
 	m := problem.NumObjs()
-	ref := make([]float64, m)
-	for i := range ref {
-		ref[i] = 1.1
-	}
-	hv := borgmoea.HypervolumeMC(front, ref, 100000, 12345)
-	fmt.Printf("hypervolume=%.4f (MC, ref %.1f)", hv, 1.1)
+	ref := borgmoea.RefPointFor(problem.Name(), m)
+	hv := borgmoea.HypervolumeMC(front, ref, borgmoea.DefaultHVSamples, 12345)
+	fmt.Printf("hypervolume=%.4f (MC, ref %.1f)", hv, ref[0])
 	if strings.HasPrefix(problem.Name(), "DTLZ2") || strings.HasPrefix(problem.Name(), "UF11") {
-		fmt.Printf("  normalized=%.3f", hv/borgmoea.IdealSphereHypervolume(m, 1.1))
+		fmt.Printf("  normalized=%.3f", hv/borgmoea.IdealSphereHypervolume(m, ref[0]))
 	}
 	fmt.Println()
 

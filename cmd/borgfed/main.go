@@ -24,7 +24,13 @@
 // samples distributed per-evaluation traces (advisor-flagged
 // stragglers are always kept); with -log-dir each island adds an
 // island-<i>.trace sidecar that cmd/borgtrace turns into the run's
-// critical-path attribution, offline.
+// critical-path attribution, offline. -quality-every samples every
+// island's search quality (hypervolume, ε-progress, operator
+// adaptation) on that cadence: with -debug-addr the federation serves
+// per-island plus merged-front quality on /debug/quality, with
+// -log-dir each island writes an island-<i>.qlog sidecar, and a
+// -replay-dir replay with -quality-every rebuilds those sidecars byte
+// for byte from the recorded EvQuality trigger points.
 //
 // BMEL logs stream to disk at event granularity and every sidecar is
 // flushed on SIGINT/SIGTERM, so an interrupted federation keeps its
@@ -32,14 +38,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"borgmoea"
@@ -68,6 +77,7 @@ func run() int {
 		deltaEvery  = flag.Uint64("delta-every", 500, "stream recent archive members to the root every this many accepts per island (0 = off)")
 		debugAddr   = flag.String("debug-addr", "", "serve the federated /debug/scaling (plus /debug/vars, /debug/pprof) on this address (e.g. localhost:6060)")
 		traceRate   = flag.Float64("trace-rate", 0, "distributed-trace sampling rate in [0,1]; with -log-dir every island also writes an island-<i>.trace sidecar for offline borgtrace analysis (0 = tracing off)")
+		qualEvery   = flag.Uint64("quality-every", 0, "sample each island's search quality (hypervolume, eps-progress, operator adaptation) every N accepted evaluations; with -log-dir every island writes an island-<i>.qlog sidecar, with -debug-addr the federation serves /debug/quality (0 = off)")
 		logDir      = flag.String("log-dir", "", "write per-island BMEL event logs and migrant sidecar logs into this directory")
 		replayDir   = flag.String("replay-dir", "", "replay a recorded federation from this directory instead of running (pass the original -islands/-problem/-objectives/-epsilon/-seed)")
 		outPath     = flag.String("out", "", "save the merged archive as JSON to this path")
@@ -101,7 +111,7 @@ func run() int {
 	algCfg := borgmoea.Config{Epsilons: borgmoea.UniformEpsilons(problem.NumObjs(), *epsilon)}
 
 	if *replayDir != "" {
-		return replay(logger, *replayDir, problem, algCfg, *seed, *islands, *outPath, *printFront)
+		return replay(logger, *replayDir, problem, algCfg, *seed, *islands, *qualEvery, *outPath, *printFront)
 	}
 
 	cfg := borgmoea.FederationConfig{
@@ -189,8 +199,47 @@ func run() int {
 	if *debugAddr != "" {
 		cfg.Metrics = borgmoea.NewMetrics()
 		cfg.Federation = borgmoea.NewScalingFederation()
-		srv, err := borgmoea.ServeDebug(*debugAddr, cfg.Metrics,
-			borgmoea.WithDebugHandler("/debug/scaling", cfg.Federation.Handler()))
+	}
+	var qualityRef []float64
+	if *qualEvery > 0 {
+		qualityRef = borgmoea.RefPointFor(problem.Name(), problem.NumObjs())
+		cfg.Quality = make([]*borgmoea.QualitySampler, *islands)
+		for i := range cfg.Quality {
+			// Per-island gauge prefixes keep the quality series apart on
+			// the shared registry (island0.quality.hypervolume, ...).
+			cfg.Quality[i] = borgmoea.NewQualitySampler(borgmoea.QualitySamplerConfig{
+				Every:       *qualEvery,
+				Ref:         qualityRef,
+				Metrics:     cfg.Metrics,
+				GaugePrefix: fmt.Sprintf("island%d.quality.", i),
+			})
+			if *logDir == "" {
+				continue
+			}
+			q, path := cfg.Quality[i], islandLogPath(*logDir, i, "qlog")
+			flusher.Add(func() {
+				if err := writeFileWith(path, func(w io.Writer) error {
+					_, err := q.Log().WriteTo(w)
+					return err
+				}); err != nil {
+					logger.Error("writing quality sidecar", "path", path, "err", err)
+				}
+			})
+		}
+	}
+	if *debugAddr != "" {
+		opts := []borgmoea.DebugOption{
+			borgmoea.WithDebugHandler("/debug/scaling", cfg.Federation.Handler()),
+		}
+		if *qualEvery > 0 {
+			// The merged-front quality is computed lazily per request
+			// from the live root, so the run itself pays nothing for it.
+			var liveRoot atomic.Pointer[borgmoea.FederationRoot]
+			cfg.OnRoot = func(r *borgmoea.FederationRoot) { liveRoot.Store(r) }
+			opts = append(opts, borgmoea.WithDebugHandler("/debug/quality",
+				fedQualityHandler(cfg.Quality, &liveRoot, qualityRef, *seed)))
+		}
+		srv, err := borgmoea.ServeDebug(*debugAddr, cfg.Metrics, opts...)
 		if err != nil {
 			return fail(1, err.Error())
 		}
@@ -216,6 +265,18 @@ func run() int {
 	if res.Root != nil {
 		fmt.Printf("root: deltas=%d  live-archive=%d  completed-seen=%d\n",
 			res.Root.Deltas(), res.Root.Size(), res.Root.Completed())
+	}
+	if *qualEvery > 0 {
+		fmt.Printf("quality: merged-front hv=%.4f  spread=%.4f  points=%d\n",
+			borgmoea.MeasureFront(res.MergedFront, qualityRef, 0, 0, *seed),
+			borgmoea.FrontSpread(res.MergedFront), len(res.MergedFront))
+		for i, q := range cfg.Quality {
+			if s, ok := q.Latest(); ok {
+				logger.Info("island quality", "island", i, "samples", s.Seq+1,
+					"hv", fmt.Sprintf("%.4f", s.Hypervolume),
+					"eps_progress", s.EpsProgress, "restarts", s.Restarts)
+			}
+		}
 	}
 	for i, el := range res.IslandElapsed {
 		logger.Info("island done", "island", i, "elapsed", fmt.Sprintf("%.2fs", el),
@@ -245,9 +306,46 @@ func run() int {
 	return emitFront(logger, res.MergedFront, res.MergedArchive, *outPath, *printFront)
 }
 
+// fedQualityHandler serves the federation's /debug/quality: one
+// document per island (latest sample, history window, operator mix)
+// plus the merged-front quality, measured lazily from the live root's
+// current front on each request with the same deterministic rule the
+// island samplers use.
+func fedQualityHandler(quality []*borgmoea.QualitySampler, root *atomic.Pointer[borgmoea.FederationRoot], ref []float64, seed uint64) http.Handler {
+	type merged struct {
+		Hypervolume float64 `json:"hypervolume"`
+		FrontSpread float64 `json:"front_spread"`
+		Points      int     `json:"points"`
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		doc := struct {
+			Islands []borgmoea.QualityReport `json:"islands"`
+			Merged  *merged                  `json:"merged,omitempty"`
+		}{Islands: make([]borgmoea.QualityReport, 0, len(quality))}
+		for _, q := range quality {
+			doc.Islands = append(doc.Islands, q.Report())
+		}
+		if r := root.Load(); r != nil {
+			front := r.Front()
+			doc.Merged = &merged{
+				Hypervolume: borgmoea.MeasureFront(front, ref, 0, 0, seed),
+				FrontSpread: borgmoea.FrontSpread(front),
+				Points:      len(front),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc) //nolint:errcheck
+	})
+}
+
 // replay reconstructs a recorded federation from -log-dir files and
-// prints the merged front it reproduces.
-func replay(logger *slog.Logger, dir string, problem borgmoea.Problem, algCfg borgmoea.Config, seed uint64, islands int, outPath string, printFront bool) int {
+// prints the merged front it reproduces. With qualEvery set it also
+// regenerates every island's quality timeline from the recorded
+// EvQuality trigger points and writes island-<i>.qlog sidecars — byte
+// for byte what the live run would have written.
+func replay(logger *slog.Logger, dir string, problem borgmoea.Problem, algCfg borgmoea.Config, seed uint64, islands int, qualEvery uint64, outPath string, printFront bool) int {
 	fail := func(code int, msg string, args ...any) int {
 		logger.Error(msg, args...)
 		return code
@@ -263,9 +361,30 @@ func replay(logger *slog.Logger, dir string, problem borgmoea.Problem, algCfg bo
 			return fail(1, "reading migrant log", "island", i, "err", err)
 		}
 	}
-	rep, err := borgmoea.ReplayFederation(problem, algCfg, seed, logs, mlogs)
+	var quality []*borgmoea.QualitySampler
+	if qualEvery > 0 {
+		ref := borgmoea.RefPointFor(problem.Name(), problem.NumObjs())
+		quality = make([]*borgmoea.QualitySampler, islands)
+		for i := range quality {
+			quality[i] = borgmoea.NewQualitySampler(borgmoea.QualitySamplerConfig{Every: qualEvery, Ref: ref})
+		}
+	}
+	rep, err := borgmoea.ReplayFederationQuality(problem, algCfg, seed, logs, mlogs, quality)
 	if err != nil {
 		return fail(1, err.Error())
+	}
+	for i, q := range quality {
+		path := islandLogPath(dir, i, "qlog")
+		qlog := q.Log()
+		if err := writeFileWith(path, func(w io.Writer) error {
+			_, err := qlog.WriteTo(w)
+			return err
+		}); err != nil {
+			return fail(1, "writing quality sidecar", "island", i, "err", err)
+		}
+		logger.Info("quality timeline rebuilt", "island", i,
+			"samples", len(qlog.Samples), "path", path,
+			"hint", fmt.Sprintf("render with: timeline -quality %s", path))
 	}
 	var evals uint64
 	for _, b := range rep.Islands {

@@ -3,7 +3,10 @@
 // -advise-out JSONL journal) and renders the paper's model quantities
 // as they evolve — fitted T_F/T_A/T_C, predicted vs observed speedup
 // and efficiency, the processor bounds, master saturation, model
-// drift, and a per-worker straggler view.
+// drift, and a per-worker straggler view. When the master runs with
+// -quality-* it adds a search-health pane: the hypervolume trajectory,
+// ε-progress rate with stall/regression alerts, and the live adaptive
+// operator mix (from /debug/quality).
 //
 // Usage:
 //
@@ -77,6 +80,14 @@ func run() int {
 			fmt.Printf("\x1b[H\x1b[2Jborgtop: waiting for data: %v\n", err)
 		} else {
 			out := render(rep)
+			// The quality pane needs the sampler's /debug/quality feed,
+			// only available when following a live master directly. A
+			// run without -quality-* (404 / no samples) just skips it.
+			if *addr != "" && *job == "" {
+				if qr, err := fetchQuality(*addr); err == nil {
+					out += renderQuality(qr)
+				}
+			}
 			if *once {
 				fmt.Print(out)
 				return 0
@@ -305,6 +316,74 @@ func render(r *borgmoea.AdvisorReport) string {
 		}
 		if n := len(r.Stragglers); n > 0 {
 			fmt.Fprintf(&sb, "  %d straggler(s) flagged\n", n)
+		}
+	}
+
+	if q := r.Quality; q != nil {
+		status := "OK"
+		switch {
+		case q.Stalled && q.Regressed:
+			status = "ALERT: search stalled; quality regressed after restart"
+		case q.Stalled:
+			status = "ALERT: search stalled"
+		case q.Regressed:
+			status = "ALERT: quality regressed after restart"
+		}
+		fmt.Fprintf(&sb, "\nquality  hv=%.4f  ε-progress=%d  rate=%.2f/s (peak %.2f)  restarts=%d   [%s]\n",
+			q.Hypervolume, q.EpsProgress, q.EpsRateSmoothed, q.EpsRatePeak, q.Restarts, status)
+	}
+	return sb.String()
+}
+
+// fetchQuality pulls the sampler's /debug/quality document from a live
+// master. Masters running without -quality-* return 404 or an empty
+// report; callers treat any error as "no pane".
+func fetchQuality(addr string) (*borgmoea.QualityReport, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/debug/quality"
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var qr borgmoea.QualityReport
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	if qr.Latest == nil {
+		return nil, fmt.Errorf("%s: no quality samples yet", url)
+	}
+	return &qr, nil
+}
+
+// renderQuality draws the search-quality pane: the hypervolume
+// trajectory over the sampler's history window and the live adaptive
+// operator mix. The stall/regression verdict itself lives on the
+// quality line render() emits from the advisor report.
+func renderQuality(qr *borgmoea.QualityReport) string {
+	var sb strings.Builder
+	if len(qr.History) >= 2 {
+		pts := make([][]float64, len(qr.History))
+		for i, s := range qr.History {
+			pts[i] = []float64{float64(s.Evaluations), s.Hypervolume}
+		}
+		fmt.Fprintf(&sb, "\nhypervolume vs evaluations (last %d samples)\n%s",
+			len(qr.History), ascii.Scatter(pts, 56, 8))
+	}
+	last := qr.Latest
+	if len(qr.Operators) > 0 && len(last.OperatorProbs) == len(qr.Operators) {
+		fmt.Fprintf(&sb, "\noperators (tournament size %d, archive %d / pop %d, spread %.3f)\n",
+			last.TournamentSize, last.ArchiveSize, last.PopulationSize, last.FrontSpread)
+		for i, name := range qr.Operators {
+			p := last.OperatorProbs[i]
+			fmt.Fprintf(&sb, "  %-8s %6.1f%% |%s|\n", name, 100*p, ascii.Bar(p, 30))
 		}
 	}
 	return sb.String()

@@ -14,8 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"borgmoea"
 )
@@ -51,15 +49,12 @@ func main() {
 	fmt.Printf("%-22s %12s %12s\n", "", "Borg", "NSGA-II")
 	fmt.Printf("%-22s %12d %12d\n", "front size", len(borgFront), len(nsgaFront))
 
-	ref := make([]float64, m)
-	for i := range ref {
-		ref[i] = refObjective(problem.Name())
-	}
-	hvB := borgmoea.HypervolumeMC(borgFront, ref, 100000, 99)
-	hvN := borgmoea.HypervolumeMC(nsgaFront, ref, 100000, 99)
+	ref := borgmoea.RefPointFor(problem.Name(), m)
+	hvB := borgmoea.HypervolumeMC(borgFront, ref, borgmoea.DefaultHVSamples, 99)
+	hvN := borgmoea.HypervolumeMC(nsgaFront, ref, borgmoea.DefaultHVSamples, 99)
 	fmt.Printf("%-22s %12.4f %12.4f\n", fmt.Sprintf("hypervolume (ref %.1f)", ref[0]), hvB, hvN)
 
-	if refSet := referenceSet(problem, m); refSet != nil {
+	if refSet := borgmoea.ReferenceFront(problem.Name(), m, 1000, 7); refSet != nil {
 		fmt.Printf("%-22s %12.5f %12.5f\n", "IGD",
 			borgmoea.InvertedGenerationalDistance(borgFront, refSet),
 			borgmoea.InvertedGenerationalDistance(nsgaFront, refSet))
@@ -78,31 +73,6 @@ func main() {
 		fmt.Printf(" %s=%.2f", names[i], p)
 	}
 	fmt.Println()
-}
-
-// refObjective picks a hypervolume reference coordinate generous
-// enough for the problem family.
-func refObjective(name string) float64 {
-	switch {
-	case strings.HasPrefix(name, "ZDT"):
-		return 2.0 // ZDT f2 can exceed 1 early on
-	default:
-		return 1.1
-	}
-}
-
-// referenceSet returns an analytic reference front when one is known.
-func referenceSet(p borgmoea.Problem, m int) [][]float64 {
-	name := p.Name()
-	switch {
-	case strings.HasPrefix(name, "DTLZ2"), strings.HasPrefix(name, "DTLZ3"),
-		strings.HasPrefix(name, "DTLZ4"), name == "UF11":
-		return borgmoea.SphereFront(m, 1000, 7)
-	case strings.HasPrefix(name, "ZDT"):
-		v, _ := strconv.Atoi(name[3:])
-		return borgmoea.ZDTFront(v, 1000)
-	}
-	return nil
 }
 
 func fatal(err error) {

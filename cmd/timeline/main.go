@@ -15,6 +15,13 @@
 // TraceRecorder.WriteJSONL):
 //
 //	timeline -events run.bmel [-width 110]
+//
+// With -quality the tool renders a quality-timeline sidecar (BQLG
+// format, written by `borg -quality-log` or rebuilt by replay)
+// instead: a hypervolume curve over evaluations, per-sample quality
+// rows and the final adaptive operator mix:
+//
+//	timeline -quality run.qlog [-width 110]
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"strings"
 
 	"borgmoea"
+	"borgmoea/internal/ascii"
 	"borgmoea/internal/master"
 	"borgmoea/internal/obs"
 )
@@ -262,16 +270,71 @@ func collectJSONL(r io.Reader) (*collector, error) {
 	return col, sc.Err()
 }
 
+// renderQuality draws a recorded quality timeline: the hypervolume
+// trajectory as a scatter over evaluations, one row per sample, and
+// the final operator-probability mix as gauges.
+func renderQuality(path string, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := borgmoea.ReadQualitySidecar(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(log.Samples) == 0 {
+		return fmt.Errorf("%s: no quality samples", path)
+	}
+	fmt.Printf("%s (%d samples; ref point %v; hypervolume exact ≤%d else %d-sample MC)\n",
+		path, len(log.Samples), log.Ref, log.MaxExact, log.MCSamples)
+	fmt.Println()
+
+	pts := make([][]float64, len(log.Samples))
+	for i, s := range log.Samples {
+		pts[i] = []float64{float64(s.Evaluations), s.Hypervolume}
+	}
+	fmt.Printf("hypervolume vs evaluations\n%s\n", ascii.Scatter(pts, width-16, 10))
+
+	fmt.Printf("%5s %10s %9s %12s %12s %8s %5s %8s %5s %9s\n",
+		"seq", "at", "evals", "hv", "Δhv", "εprog", "arch", "pop", "rst", "spread")
+	prevHV := 0.0
+	for _, s := range log.Samples {
+		fmt.Printf("%5d %10.4f %9d %12.6f %+12.6f %8d %5d %8d %5d %9.4f\n",
+			s.Seq, s.At, s.Evaluations, s.Hypervolume, s.Hypervolume-prevHV,
+			s.EpsProgress, s.ArchiveSize, s.PopulationSize, s.Restarts, s.FrontSpread)
+		prevHV = s.Hypervolume
+	}
+
+	last := log.Samples[len(log.Samples)-1]
+	if len(log.Operators) > 0 && len(last.OperatorProbs) == len(log.Operators) {
+		fmt.Printf("\nfinal operator mix (tournament size %d)\n", last.TournamentSize)
+		for i, name := range log.Operators {
+			p := last.OperatorProbs[i]
+			fmt.Printf("  %-8s %6.1f%% |%s|\n", name, 100*p, ascii.Bar(p, 40))
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
-		p      = flag.Int("p", 4, "processor count")
-		evals  = flag.Uint64("evals", 12, "evaluations to draw")
-		width  = flag.Int("width", 110, "chart width in characters")
-		tf     = flag.Float64("tf", 0.01, "mean evaluation time")
-		tfcv   = flag.Float64("tfcv", 0.3, "evaluation time variability (higher shows the sync barrier cost)")
-		events = flag.String("events", "", "render a recorded run from this file (binary event log or JSONL trace) instead of simulating")
+		p       = flag.Int("p", 4, "processor count")
+		evals   = flag.Uint64("evals", 12, "evaluations to draw")
+		width   = flag.Int("width", 110, "chart width in characters")
+		tf      = flag.Float64("tf", 0.01, "mean evaluation time")
+		tfcv    = flag.Float64("tfcv", 0.3, "evaluation time variability (higher shows the sync barrier cost)")
+		events  = flag.String("events", "", "render a recorded run from this file (binary event log or JSONL trace) instead of simulating")
+		quality = flag.String("quality", "", "render a quality-timeline sidecar (BQLG, from borg -quality-log) instead of simulating")
 	)
 	flag.Parse()
+	if *quality != "" {
+		if err := renderQuality(*quality, *width); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *events != "" {
 		col, err := loadEventLog(*events)
 		if err != nil {

@@ -90,6 +90,21 @@ type Config struct {
 	// to obs.Collector.ForceWorker so a struggling worker's
 	// evaluations are traced regardless of the sampling rate.
 	OnStraggler func(worker int)
+	// StallFraction: the search counts as stalled when the smoothed
+	// ε-progress rate falls below this fraction of its own run peak
+	// (default DefaultStallFraction). Needs ObserveQuality feeding.
+	StallFraction float64
+	// QualityWarmup suppresses quality alerts until this many quality
+	// samples have arrived (default DefaultQualityWarmup).
+	QualityWarmup int
+	// RegressionTolerance is the relative hypervolume shortfall vs
+	// the pre-restart level that counts as "quality regressed after
+	// restart" (default DefaultRegressionTolerance).
+	RegressionTolerance float64
+	// OnQualityAlert, when set, is called on each rising edge of a
+	// quality alert with a short description ("search stalled",
+	// "quality regressed after restart"), outside the advisor's lock.
+	OnQualityAlert func(alert string)
 }
 
 func (c *Config) fillDefaults() {
@@ -107,6 +122,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Alpha <= 0 || c.Alpha > 1 {
 		c.Alpha = DefaultAlpha
+	}
+	if c.StallFraction <= 0 {
+		c.StallFraction = DefaultStallFraction
+	}
+	if c.QualityWarmup <= 0 {
+		c.QualityWarmup = DefaultQualityWarmup
+	}
+	if c.RegressionTolerance <= 0 {
+		c.RegressionTolerance = DefaultRegressionTolerance
 	}
 }
 
@@ -176,6 +200,9 @@ type Advisor struct {
 
 	drift    *obs.EWMA // smoothed per-snapshot model drift
 	lastSnap float64
+
+	// quality is the search-health detector state (quality.go).
+	quality qualityState
 }
 
 // New returns an advisor with defaults filled in.
@@ -446,6 +473,7 @@ func (a *Advisor) report() Report {
 	}
 
 	r.Workers, r.Stragglers = a.workerReports()
+	r.Quality = a.qualityReport()
 	return r
 }
 

@@ -1,0 +1,108 @@
+package advisor
+
+import (
+	"testing"
+
+	"borgmoea/internal/obs"
+)
+
+func newQualityAdvisor(alerts *[]string) *Advisor {
+	return New(Config{
+		OnQualityAlert: func(msg string) { *alerts = append(*alerts, msg) },
+	})
+}
+
+// TestQualityStallDetector: the stall alert must raise when ε-progress
+// dries up relative to the run's own peak rate, and the scaling report
+// must carry the search-health section.
+func TestQualityStallDetector(t *testing.T) {
+	var alerts []string
+	adv := newQualityAdvisor(&alerts)
+	// Healthy phase: brisk, steady ε-progress.
+	for i := 0; i < 10; i++ {
+		adv.ObserveQuality(obs.QualitySample{
+			Seq: uint64(i), At: float64(i), EpsProgress: uint64(100 * i), Hypervolume: 0.5,
+		})
+	}
+	if r := adv.Report(); r.Quality == nil || r.Quality.Stalled {
+		t.Fatalf("healthy phase misreported: %+v", r.Quality)
+	}
+	// Stalled phase: no new ε-boxes for a long stretch.
+	for i := 10; i < 40; i++ {
+		adv.ObserveQuality(obs.QualitySample{
+			Seq: uint64(i), At: float64(i), EpsProgress: 1000, Hypervolume: 0.5,
+		})
+	}
+	r := adv.Report()
+	if r.Quality == nil || !r.Quality.Stalled {
+		t.Fatalf("stall not detected: %+v", r.Quality)
+	}
+	if len(alerts) == 0 || alerts[0] != "search stalled" {
+		t.Fatalf("stall alert not fired: %v", alerts)
+	}
+	if r.Quality.EpsRatePeak <= 0 || r.Quality.EpsRateSmoothed >= r.Quality.EpsRatePeak {
+		t.Errorf("rate bookkeeping wrong: smoothed %v, peak %v", r.Quality.EpsRateSmoothed, r.Quality.EpsRatePeak)
+	}
+}
+
+// TestQualityRestartRegression: a restart that fails to win back its
+// pre-restart hypervolume must raise the regression alert; recovery
+// must clear both the flag and the episode.
+func TestQualityRestartRegression(t *testing.T) {
+	var alerts []string
+	adv := newQualityAdvisor(&alerts)
+	for i := 0; i < 8; i++ {
+		adv.ObserveQuality(obs.QualitySample{
+			Seq: uint64(i), At: float64(i), EpsProgress: uint64(10 * i), Hypervolume: 0.8,
+		})
+	}
+	// Restart ran between samples; hypervolume collapsed.
+	adv.ObserveQuality(obs.QualitySample{Seq: 8, At: 8, EpsProgress: 90, Hypervolume: 0.4, Restarts: 1})
+	r := adv.Report()
+	if r.Quality == nil || !r.Quality.Regressed {
+		t.Fatalf("regression not detected: %+v", r.Quality)
+	}
+	if r.Quality.PreRestartHypervolume != 0.8 {
+		t.Errorf("pre-restart hypervolume %v, want 0.8", r.Quality.PreRestartHypervolume)
+	}
+	found := false
+	for _, a := range alerts {
+		if a == "quality regressed after restart" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regression alert not fired: %v", alerts)
+	}
+	// Recovery past the pre-restart level clears the flag and settles
+	// the episode.
+	adv.ObserveQuality(obs.QualitySample{Seq: 9, At: 9, EpsProgress: 100, Hypervolume: 0.85, Restarts: 1})
+	if r := adv.Report(); r.Quality.Regressed {
+		t.Fatal("regression flag not cleared after recovery")
+	}
+}
+
+// TestQualityAlertsEdgeTriggered: holding a stalled state must not
+// re-fire the callback every sample.
+func TestQualityAlertsEdgeTriggered(t *testing.T) {
+	var alerts []string
+	adv := newQualityAdvisor(&alerts)
+	for i := 0; i < 10; i++ {
+		adv.ObserveQuality(obs.QualitySample{At: float64(i), EpsProgress: uint64(100 * i)})
+	}
+	for i := 10; i < 60; i++ {
+		adv.ObserveQuality(obs.QualitySample{At: float64(i), EpsProgress: 1000})
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("stall alert fired %d times, want once: %v", len(alerts), alerts)
+	}
+}
+
+// TestQualityNilAdvisor: feeding samples to a nil advisor is a no-op.
+func TestQualityNilAdvisor(t *testing.T) {
+	var adv *Advisor
+	adv.ObserveQuality(obs.QualitySample{EpsProgress: 1})
+	if r := adv.Report(); r.Quality != nil {
+		t.Fatal("nil advisor reported quality health")
+	}
+}

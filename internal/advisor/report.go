@@ -65,4 +65,8 @@ type Report struct {
 	// Per-worker straggler analysis.
 	Workers    []WorkerReport `json:"workers,omitempty"`
 	Stragglers []int          `json:"stragglers,omitempty"`
+
+	// Search-health analysis (present once quality samples flow; see
+	// quality.go).
+	Quality *QualityHealth `json:"quality,omitempty"`
 }

@@ -40,7 +40,7 @@ type SpeedupConfig struct {
 	// estimate (default 20000).
 	HVSamples int
 	// RefPointScale places the hypervolume reference point at this
-	// value in every objective (default 1.1).
+	// value in every objective (default metrics.DefaultRefScale).
 	RefPointScale float64
 	// TAOverride fixes the master algorithm time (tests); nil
 	// measures real CPU time.
@@ -86,7 +86,7 @@ func (c *SpeedupConfig) normalize() error {
 		c.HVSamples = 20000
 	}
 	if c.RefPointScale == 0 {
-		c.RefPointScale = 1.1
+		c.RefPointScale = metrics.DefaultRefScale
 	}
 	if c.Epsilon == 0 {
 		c.Epsilon = 0.15 // matches the Table II resolution
@@ -163,10 +163,7 @@ func RunSpeedup(cfg SpeedupConfig) (*SpeedupResult, error) {
 		return nil, err
 	}
 	m := cfg.Problem.NumObjs()
-	ref := make([]float64, m)
-	for i := range ref {
-		ref[i] = cfg.RefPointScale
-	}
+	ref := metrics.RefPoint(m, cfg.RefPointScale)
 	meter := hvMeter{ref: ref, samples: cfg.HVSamples, seed: cfg.Seed ^ 0x4856}
 
 	// Serial baseline trajectories.

@@ -98,6 +98,24 @@ type Config struct {
 	// nil creates one, returned in Result.Federation.
 	Federation *advisor.Federation
 
+	// Quality, when non-nil, must have length Islands (nil entries
+	// disable quality sampling for that island): island isl snapshots
+	// its search quality (hypervolume, ε-progress, operator adaptation)
+	// into Quality[isl] on the sampler's cadence. Give each sampler its
+	// own GaugePrefix (e.g. "island0.") when they share a registry.
+	// The sample points ride the island's BMEL log as EvQuality events,
+	// so ReplayQuality regenerates every island's timeline byte for
+	// byte. Merged-front quality is computed lazily from Root.Front()
+	// by whoever serves it (see cmd/borgfed) — the steady-state run
+	// pays nothing for it.
+	Quality []*obs.QualitySampler
+
+	// OnRoot, when set, receives the live merging root right after it
+	// binds, before any island runs — a debug server can serve
+	// merged-front quality while the run is in flight (Root.Front is
+	// safe to call concurrently). Only fires when Root is true.
+	OnRoot func(*Root)
+
 	// Metrics receives the shared protocol counters of all islands.
 	Metrics *obs.Registry
 	// Logf, when set, receives lifecycle messages.
@@ -176,6 +194,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Tracers != nil && len(cfg.Tracers) != cfg.Islands {
 		return nil, fmt.Errorf("federation: Tracers must have one entry per island")
 	}
+	if cfg.Quality != nil && len(cfg.Quality) != cfg.Islands {
+		return nil, fmt.Errorf("federation: Quality must have one entry per island")
+	}
 	if cfg.Conn.Metrics == nil {
 		cfg.Conn.Metrics = cfg.Metrics
 	}
@@ -232,6 +253,9 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		defer root.Close()
+		if cfg.OnRoot != nil {
+			cfg.OnRoot(root)
+		}
 	}
 
 	res := &Result{
@@ -283,6 +307,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if cfg.Logs != nil {
 			ic.log = cfg.Logs[isl]
+		}
+		if cfg.Quality != nil {
+			ic.quality = cfg.Quality[isl]
 		}
 		if cfg.MigrantLogs != nil {
 			ic.mlog = cfg.MigrantLogs[isl]

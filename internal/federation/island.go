@@ -31,7 +31,8 @@ type islandContext struct {
 	root     *Root
 	log      *master.Log
 	mlog     *MigrantLog
-	trace    *obs.Collector // nil disables tracing for this island
+	trace    *obs.Collector      // nil disables tracing for this island
+	quality  *obs.QualitySampler // nil disables quality sampling
 }
 
 // islandResult is one island's contribution to the federation Result.
@@ -313,6 +314,10 @@ func runIsland(ic islandContext) (islandResult, error) {
 	if ic.trace != nil {
 		mcfg.Tracer = ic.trace
 	}
+	if q := ic.quality; q != nil {
+		q.Attach(b)
+		mcfg.OnQuality = func(seq uint64, at float64) { q.Sample(seq, at) }
+	}
 	m := master.NewCore(mcfg)
 
 	byID := make(map[uint64]*islandSession)
@@ -546,6 +551,12 @@ func runIsland(ic islandContext) (islandResult, error) {
 			exec(m.Handle(master.Event{Kind: master.EvResult, Worker: int(s.id), Item: msg.Lease, At: since()}))
 			if n := m.Completed(); n > prev {
 				afterAccept(n, accepted)
+				// Quality cadence: the trigger detours through the master
+				// so the sample point lands in this island's BMEL log
+				// (replayable via ReplayQuality).
+				if q := ic.quality; q != nil && migErr == nil && !m.Done() && q.Due(n, since()) {
+					exec(m.Handle(master.Event{Kind: master.EvQuality, Item: q.NextSeq(), At: since()}))
+				}
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"borgmoea/internal/core"
 	"borgmoea/internal/master"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/problems"
 )
 
@@ -40,6 +41,17 @@ type ReplayResult struct {
 // every island archive — and therefore the merged front — byte for
 // byte.
 func Replay(problem problems.Problem, algCfg core.Config, seed uint64, logs []*master.Log, mlogs []*MigrantLog) (*ReplayResult, error) {
+	return ReplayQuality(problem, algCfg, seed, logs, mlogs, nil)
+}
+
+// ReplayQuality is Replay with per-island quality samplers: island
+// isl's recorded EvQuality points re-trigger quality[isl].Sample
+// against the replayed algorithm, regenerating the live run's QLOG
+// timeline byte for byte (construct each sampler with the live run's
+// Ref/MaxExact/MCSamples). quality may be nil, shorter than logs, or
+// hold nil entries — recorded EvQuality events without a sampler are
+// no-ops and do not perturb the archive reconstruction.
+func ReplayQuality(problem problems.Problem, algCfg core.Config, seed uint64, logs []*master.Log, mlogs []*MigrantLog, quality []*obs.QualitySampler) (*ReplayResult, error) {
 	if problem == nil {
 		return nil, fmt.Errorf("federation: replay needs the problem")
 	}
@@ -77,6 +89,11 @@ func Replay(problem problems.Problem, algCfg core.Config, seed uint64, logs []*m
 				}
 				b.InjectEvaluated(s)
 			},
+		}
+		if isl < len(quality) && quality[isl] != nil {
+			q := quality[isl]
+			q.Attach(b)
+			rc.OnQuality = func(seq uint64, at float64) { q.Sample(seq, at) }
 		}
 		if _, err := master.Replay(log, rc); err != nil {
 			return nil, fmt.Errorf("federation: island %d: %w", isl, err)

@@ -31,6 +31,7 @@ import (
 
 	"borgmoea/internal/advisor"
 	"borgmoea/internal/core"
+	"borgmoea/internal/obs"
 	"borgmoea/internal/problems"
 )
 
@@ -76,6 +77,14 @@ type Spec struct {
 	// (default 1): a priority-4 job receives evaluation grants at 4x
 	// the rate of a priority-1 job while both are runnable.
 	Priority int `json:"priority,omitempty"`
+	// QualityEvery opts the job into search-quality sampling: every
+	// such number of accepted evaluations the scheduler snapshots the
+	// job's hypervolume, ε-progress and operator adaptation, feeds its
+	// advisor's stall detector, and reports the latest sample in the
+	// job's Status. Sample points ride the job's BMEL log, so a
+	// restored job replays its quality timeline too. 0 (default)
+	// disables sampling.
+	QualityEvery uint64 `json:"quality_every,omitempty"`
 }
 
 // Normalize validates the spec, fills defaults in place, and returns
@@ -215,4 +224,8 @@ type Status struct {
 	// Advisor is the job's live scalability analysis — the same report
 	// /debug/scaling serves — filled on single-job queries.
 	Advisor *advisor.Report `json:"advisor,omitempty"`
+	// Quality is the job's latest search-quality sample, present when
+	// the spec opted in via QualityEvery and at least one sample has
+	// been taken.
+	Quality *obs.QualitySample `json:"quality,omitempty"`
 }

@@ -1,0 +1,67 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestJobQualityOptIn: a spec with QualityEvery gets live quality
+// samples in its status; one without stays quality-free.
+func TestJobQualityOptIn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	s, err := New(Config{
+		FleetListen:  "127.0.0.1:0",
+		LeaseTimeout: 5 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sampled, err := s.Submit(&Spec{Problem: "DTLZ2", Objectives: 3, Evaluations: 200, QualityEvery: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Submit(&Spec{Problem: "DTLZ2", Objectives: 3, Evaluations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, 4, s.FleetAddr(), nil)
+	waitJobs(t, s, 60*time.Second, func(st Status) bool { return st.State == StateDone })
+
+	st, err := s.Get(sampled.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quality == nil {
+		t.Fatal("opted-in job has no quality sample")
+	}
+	if st.Quality.Hypervolume <= 0 || st.Quality.ArchiveSize == 0 {
+		t.Errorf("quality sample looks empty: %+v", st.Quality)
+	}
+	if st.Quality.Evaluations == 0 || st.Quality.Evaluations > 200 {
+		t.Errorf("quality sample at %d evaluations, budget 200", st.Quality.Evaluations)
+	}
+	// The sampler feeds the job's advisor: the report carries the
+	// search-health section.
+	if st.Advisor == nil || st.Advisor.Quality == nil {
+		t.Error("opted-in job's advisor report has no quality section")
+	} else if st.Advisor.Quality.Samples == 0 {
+		t.Error("advisor quality section saw no samples")
+	}
+
+	pst, err := s.Get(plain.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.Quality != nil {
+		t.Error("job without QualityEvery reported a quality sample")
+	}
+}

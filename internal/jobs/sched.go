@@ -14,6 +14,7 @@ import (
 	"borgmoea/internal/advisor"
 	"borgmoea/internal/core"
 	"borgmoea/internal/master"
+	"borgmoea/internal/metrics"
 	"borgmoea/internal/obs"
 	"borgmoea/internal/problems"
 	"borgmoea/internal/wire"
@@ -106,12 +107,13 @@ type job struct {
 	state  State
 	errMsg string
 
-	borg  *core.Borg
-	mcore *master.Core
-	log   *master.Log
-	adv   *advisor.Advisor
-	trace *obs.Collector // nil unless Config.TraceRate > 0
-	ck    *ckpt          // nil without StateDir
+	borg    *core.Borg
+	mcore   *master.Core
+	log     *master.Log
+	adv     *advisor.Advisor
+	trace   *obs.Collector      // nil unless Config.TraceRate > 0
+	quality *obs.QualitySampler // nil unless Spec.QualityEvery > 0
+	ck      *ckpt               // nil without StateDir
 
 	// stride scheduling: next pass value and per-grant increment.
 	pass, stride uint64
@@ -536,6 +538,12 @@ func (s *Scheduler) onResult(w *fleetWorker, msg *wire.Result) {
 		s.hEval.ObserveExemplar(sec, exemplar)
 	}
 	s.exec(j, j.mcore.Handle(master.Event{Kind: master.EvResult, Worker: int(w.id), Item: ref.item, At: s.now()}))
+	// Quality cadence: the trigger detours through the job's core so
+	// the sample point lands in its BMEL log (a restored job replays
+	// its quality timeline too).
+	if q := j.quality; q != nil && j.state == StateRunning && !j.mcore.Done() && q.Due(j.mcore.Completed(), s.now()) {
+		s.exec(j, j.mcore.Handle(master.Event{Kind: master.EvQuality, Item: q.NextSeq(), At: s.now()}))
+	}
 	if !w.gone && len(w.leases) == 0 {
 		s.assign(w)
 	}
@@ -776,6 +784,10 @@ func (s *Scheduler) startJob(j *job) {
 	if j.trace != nil {
 		mcfg.Tracer = j.trace
 	}
+	if q := newJobQuality(j); q != nil {
+		q.Attach(b)
+		mcfg.OnQuality = func(seq uint64, at float64) { q.Sample(seq, at) }
+	}
 	j.mcore = master.NewCore(mcfg)
 	if j.ck != nil {
 		if err := j.ck.openLog(j.log); err != nil {
@@ -802,6 +814,21 @@ func (s *Scheduler) startJob(j *job) {
 	}
 	s.cfg.logf("jobs: %s running", j.id)
 	s.sweepAssign()
+}
+
+// newJobQuality builds the job's quality sampler when the spec opted
+// in (Spec.QualityEvery > 0), wiring its samples into the job's stall
+// detector. Returns nil — everywhere nil-safe — otherwise.
+func newJobQuality(j *job) *obs.QualitySampler {
+	if j.spec.QualityEvery == 0 {
+		return nil
+	}
+	j.quality = obs.NewQualitySampler(obs.QualityConfig{
+		Every:    j.spec.QualityEvery,
+		Ref:      metrics.RefPointFor(j.problem.Name(), j.problem.NumObjs()),
+		OnSample: j.adv.ObserveQuality,
+	})
+	return j.quality
 }
 
 // onAcceptHook checkpoints the archive every CheckpointEvery accepts.
@@ -966,6 +993,11 @@ func (s *Scheduler) status(j *job) Status {
 	} else if j.restored != nil {
 		st.Evaluations = j.restored.Evaluations
 		st.ArchiveSize = j.restored.ArchiveSize
+	}
+	if j.quality != nil {
+		if latest, ok := j.quality.Latest(); ok {
+			st.Quality = &latest
+		}
 	}
 	return st
 }

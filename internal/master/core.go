@@ -45,6 +45,15 @@ const (
 	// injection point in the accept stream, which is what lets a
 	// federated run replay to the identical merged Result.
 	EvMigrant
+	// EvQuality: the driver's quality-sampling cadence fired. Item is
+	// the sample sequence number and At the trigger clock. Like
+	// EvMigrant this charges nothing and grants nothing — it invokes
+	// OnQuality, under which the sampler snapshots the (flushed)
+	// algorithm state — but recording the trigger in the BMEL log pins
+	// the sample point in the accept stream, which is what lets any
+	// run's quality timeline replay byte-identically, even when the
+	// cadence was wall-clock-driven.
+	EvQuality
 )
 
 func (k EventKind) String() string {
@@ -65,6 +74,8 @@ func (k EventKind) String() string {
 		return "leave"
 	case EvMigrant:
 		return "migrant"
+	case EvQuality:
+		return "quality"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -213,6 +224,14 @@ type Config struct {
 	// algorithm sees the injection at the identical point in the event
 	// stream.
 	OnMigrant func(source int, epoch uint64)
+	// OnQuality runs under every EvQuality with the sample sequence
+	// number and the trigger's clock stamp. It fires after the entry
+	// flush, so under DeferApply the quality sampler always observes
+	// the applied archive — never a stale-by-one front. Live drivers
+	// and Replay both route their sampler's Sample call through this
+	// hook, which is how a recorded quality timeline reconstructs
+	// byte-identically offline.
+	OnQuality func(seq uint64, at float64)
 	// Tracer, when set, receives the distributed-tracing hooks: every
 	// grant mints a span context (stamped on the Item, carried on the
 	// wire), results/expiries close the span, resubmissions link the
@@ -341,6 +360,8 @@ func (c *Core) Handle(ev Event) []Action {
 		c.leave(ev)
 	case EvMigrant:
 		c.migrant(ev)
+	case EvQuality:
+		c.quality(ev)
 	}
 	return c.acts
 }
@@ -596,6 +617,17 @@ func (c *Core) migrant(ev Event) {
 	}
 	if c.cfg.OnMigrant != nil {
 		c.cfg.OnMigrant(ev.Worker, ev.Item)
+	}
+}
+
+// quality is EvQuality's handler: no evaluation charged, no lease, no
+// grant — only the OnQuality hook, under which the driver's sampler
+// snapshots the algorithm. The entry flush in Handle has already
+// applied any deferred archive work, so the sample sees the same state
+// live and on replay.
+func (c *Core) quality(ev Event) {
+	if c.cfg.OnQuality != nil {
+		c.cfg.OnQuality(ev.Item, ev.At)
 	}
 }
 

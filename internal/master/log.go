@@ -90,7 +90,10 @@ func (l *Log) CanonicalBytes() []byte {
 	}
 	out := make([]byte, 0, 10*len(l.Events))
 	for _, ev := range l.Events {
-		if ev.Kind == EvTick {
+		// Ticks are transport pacing, and quality samples follow the
+		// (possibly wall-clock) sampling cadence — neither is part of
+		// the logical protocol sequence the transports must agree on.
+		if ev.Kind == EvTick || ev.Kind == EvQuality {
 			continue
 		}
 		out = append(out, byte(ev.Kind))
@@ -314,6 +317,12 @@ type ReplayConfig struct {
 	// sidecar log the original run kept and folds the same solution
 	// back into the algorithm.
 	OnMigrant func(source int, epoch uint64)
+	// OnQuality re-triggers the recorded quality samples: a sampler
+	// attached here observes the replayed algorithm at the identical
+	// points in the accept stream, regenerating the original run's
+	// quality timeline byte-for-byte (parallel.ReplayAsync rides
+	// this).
+	OnQuality func(seq uint64, at float64)
 	// Tracer re-derives the recorded run's trace hooks: because the
 	// Core mints span contexts deterministically from event data, the
 	// replayed hooks are identical to the live ones (obs.TracesFromLog
@@ -343,6 +352,7 @@ func Replay(log *Log, rc ReplayConfig) (*Core, error) {
 		OnAccept:     rc.OnAccept,
 		OnAcceptFrom: rc.OnAcceptFrom,
 		OnMigrant:    rc.OnMigrant,
+		OnQuality:    rc.OnQuality,
 		Tracer:       rc.Tracer,
 	})
 	for _, ev := range log.Events {

@@ -12,6 +12,11 @@ import (
 // Barone 2012). Points not strictly dominating the reference point
 // contribute nothing. The input is not modified.
 //
+// Degenerate fronts are well-defined: an empty set, a set whose every
+// point lies outside the reference box, or a set of non-finite points
+// all yield 0; a single point yields its box volume; duplicates
+// contribute no extra volume. Mismatched point dimensions panic.
+//
 // Complexity is exponential in the worst case but fast for the
 // archive sizes produced by ε-dominance archives (hundreds of points,
 // ≤ 10 objectives). For very large sets prefer HypervolumeMC.
@@ -96,7 +101,24 @@ func limitSet(pts [][]float64, i int) [][]float64 {
 // samples points uniform in the box [min(set), ref] that are dominated
 // by the set, scaled by the box volume. A fixed seed gives
 // reproducible estimates; the standard error is ≈ HV/√samples.
+//
+// The degenerate-front contract matches Hypervolume (empty or
+// out-of-box sets yield 0, duplicates are fine); samples <= 0 panics.
 func HypervolumeMC(set [][]float64, ref []float64, samples int, seed uint64) float64 {
+	return hypervolumeMC(set, ref, samples, seed, true)
+}
+
+// HypervolumeMCNondominated is HypervolumeMC for a set that is already
+// mutually nondominated (an ε-archive front, say), skipping the O(n²)
+// dominance filter. The estimate is identical either way — a dominated
+// point covers a subset of its dominator's region and cannot extend
+// the sampling box — so this is purely the hot-path variant; the
+// quality sampler uses it on every sample.
+func HypervolumeMCNondominated(set [][]float64, ref []float64, samples int, seed uint64) float64 {
+	return hypervolumeMC(set, ref, samples, seed, false)
+}
+
+func hypervolumeMC(set [][]float64, ref []float64, samples int, seed uint64, filter bool) float64 {
 	m := len(ref)
 	if samples <= 0 {
 		panic("metrics: HypervolumeMC needs samples > 0")
@@ -113,7 +135,9 @@ func HypervolumeMC(set [][]float64, ref []float64, samples int, seed uint64) flo
 	if len(pts) == 0 {
 		return 0
 	}
-	pts = NondominatedFilter(pts)
+	if filter {
+		pts = NondominatedFilter(pts)
+	}
 	// Tight sampling box: [component-wise min, ref].
 	lo := append([]float64(nil), pts[0]...)
 	for _, p := range pts[1:] {

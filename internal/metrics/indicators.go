@@ -2,11 +2,20 @@ package metrics
 
 import "math"
 
+// Degenerate-front contract (shared by every indicator here): an
+// empty approximation or reference set yields 0, never NaN or a
+// panic — a live sampler may observe an archive before its first
+// accept. Duplicate points are legal inputs. Mismatched point
+// dimensions between non-empty sets remain a programmer error and
+// panic.
+
 // GenerationalDistance returns the mean Euclidean distance from each
 // point of the approximation set to its nearest reference-set point —
-// a convergence measure. It panics on empty inputs.
+// a convergence measure. Either set empty yields 0.
 func GenerationalDistance(approx, reference [][]float64) float64 {
-	checkSets(approx, reference)
+	if !checkSets(approx, reference) {
+		return 0
+	}
 	sum := 0.0
 	for _, a := range approx {
 		sum += nearestDistance(a, reference)
@@ -16,9 +25,11 @@ func GenerationalDistance(approx, reference [][]float64) float64 {
 
 // InvertedGenerationalDistance returns the mean distance from each
 // reference point to its nearest approximation point — a combined
-// convergence + diversity measure.
+// convergence + diversity measure. Either set empty yields 0.
 func InvertedGenerationalDistance(approx, reference [][]float64) float64 {
-	checkSets(approx, reference)
+	if !checkSets(approx, reference) {
+		return 0
+	}
 	sum := 0.0
 	for _, r := range reference {
 		sum += nearestDistance(r, approx)
@@ -29,9 +40,12 @@ func InvertedGenerationalDistance(approx, reference [][]float64) float64 {
 // AdditiveEpsilon returns the additive ε-indicator: the smallest ε
 // such that every reference point is weakly dominated by some
 // approximation point shifted down by ε (equivalently, how far the
-// approximation must improve to cover the reference set).
+// approximation must improve to cover the reference set). Either set
+// empty yields 0.
 func AdditiveEpsilon(approx, reference [][]float64) float64 {
-	checkSets(approx, reference)
+	if !checkSets(approx, reference) {
+		return 0
+	}
 	eps := math.Inf(-1)
 	for _, r := range reference {
 		best := math.Inf(1)
@@ -93,9 +107,11 @@ func Spacing(set [][]float64) float64 {
 // Coverage returns Zitzler's C-metric C(a, b): the fraction of
 // members of b that are weakly dominated by at least one member of a.
 // C(a,b) = 1 means a covers b entirely; note C is not symmetric, so
-// report both directions. It panics on empty inputs.
+// report both directions. Either set empty yields 0.
 func Coverage(a, b [][]float64) float64 {
-	checkSets(a, b)
+	if !checkSets(a, b) {
+		return 0
+	}
 	covered := 0
 	for _, q := range b {
 		for _, p := range a {
@@ -123,11 +139,14 @@ func nearestDistance(p []float64, set [][]float64) float64 {
 	return math.Sqrt(best)
 }
 
-func checkSets(a, b [][]float64) {
+// checkSets reports whether both sets are non-empty (the indicator
+// should proceed); mismatched dimensions between non-empty sets panic.
+func checkSets(a, b [][]float64) bool {
 	if len(a) == 0 || len(b) == 0 {
-		panic("metrics: empty set")
+		return false
 	}
 	if len(a[0]) != len(b[0]) {
 		panic("metrics: dimension mismatch between sets")
 	}
+	return true
 }

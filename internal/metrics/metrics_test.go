@@ -210,6 +210,26 @@ func TestHypervolumeMCReproducible(t *testing.T) {
 	}
 }
 
+// TestHypervolumeMCNondominatedIdentical: skipping the dominance
+// filter must not change the estimate at all — on any input, filtered
+// or not, the dominated region and the RNG stream are the same. Random
+// sets deliberately include dominated points.
+func TestHypervolumeMCNondominatedIdentical(t *testing.T) {
+	r := rng.New(9)
+	ref := []float64{1, 1, 1}
+	for trial := 0; trial < 10; trial++ {
+		set := make([][]float64, 50)
+		for i := range set {
+			set[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+		}
+		a := HypervolumeMC(set, ref, 5000, uint64(trial))
+		b := HypervolumeMCNondominated(set, ref, 5000, uint64(trial))
+		if a != b {
+			t.Fatalf("trial %d: filtered %v != unfiltered %v", trial, a, b)
+		}
+	}
+}
+
 func TestHypervolumeMCValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -303,20 +323,71 @@ func TestCoverage(t *testing.T) {
 	}
 }
 
-func TestIndicatorsPanicOnEmpty(t *testing.T) {
-	for _, fn := range []func(){
-		func() { GenerationalDistance(nil, [][]float64{{1}}) },
-		func() { InvertedGenerationalDistance([][]float64{{1}}, nil) },
-		func() { AdditiveEpsilon(nil, nil) },
+func TestIndicatorsEmptySetsWellDefined(t *testing.T) {
+	// The degenerate-front contract: empty inputs yield 0, never NaN
+	// or a panic — a live quality sampler can hit a pre-first-accept
+	// archive.
+	one := [][]float64{{1}}
+	for name, v := range map[string]float64{
+		"GD empty approx":    GenerationalDistance(nil, one),
+		"GD empty ref":       GenerationalDistance(one, nil),
+		"IGD empty ref":      InvertedGenerationalDistance(one, nil),
+		"IGD empty approx":   InvertedGenerationalDistance(nil, one),
+		"eps both empty":     AdditiveEpsilon(nil, nil),
+		"coverage empty b":   Coverage(one, nil),
+		"coverage empty a":   Coverage(nil, one),
+		"spacing empty":      Spacing(nil),
+		"spacing single":     Spacing(one),
+		"hv empty":           Hypervolume(nil, []float64{1, 1}),
+		"hv MC empty":        HypervolumeMC(nil, []float64{1, 1}, 10, 1),
+		"hv all outside box": Hypervolume([][]float64{{2, 2}}, []float64{1, 1}),
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("empty-set indicator did not panic")
-				}
-			}()
-			fn()
-		}()
+		if v != 0 {
+			t.Errorf("%s = %v, want 0", name, v)
+		}
+	}
+	// Dimension mismatch between non-empty sets stays a panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	GenerationalDistance([][]float64{{1}}, [][]float64{{1, 2}})
+}
+
+func TestIndicatorsDuplicatePoints(t *testing.T) {
+	dup := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	ref := []float64{1, 1}
+	if hv, want := Hypervolume(dup, ref), 0.25; math.Abs(hv-want) > 1e-12 {
+		t.Errorf("duplicate-point HV = %v, want %v", hv, want)
+	}
+	if s := Spacing(dup); s != 0 {
+		t.Errorf("duplicate-point spacing = %v, want 0", s)
+	}
+	if c := Coverage(dup, dup); c != 1 {
+		t.Errorf("duplicate-point coverage = %v, want 1", c)
+	}
+}
+
+func TestRefPointHelpers(t *testing.T) {
+	if s := RefScale("ZDT4"); s != 2.0 {
+		t.Errorf("RefScale(ZDT4) = %v, want 2.0", s)
+	}
+	if s := RefScale("DTLZ2"); s != DefaultRefScale {
+		t.Errorf("RefScale(DTLZ2) = %v, want %v", s, DefaultRefScale)
+	}
+	ref := RefPointFor("UF7", 3)
+	if len(ref) != 3 {
+		t.Fatalf("RefPointFor dim = %d, want 3", len(ref))
+	}
+	for _, v := range ref {
+		if v != DefaultRefScale {
+			t.Errorf("RefPointFor coord = %v, want %v", v, DefaultRefScale)
+		}
+	}
+	// Scale 0 means the default.
+	if got := RefPoint(2, 0)[0]; got != DefaultRefScale {
+		t.Errorf("RefPoint(2, 0) coord = %v, want %v", got, DefaultRefScale)
 	}
 }
 

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// QualityLog is the QLOG sidecar: a run's full quality timeline in a
+// compact binary format ("BQLG"), mirroring the BTRC trace sidecar.
+// Replaying a recorded run regenerates the identical timeline, so a
+// recorded QLOG file and a replay-produced one compare byte-for-byte —
+// the property the offline tools (cmd/timeline -quality) and the
+// replay tests pin.
+//
+// Layout (big-endian, like BMEL and BTRC):
+//
+//	"BQLG" | version u8 | M u16 | maxExact u32 | mcSamples u32 |
+//	K u16 | M × ref f64 | K × (len u16, name bytes)
+//
+// followed by fixed-width records of 68+8K bytes:
+//
+//	seq u64 | at f64 | evals u64 | hv f64 | epsProgress u64 |
+//	archive u32 | pop u32 | restarts u64 | tournament u32 |
+//	spread f64 | K × prob f64
+//
+// A torn trailing record (crash or signal mid-write) is tolerated on
+// read, like the other sidecars.
+type QualityLog struct {
+	Ref       []float64
+	MaxExact  int
+	MCSamples int
+	Operators []string
+	Samples   []QualitySample
+}
+
+const (
+	qualityMagic   = "BQLG"
+	qualityVersion = 1
+)
+
+// qualityRecSize is the fixed record width for K operators.
+func qualityRecSize(k int) int { return 8 + 8 + 8 + 8 + 8 + 4 + 4 + 8 + 4 + 8 + 8*k }
+
+// WriteTo serializes the log in BQLG format.
+func (l *QualityLog) WriteTo(w io.Writer) (int64, error) {
+	k := len(l.Operators)
+	buf := make([]byte, 0, 4+1+2+4+4+2+8*len(l.Ref)+len(l.Samples)*qualityRecSize(k))
+	buf = append(buf, qualityMagic...)
+	buf = append(buf, qualityVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Ref)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(l.MaxExact))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(l.MCSamples))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(k))
+	for _, v := range l.Ref {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, name := range l.Operators {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+	}
+	for i := range l.Samples {
+		s := &l.Samples[i]
+		buf = binary.BigEndian.AppendUint64(buf, s.Seq)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.At))
+		buf = binary.BigEndian.AppendUint64(buf, s.Evaluations)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.Hypervolume))
+		buf = binary.BigEndian.AppendUint64(buf, s.EpsProgress)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.ArchiveSize))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.PopulationSize))
+		buf = binary.BigEndian.AppendUint64(buf, s.Restarts)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.TournamentSize))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.FrontSpread))
+		for j := 0; j < k; j++ {
+			var p float64
+			if j < len(s.OperatorProbs) {
+				p = s.OperatorProbs[j]
+			}
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p))
+		}
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadQualityLog decodes a BQLG stream. A truncated trailing record is
+// dropped silently (torn-tail tolerance); a malformed header or an
+// unsupported version is an error.
+func ReadQualityLog(r io.Reader) (*QualityLog, error) {
+	var hdr [4 + 1 + 2 + 4 + 4 + 2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("obs: quality log header: %w", err)
+	}
+	if string(hdr[:4]) != qualityMagic {
+		return nil, fmt.Errorf("obs: not a quality log (magic %q)", hdr[:4])
+	}
+	if hdr[4] != qualityVersion {
+		return nil, fmt.Errorf("obs: quality log version %d unsupported", hdr[4])
+	}
+	m := int(binary.BigEndian.Uint16(hdr[5:]))
+	l := &QualityLog{
+		MaxExact:  int(binary.BigEndian.Uint32(hdr[7:])),
+		MCSamples: int(binary.BigEndian.Uint32(hdr[11:])),
+	}
+	k := int(binary.BigEndian.Uint16(hdr[15:]))
+	if m > 0 {
+		refBytes := make([]byte, 8*m)
+		if _, err := io.ReadFull(r, refBytes); err != nil {
+			return nil, fmt.Errorf("obs: quality log reference point: %w", err)
+		}
+		l.Ref = make([]float64, m)
+		for i := range l.Ref {
+			l.Ref[i] = math.Float64frombits(binary.BigEndian.Uint64(refBytes[8*i:]))
+		}
+	}
+	if k > 0 {
+		l.Operators = make([]string, k)
+		for i := range l.Operators {
+			var lb [2]byte
+			if _, err := io.ReadFull(r, lb[:]); err != nil {
+				return nil, fmt.Errorf("obs: quality log operator name: %w", err)
+			}
+			name := make([]byte, binary.BigEndian.Uint16(lb[:]))
+			if _, err := io.ReadFull(r, name); err != nil {
+				return nil, fmt.Errorf("obs: quality log operator name: %w", err)
+			}
+			l.Operators[i] = string(name)
+		}
+	}
+	rec := make([]byte, qualityRecSize(k))
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return l, nil // torn tail: keep the complete prefix
+			}
+			return nil, fmt.Errorf("obs: quality log record: %w", err)
+		}
+		s := QualitySample{
+			Seq:            binary.BigEndian.Uint64(rec[0:]),
+			At:             math.Float64frombits(binary.BigEndian.Uint64(rec[8:])),
+			Evaluations:    binary.BigEndian.Uint64(rec[16:]),
+			Hypervolume:    math.Float64frombits(binary.BigEndian.Uint64(rec[24:])),
+			EpsProgress:    binary.BigEndian.Uint64(rec[32:]),
+			ArchiveSize:    int(binary.BigEndian.Uint32(rec[40:])),
+			PopulationSize: int(binary.BigEndian.Uint32(rec[44:])),
+			Restarts:       binary.BigEndian.Uint64(rec[48:]),
+			TournamentSize: int(binary.BigEndian.Uint32(rec[56:])),
+			FrontSpread:    math.Float64frombits(binary.BigEndian.Uint64(rec[60:])),
+		}
+		if k > 0 {
+			s.OperatorProbs = make([]float64, k)
+			for j := range s.OperatorProbs {
+				s.OperatorProbs[j] = math.Float64frombits(binary.BigEndian.Uint64(rec[68+8*j:]))
+			}
+		}
+		l.Samples = append(l.Samples, s)
+	}
+}

@@ -147,6 +147,10 @@ func RunAsync(cfg Config) (*Result, error) {
 		if cfg.Trace != nil {
 			mcfg.Tracer = cfg.Trace
 		}
+		if q := cfg.Quality; q != nil {
+			q.Attach(b)
+			mcfg.OnQuality = func(seq uint64, at float64) { q.Sample(seq, at) }
+		}
 		m = master.NewCore(mcfg)
 		exec := func(acts []master.Action) {
 			for _, a := range acts {
@@ -208,6 +212,11 @@ func RunAsync(cfg Config) (*Result, error) {
 			// the staged result in now, charging its T_A after the send
 			// (no-op when DeferArchive is off or nothing is staged).
 			m.Flush()
+			// Quality cadence: the trigger detours through the master so
+			// the sample point lands in the BMEL log (replayable).
+			if q := cfg.Quality; q != nil && !m.Done() && q.Due(m.Completed(), p.Now()) {
+				exec(m.Handle(master.Event{Kind: master.EvQuality, Item: q.NextSeq(), At: p.Now()}))
+			}
 		}
 		// Drain any in-flight results so the mailbox is empty.
 		for w := 1; w < cfg.Processors; w++ {

@@ -286,6 +286,10 @@ func RunAsyncDistributed(cfg Config, dcfg DistributedConfig) (*Result, error) {
 	if cfg.Trace != nil {
 		mcfg.Tracer = cfg.Trace
 	}
+	if q := cfg.Quality; q != nil {
+		q.Attach(b)
+		mcfg.OnQuality = func(seq uint64, at float64) { q.Sample(seq, at) }
+	}
 	m := master.NewCore(mcfg)
 
 	// drop tears down a session's transport; the state machine hears
@@ -418,6 +422,12 @@ loop:
 				// Deferred mode: the grant frame is on the wire; fold the
 				// staged result in now (no-op when DeferArchive is off).
 				m.Flush()
+				// Quality cadence: route the trigger through the master
+				// so the sample point lands in the BMEL log (replayable
+				// even though this driver's clock is wall time).
+				if q := cfg.Quality; q != nil && !m.Done() && q.Due(m.Completed(), since()) {
+					exec(m.Handle(master.Event{Kind: master.EvQuality, Item: q.NextSeq(), At: since()}))
+				}
 			}
 		case <-tickC:
 			exec(m.Handle(master.Event{Kind: master.EvTick, At: since()}))

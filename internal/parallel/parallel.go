@@ -166,6 +166,15 @@ type Config struct {
 	// plus the Protocol log reconstruct the same forest offline via
 	// obs.TracesFromLog. Honored by the async drivers; nil disables.
 	Trace *obs.Collector
+	// Quality, when set, samples the run's search health (incremental
+	// hypervolume, ε-progress, operator adaptation — see
+	// obs.QualitySampler) on the sampler's cadence. The driver
+	// attaches it to the algorithm and routes each trigger through the
+	// master as an EvQuality event, so with Protocol set the quality
+	// timeline replays byte-identically offline (ReplayAsync re-feeds
+	// the same sampler hooks). Honored by the async drivers; nil
+	// disables at zero cost.
+	Quality *obs.QualitySampler
 }
 
 // normalize fills defaults and validates.

@@ -165,6 +165,10 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 	if adv != nil {
 		mcfg.OnAcceptFrom = adv.ObserveAccept
 	}
+	if q := cfg.Quality; q != nil {
+		q.Attach(b)
+		mcfg.OnQuality = func(seq uint64, at float64) { q.Sample(seq, at) }
+	}
 	m := master.NewCore(mcfg)
 	exec := func(acts []master.Action) {
 		for _, a := range acts {
@@ -189,6 +193,11 @@ func RunAsyncRealtime(cfg Config) (*Result, error) {
 		// Deferred mode: the grant is already on its channel; fold the
 		// staged result in now (no-op when DeferArchive is off).
 		m.Flush()
+		// Quality cadence: route the trigger through the master so the
+		// sample point lands in the BMEL log (replayable).
+		if q := cfg.Quality; q != nil && !m.Done() && q.Due(m.Completed(), since()) {
+			exec(m.Handle(master.Event{Kind: master.EvQuality, Item: q.NextSeq(), At: since()}))
+		}
 	}
 	close(done) // frees workers blocked on a result send
 

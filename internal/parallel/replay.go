@@ -53,11 +53,19 @@ func ReplayAsync(cfg Config, log *master.Log) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := master.Replay(log, master.ReplayConfig{
+	rc := master.ReplayConfig{
 		Alg:      &replayAlg{b: b},
 		Evaluate: func(item *master.Item) { core.EvaluateSolution(cfg.Problem, item.S) },
 		Meters:   master.NewMeters(cfg.Metrics),
-	})
+	}
+	if q := cfg.Quality; q != nil {
+		// Re-trigger the recorded quality samples against the replayed
+		// algorithm: the regenerated timeline (q.Log()) is
+		// byte-identical to the live run's.
+		q.Attach(b)
+		rc.OnQuality = func(seq uint64, at float64) { q.Sample(seq, at) }
+	}
+	c, err := master.Replay(log, rc)
 	if err != nil {
 		return nil, err
 	}

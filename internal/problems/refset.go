@@ -2,6 +2,8 @@ package problems
 
 import (
 	"math"
+	"strconv"
+	"strings"
 
 	"borgmoea/internal/rng"
 )
@@ -52,6 +54,26 @@ func LinearFront(m, count int, seed uint64) [][]float64 {
 		set[i] = p
 	}
 	return set
+}
+
+// ReferenceFront returns count points sampled from the analytic
+// Pareto front of the named problem, or nil when no analytic front is
+// known. This is the shared selector the comparison tools use instead
+// of hand-rolling the problem-name switch.
+func ReferenceFront(name string, m, count int, seed uint64) [][]float64 {
+	switch {
+	case strings.HasPrefix(name, "DTLZ1"):
+		return LinearFront(m, count, seed)
+	case strings.HasPrefix(name, "DTLZ2"), strings.HasPrefix(name, "DTLZ3"),
+		strings.HasPrefix(name, "DTLZ4"), name == "UF11":
+		return SphereFront(m, count, seed)
+	case strings.HasPrefix(name, "ZDT"):
+		switch v, _ := strconv.Atoi(name[3:]); v {
+		case 1, 2, 3, 4, 6:
+			return ZDTFront(v, count)
+		}
+	}
+	return nil
 }
 
 // IdealSphereHypervolume returns the exact hypervolume dominated by
